@@ -1,0 +1,41 @@
+"""Shared helpers for the figure benches.
+
+Each bench regenerates one paper artefact, prints the reproduced rows or
+series, and archives them under ``benchmarks/results/<name>.txt`` so the
+tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis import render_chart
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced artefact and archive it."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def curves_to_series(curves: dict) -> tuple[list[float], dict[str, list[float]]]:
+    """Flatten AggregateCurve mapping into (grid, name -> mean series)."""
+    grid = None
+    series = {}
+    for name, curve in curves.items():
+        grid = list(curve.grid)
+        series[name] = [round(float(v), 4) if np.isfinite(v) else float("inf") for v in curve.mean]
+    return grid, series
+
+
+def chart(curves: dict, *, y_label: str = "loss") -> str:
+    """ASCII chart of the mean curves (crossovers visible at a glance)."""
+    grid, series = curves_to_series(curves)
+    return render_chart(grid, series, y_label=y_label)

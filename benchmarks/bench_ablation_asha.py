@@ -1,0 +1,121 @@
+"""Ablations over ASHA's design choices (DESIGN.md section 5).
+
+Not a paper figure — these isolate the knobs the paper discusses:
+
+* **reduction factor eta**: Li et al. [2018] recommend aggressive rates;
+  we sweep eta in {2, 4} at fixed budget;
+* **early-stopping rate s**: higher s spends more per configuration; the
+  paper's sequential results favour s = 0 (most aggressive);
+* **checkpointing**: Section 3.2's claim that resume turns 2 x time(R)
+  latency into ~1 x time(R) — measured on the full CIFAR surrogate, and as
+  total completions at fixed budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.core import ASHA
+from repro.experiments.figures import sequential_benchmarks
+from repro.experiments.runner import run_trials
+
+SPEC = sequential_benchmarks()["cifar_convnet"]
+TIME_R = SPEC.settings.max_resource
+
+
+def asha_factory(**kwargs):
+    def factory(objective, rng):
+        defaults = dict(
+            min_resource=TIME_R / 256.0, max_resource=TIME_R, eta=4, early_stopping_rate=0
+        )
+        defaults.update(kwargs)
+        return ASHA(objective.space, rng, **defaults)
+
+    return factory
+
+
+def sweep(variants: dict[str, dict], num_trials: int = 3) -> list[list]:
+    rows = []
+    for label, kwargs in variants.items():
+        records = run_trials(
+            label,
+            asha_factory(**kwargs),
+            SPEC.make_objective,
+            num_workers=25,
+            time_limit=3.0 * TIME_R,
+            seeds=range(num_trials),
+        )
+        finals = [r.final_value for r in records]
+        completions = [len(r.backend.completions) for r in records]
+        rows.append(
+            [label, round(float(np.mean(finals)), 4), round(float(np.mean(completions)), 1)]
+        )
+    return rows
+
+
+def test_ablation_eta(benchmark):
+    rows = benchmark.pedantic(
+        sweep,
+        args=({"eta=2": {"eta": 2}, "eta=4": {"eta": 4}},),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_eta",
+        render_table(
+            ["variant", "mean final error", "mean configs at R"],
+            rows,
+            title="Ablation: ASHA reduction factor (25 workers, 3 x time(R))",
+        ),
+    )
+    # Both are sane; aggressive halving is not worse.
+    finals = {row[0]: row[1] for row in rows}
+    assert finals["eta=4"] <= finals["eta=2"] + 0.02
+
+
+def test_ablation_early_stopping_rate(benchmark):
+    rows = benchmark.pedantic(
+        sweep,
+        args=({"s=0": {"early_stopping_rate": 0}, "s=2": {"early_stopping_rate": 2}},),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_early_stopping_rate",
+        render_table(
+            ["variant", "mean final error", "mean configs at R"],
+            rows,
+            title="Ablation: ASHA early-stopping rate s (25 workers, 3 x time(R))",
+        ),
+    )
+    finals = {row[0]: row[1] for row in rows}
+    # Aggressive early stopping wins on this benchmark (Section 4.1's
+    # observation that bracket 0 does the work).
+    assert finals["s=0"] <= finals["s=2"] + 0.02
+
+
+def test_ablation_checkpointing(benchmark):
+    rows = benchmark.pedantic(
+        sweep,
+        args=(
+            {
+                "checkpointed": {"from_checkpoint": True},
+                "from scratch": {"from_checkpoint": False},
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_checkpointing",
+        render_table(
+            ["variant", "mean final error", "mean configs at R"],
+            rows,
+            title="Ablation: checkpointed promotion vs retraining from scratch",
+        ),
+    )
+    completions = {row[0]: row[2] for row in rows}
+    # Checkpoint reuse trains more configurations to completion per budget.
+    assert completions["checkpointed"] >= completions["from scratch"]

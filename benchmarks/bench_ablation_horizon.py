@@ -1,0 +1,83 @@
+"""Section 3.3's horizon argument, measured: doubling-trick SHA vs ASHA.
+
+"SHA does not naturally extend to the infinite horizon setting, as it
+relies on the doubling trick and must rerun brackets with larger budgets...
+Additionally, SHA does not return an output until a single bracket
+completes.  In the finite horizon this means there is a constant interval
+... between receiving outputs from SHA.  In the infinite horizon this
+interval doubles between outputs.  In contrast, ASHA grows the bracket
+incrementally."
+
+This bench runs both on one worker over the same clock budget and reports
+(a) the times at which each algorithm first produced a result at each depth
+level and (b) the doubling of SHA's output intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.backend import SimulatedCluster
+from repro.core import ASHA, DoublingSHA
+from repro.experiments.toys import toy_objective
+
+ETA = 2
+DEPTHS = [4.0, 8.0, 16.0, 32.0, 64.0]
+
+
+def run_pair():
+    budget = 3000.0
+    objective = toy_objective(max_resource=1e12, constant=False)
+
+    # --- ASHA, infinite horizon: depth grows continuously.
+    rng = np.random.default_rng(0)
+    asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=None, eta=ETA)
+    asha_result = SimulatedCluster(1, seed=0).run(asha, objective, time_limit=budget)
+    asha_depth_times = {}
+    for m in asha_result.measurements:
+        asha_depth_times.setdefault(m.resource, m.time)
+
+    # --- SHA with the doubling trick: outputs at bracket boundaries only.
+    rng = np.random.default_rng(0)
+    sha = DoublingSHA(
+        objective.space, rng, min_resource=1.0, initial_max_resource=4.0, eta=ETA
+    )
+    sha_result = SimulatedCluster(1, seed=0).run(sha, objective, time_limit=budget)
+    sha_output_times = {}
+    for _, winner_id, big_r in sha.outputs:
+        t = max(m.time for m in sha_result.measurements if m.trial_id == winner_id)
+        sha_output_times[big_r] = t
+    return asha_depth_times, sha_output_times
+
+
+def test_ablation_horizon_latency(benchmark):
+    asha_times, sha_times = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = []
+    for depth in DEPTHS:
+        rows.append(
+            [
+                int(depth),
+                round(asha_times.get(depth, float("inf")), 1),
+                round(sha_times.get(depth, float("inf")), 1),
+            ]
+        )
+    emit(
+        "ablation_horizon",
+        render_table(
+            ["resource depth", "ASHA first result", "doubling-SHA output"],
+            rows,
+            title="Section 3.3: time to first result at each depth (1 worker, eta=2)",
+        ),
+    )
+    # ASHA reaches every depth no later than the doubling-trick bracket that
+    # first covers it (it never waits for a full bracket).
+    for depth in DEPTHS:
+        if depth in sha_times and depth in asha_times:
+            assert asha_times[depth] <= sha_times[depth] + 1e-9
+    # SHA's output intervals grow geometrically.
+    outs = [sha_times[d] for d in sorted(sha_times)]
+    gaps = np.diff([0.0] + outs)
+    if len(gaps) >= 3:
+        assert gaps[2] > 1.5 * gaps[1] > 1.5**2 * gaps[0] / 1.5

@@ -1,0 +1,121 @@
+"""Extension ablation: composable stopping rules vs ASHA's rung promotion.
+
+The conclusion's future-work direction ("incorporating meta-learning to
+inform early-stopping") motivates the standalone rules in
+``repro.core.stopping``.  This bench compares, at equal budget:
+
+* plain random search (no early stopping);
+* random search + median stopping rule (Vizier's rule);
+* random search + learning-curve-extrapolation stopping;
+* ASHA (rung-based early stopping).
+
+Expected: both rule-augmented random searches beat plain random (they stop
+hopeless configurations), but neither matches ASHA — adaptive *resource
+allocation* beats pure termination rules on this workload.  Reported with
+bootstrap confidence intervals from ``repro.analysis.stats``.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.analysis.stats import summarize
+from repro.core import (
+    ASHA,
+    CurveExtrapolationRule,
+    MedianStoppingRule,
+    RandomSearch,
+    StoppingWrapper,
+)
+from repro.experiments.figures import sequential_benchmarks
+from repro.experiments.runner import run_trials
+
+SPEC = sequential_benchmarks()["cifar_convnet"]
+TIME_R = SPEC.settings.max_resource
+TRIALS = 4
+
+
+def periodic_random(objective, rng):
+    """Random search that reports every R/8 so stopping rules can observe."""
+
+    class PeriodicRandom(RandomSearch):
+        def next_job(self):
+            # Resume the lowest-resource unfinished trial, else sample fresh.
+            for trial in self.trials.values():
+                if trial.status.value == "paused" and trial.resource < TIME_R:
+                    return self.make_job(trial, min(trial.resource + TIME_R / 8, TIME_R))
+            job = super().next_job()
+            if job is None:
+                return None
+            trial = self.trials[job.trial_id]
+            return self.make_job(trial, TIME_R / 8)
+
+        def report(self, job, loss):
+            self.note_result(job, loss)
+            trial = self.trials[job.trial_id]
+            from repro.core import TrialStatus
+
+            trial.status = (
+                TrialStatus.COMPLETED if trial.resource >= TIME_R else TrialStatus.PAUSED
+            )
+
+    return PeriodicRandom(objective.space, rng, max_resource=TIME_R)
+
+
+def variants():
+    return {
+        "Random": lambda obj, rng: periodic_random(obj, rng),
+        "Random + median stop": lambda obj, rng: StoppingWrapper(
+            periodic_random(obj, rng),
+            MedianStoppingRule(grace_resource=TIME_R / 8, min_peers=5),
+        ),
+        "Random + curve stop": lambda obj, rng: StoppingWrapper(
+            periodic_random(obj, rng),
+            CurveExtrapolationRule(max_resource=TIME_R, min_points=3, margin=1.05),
+        ),
+        "ASHA": lambda obj, rng: ASHA(
+            obj.space, rng, min_resource=TIME_R / 256, max_resource=TIME_R, eta=4
+        ),
+    }
+
+
+def run_all():
+    out = {}
+    for name, factory in variants().items():
+        out[name] = run_trials(
+            name,
+            factory,
+            SPEC.make_objective,
+            num_workers=25,
+            time_limit=2.0 * TIME_R,
+            seeds=range(TRIALS),
+        )
+    return out
+
+
+def test_ablation_stopping_rules(benchmark):
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, recs in records.items():
+        s = summarize(recs, target=SPEC.good_loss, horizon=2.0 * TIME_R)
+        rows.append(
+            [
+                name,
+                round(s.final_mean, 4),
+                f"[{s.final_ci[0]:.4f}, {s.final_ci[1]:.4f}]",
+                round(s.time_to_target_mean, 0),
+                s.censored_runs,
+            ]
+        )
+    emit(
+        "ablation_stopping",
+        render_table(
+            ["variant", "final mean", "95% CI", f"mean t to {SPEC.good_loss}", "censored"],
+            rows,
+            title="Stopping rules vs rung promotion (25 workers, 2 x time(R))",
+        ),
+    )
+    finals = {name: summarize(recs).final_mean for name, recs in records.items()}
+    assert finals["Random + median stop"] <= finals["Random"] + 0.005
+    assert finals["ASHA"] <= finals["Random + median stop"] + 0.01

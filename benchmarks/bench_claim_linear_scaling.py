@@ -1,0 +1,80 @@
+"""Section 4.2's scaling claim: ASHA speeds up linearly with workers.
+
+"We also show that ASHA scales linearly with the number of workers" — and,
+for benchmark 1, that the speedup saturates early ("we only achieve a 10x
+speedup on 25 workers due to the relative simplicity of this task").
+
+This bench sweeps the worker count on the *harder* benchmark 2 surrogate,
+measures the mean time to reach a good configuration (test error 0.24),
+and reports the speedup relative to one worker.  Expected shape: speedup
+grows with workers, staying within a constant factor of ideal through 25
+workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.analysis.stats import times_to_target
+from repro.core import ASHA
+from repro.experiments.figures import sequential_benchmarks
+from repro.experiments.runner import run_trials
+
+SPEC = sequential_benchmarks()["cifar_smallcnn"]
+TIME_R = SPEC.settings.max_resource
+TARGET = 0.24
+WORKER_COUNTS = (1, 5, 25)
+TRIALS = 3
+
+
+def asha_factory(objective, rng):
+    return ASHA(
+        objective.space,
+        rng,
+        min_resource=TIME_R / 256,
+        max_resource=TIME_R,
+        eta=4,
+    )
+
+
+def run_sweep():
+    horizon = {1: 40.0 * TIME_R, 5: 10.0 * TIME_R, 25: 4.0 * TIME_R}
+    out = {}
+    for workers in WORKER_COUNTS:
+        records = run_trials(
+            f"ASHA x{workers}",
+            asha_factory,
+            SPEC.make_objective,
+            num_workers=workers,
+            time_limit=horizon[workers],
+            seeds=range(TRIALS),
+        )
+        ttts = times_to_target(records, TARGET, horizon[workers])
+        out[workers] = float(np.mean(ttts))
+    return out
+
+
+def test_claim_linear_scaling(benchmark):
+    mean_times = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    base = mean_times[WORKER_COUNTS[0]]
+    rows = [
+        [w, round(mean_times[w], 0), round(base / mean_times[w], 2), w]
+        for w in WORKER_COUNTS
+    ]
+    emit(
+        "claim_linear_scaling",
+        render_table(
+            ["workers", f"mean time to {TARGET}", "speedup", "ideal"],
+            rows,
+            title="Section 4.2: ASHA speedup vs worker count (benchmark 2)",
+        ),
+    )
+    speedups = {w: base / mean_times[w] for w in WORKER_COUNTS}
+    # Speedups grow with workers...
+    assert speedups[5] > 1.5
+    assert speedups[25] > speedups[5]
+    # ...and stay within a constant factor of ideal at 25 workers (the paper
+    # reports linear speedups on this benchmark).
+    assert speedups[25] > 25 / 4.0

@@ -1,0 +1,41 @@
+"""Section 3.3: ASHA's incorrect promotions grow like sqrt(n).
+
+Monte-Carlo over the exact arrival process: i.i.d. configuration qualities
+arrive one at a time, ASHA promotes whenever the top 1/eta rule allows, and
+a mispromotion is a promoted configuration outside the final top ``n/eta``.
+The mean count divided by sqrt(n) should stay bounded as n grows (the
+Dvoretzky-Kiefer-Wolfowitz-flavoured argument in the paper).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.experiments.figures import claim_mispromotion
+
+
+def test_claim_mispromotion_sqrt_scaling(benchmark):
+    studies = benchmark.pedantic(
+        claim_mispromotion,
+        kwargs=dict(ns=(64, 256, 1024, 4096), eta=4, repeats=20),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "claim_mispromotion",
+        render_table(
+            ["n", "mean mispromotions", "std", "sqrt(n)", "mean / sqrt(n)"],
+            [
+                [s.n, round(s.mean, 2), round(s.std, 2), round(s.sqrt_n, 1), round(s.ratio, 3)]
+                for s in studies
+            ],
+            title="Section 3.3: rung-0 mispromotions vs sqrt(n), eta=4",
+        ),
+    )
+    ratios = [s.ratio for s in studies]
+    assert all(0.02 < r < 3.0 for r in ratios)
+    # No systematic growth: the largest-n ratio is within 2.5x of the smallest-n.
+    assert ratios[-1] < ratios[0] * 2.5
+    # The raw counts DO grow (so the test is not vacuous).
+    assert studies[-1].mean > studies[0].mean

@@ -1,0 +1,80 @@
+"""Section 3.2's wall-clock claims, verified exactly on the simulator.
+
+With 9 workers on Bracket 0 of the toy example, ASHA returns a fully
+trained configuration in ``13/9 x time(R)`` when every rung trains from
+scratch, and in exactly ``time(R)`` with checkpointed resume ("when training
+is iterative, ASHA can return an answer in time(R)").  We also verify the
+general bound: a configuration trained to completion arrives within
+``2 x time(R)`` given enough workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.backend import SimulatedCluster
+from repro.core import ASHA
+from repro.experiments.figures import claim_wallclock
+from repro.experiments.toys import toy_objective
+
+
+def test_claim_wallclock_toy_exact(benchmark):
+    out = benchmark.pedantic(claim_wallclock, rounds=1, iterations=1)
+    emit(
+        "claim_wallclock",
+        render_table(
+            ["setting", "first completion", "in units of time(R)"],
+            [
+                ["from scratch", out["from_scratch"], out["from_scratch"] / out["time_R"]],
+                ["checkpointed", out["checkpointed"], out["checkpointed"] / out["time_R"]],
+            ],
+            title="Section 3.2: ASHA time to first fully-trained configuration (9 workers)",
+        ),
+    )
+    assert out["from_scratch"] == pytest.approx(13.0)  # 13/9 x time(R)
+    assert out["checkpointed"] == pytest.approx(9.0)  # time(R)
+
+
+def test_claim_two_time_r_bound(benchmark):
+    """sum_{i} eta**(i - log_eta R) x time(R) <= 2 time(R) with enough workers."""
+
+    def run():
+        results = []
+        for eta, s_max in ((2, 5), (3, 4), (4, 3)):
+            big_r = float(eta**s_max)
+            objective = toy_objective(max_resource=big_r, constant=True)
+            rng = np.random.default_rng(0)
+            asha = ASHA(
+                objective.space,
+                rng,
+                min_resource=1.0,
+                max_resource=big_r,
+                eta=eta,
+                from_checkpoint=False,
+            )
+            workers = eta**s_max  # eta**(log_eta R - s) machines
+            cluster = SimulatedCluster(workers, seed=0)
+            result = cluster.run(
+                objective=objective,
+                scheduler=asha,
+                time_limit=3.0 * big_r,
+                stop_on_first_completion=True,
+            )
+            results.append((eta, big_r, result.first_completion_time()))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "claim_two_time_r",
+        render_table(
+            ["eta", "R", "first completion", "bound 2R"],
+            [[eta, r, t, 2 * r] for eta, r, t in results],
+            title="Section 3.2: ASHA returns a fully trained config within 2 x time(R)",
+        ),
+    )
+    for eta, big_r, t in results:
+        assert t is not None
+        assert t <= 2.0 * big_r + 1e-9

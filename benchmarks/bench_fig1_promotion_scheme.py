@@ -1,0 +1,37 @@
+"""Figure 1 (right): the SHA promotion-scheme table.
+
+Regenerates every row of the promotion scheme for ``n = 9, r = 1, R = 9,
+eta = 3`` — bracket, rung, ``n_i``, ``r_i`` and the per-rung budget — and
+checks them against the paper's printed values.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.experiments.figures import figure1_rows
+
+PAPER_TABLE = [
+    # bracket, rung, n_i, r_i, total budget
+    (0, 0, 9, 1, 9),
+    (0, 1, 3, 3, 9),
+    (0, 2, 1, 9, 9),
+    (1, 0, 9, 3, 27),
+    (1, 1, 3, 9, 27),
+    (2, 0, 9, 9, 81),
+]
+
+
+def test_fig1_promotion_scheme(benchmark):
+    rows = benchmark.pedantic(figure1_rows, rounds=1, iterations=1)
+    got = [(r["bracket"], r["rung"], r["n_i"], int(r["r_i"]), int(r["total"])) for r in rows]
+    assert got == PAPER_TABLE
+    emit(
+        "fig1_promotion_scheme",
+        render_table(
+            ["bracket s", "rung i", "n_i", "r_i", "total budget"],
+            got,
+            title="Figure 1 (right): SHA promotion scheme, n=9 r=1 R=9 eta=3",
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Figure 3: sequential experiments (1 worker) on the two CIFAR-10 benchmarks.
+
+Runs SHA, Hyperband, Random, PBT, ASHA, asynchronous Hyperband and BOHB on
+the surrogate versions of both Section 4.1 benchmarks and prints the
+average-test-error-vs-time series.  Expected shape (paper):
+
+* benchmark 1: Hyperband and all SHA variants clearly beat PBT and Random;
+* benchmark 2: SHA/ASHA/BOHB/PBT cluster together, beating Random, with the
+  Hyperband variants slightly behind;
+* asynchrony costs ASHA essentially nothing relative to SHA.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import chart, curves_to_series, emit
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import figure3
+
+TRIALS = 5
+HORIZON = 60.0  # multiples of time(R), matching the paper's ~2500 minutes
+
+
+@pytest.mark.parametrize("benchmark_name", ["cifar_convnet", "cifar_smallcnn"])
+def test_fig3_sequential(benchmark, benchmark_name):
+    curves = benchmark.pedantic(
+        figure3,
+        args=(benchmark_name,),
+        kwargs=dict(num_trials=TRIALS, horizon_multiple=HORIZON),
+        rounds=1,
+        iterations=1,
+    )
+    grid, series = curves_to_series(curves)
+    emit(
+        f"fig3_sequential_{benchmark_name}",
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"Figure 3 ({benchmark_name}): mean test error vs time, {TRIALS} trials",
+        )
+        + "\n"
+        + render_table(
+            ["method", "final mean error"],
+            [[name, round(c.final_mean, 4)] for name, c in curves.items()],
+        )
+        + "\n\n"
+        + chart(curves, y_label="test error"),
+    )
+    # Shape assertions (coarse, seed-robust).
+    final = {name: c.final_mean for name, c in curves.items()}
+    assert final["ASHA"] < final["Random"]
+    assert final["SHA"] < final["Random"]
+    assert final["BOHB"] <= final["Random"] + 0.005
+    if benchmark_name == "cifar_convnet":
+        # "Hyperband and all variants of SHA outperform PBT" (Section 4.1).
+        assert final["ASHA"] < final["PBT"]
+        assert final["SHA"] < final["PBT"]
+    # Asynchrony does not consequentially hurt ASHA vs SHA.
+    assert final["ASHA"] < final["SHA"] + 0.02

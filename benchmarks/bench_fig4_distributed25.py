@@ -1,0 +1,92 @@
+"""Figure 4: limited-scale distributed experiments (25 workers).
+
+Runs ASHA, PBT, synchronous SHA (growing brackets when blocked) and BOHB on
+the simulated 25-worker cluster for ~3.75 x time(R) — the paper's 150-minute
+budget.  Expected shape:
+
+* ASHA finds a good configuration in about the time needed to train a
+  single model to R (benchmark 1);
+* on benchmark 2 the high variance of per-configuration training time makes
+  ASHA clearly better than synchronous SHA;
+* ASHA evaluates on the order of a thousand configurations within the first
+  time(R) (the "over 1000 configurations in just over 40 minutes" claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import chart, curves_to_series, emit
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import figure4, sequential_benchmarks
+from repro.experiments.runner import run_trials
+from repro.experiments.methods import standard_methods
+
+TRIALS = 5
+
+
+@pytest.mark.parametrize("benchmark_name", ["cifar_convnet", "cifar_smallcnn"])
+def test_fig4_distributed25(benchmark, benchmark_name):
+    curves = benchmark.pedantic(
+        figure4,
+        args=(benchmark_name,),
+        kwargs=dict(num_trials=TRIALS),
+        rounds=1,
+        iterations=1,
+    )
+    grid, series = curves_to_series(curves)
+    spec = sequential_benchmarks()[benchmark_name]
+    good = spec.good_loss
+    rows = [
+        [name, round(c.final_mean, 4), c.time_to_reach(good)]
+        for name, c in curves.items()
+    ]
+    emit(
+        f"fig4_distributed25_{benchmark_name}",
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"Figure 4 ({benchmark_name}): 25 workers, mean error vs time, {TRIALS} trials",
+        )
+        + "\n"
+        + render_table(["method", "final mean", f"time to {good}"], rows)
+        + "\n\n"
+        + chart(curves, y_label="test error"),
+    )
+    final = {name: c.final_mean for name, c in curves.items()}
+    reach = {name: c.time_to_reach(good) for name, c in curves.items()}
+    time_r = spec.settings.max_resource
+    # ASHA reaches a good configuration within a small multiple of time(R).
+    assert reach["ASHA"] is not None
+    assert reach["ASHA"] < 4.0 * time_r
+    if benchmark_name == "cifar_smallcnn":
+        # Straggler-heavy benchmark: sync SHA is clearly slower than ASHA.
+        assert reach["SHA"] is None or reach["SHA"] > reach["ASHA"]
+
+
+def test_fig4_asha_throughput_claim(benchmark):
+    """"ASHA evaluated over 1000 configurations in just over 40 minutes
+    with 25 workers" — 40 minutes ~ time(R) in simulator units."""
+    spec = sequential_benchmarks()[
+        "cifar_convnet"
+    ]
+
+    def run():
+        factories = standard_methods(spec.settings, include=("ASHA",))
+        return run_trials(
+            "ASHA",
+            factories["ASHA"],
+            spec.make_objective,
+            num_workers=25,
+            time_limit=1.2 * spec.settings.max_resource,
+            seeds=[0],
+        )[0]
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    num_configs = len({m.trial_id for m in record.backend.measurements})
+    emit(
+        "fig4_asha_throughput",
+        f"ASHA configurations evaluated within 1.2 x time(R) on 25 workers: {num_configs}",
+    )
+    assert num_configs > 1000

@@ -1,0 +1,64 @@
+"""Figure 5: the large-scale benchmark — ASHA vs async Hyperband vs Vizier.
+
+500 simulated workers tune the PTB LSTM surrogate for 6 x time(R) with the
+Section 4.3 settings (``eta = 4, r = R/64``; async Hyperband loops brackets
+``s = 0..3``; Vizier trains every proposal to R, perplexities capped at
+1000).  Expected shape:
+
+* ASHA and async Hyperband find good configurations in ~1 x time(R);
+* Vizier produces nothing before 1 x time(R) (its first full trainings) and
+  stays behind for the rest of the run — the heavy-tailed perplexities
+  degrade its model;
+* async Hyperband initially lags ASHA slightly, then catches up.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import chart, curves_to_series, emit
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import figure5
+from repro.objectives import ptb_lstm
+
+TRIALS = 2  # paper: 5; each trial simulates ~200k jobs
+
+
+def test_fig5_vizier500(benchmark):
+    curves = benchmark.pedantic(
+        figure5, kwargs=dict(num_trials=TRIALS), rounds=1, iterations=1
+    )
+    grid, series = curves_to_series(curves)
+    time_r = ptb_lstm.R
+    thresholds = (85.0, 82.0)
+    rows = [
+        [name, round(c.final_mean, 2)] + [c.time_to_reach(t) for t in thresholds]
+        for name, c in curves.items()
+    ]
+    emit(
+        "fig5_vizier500",
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"Figure 5: 500 workers, PTB LSTM perplexity vs time ({TRIALS} trials)",
+        )
+        + "\n"
+        + render_table(
+            ["method", "final mean ppl"] + [f"time to {t}" for t in thresholds], rows
+        )
+        + "\n\n"
+        + chart(curves, y_label="perplexity"),
+    )
+    asha = curves["ASHA"]
+    hb = curves["Hyperband (Loop Brackets)"]
+    vizier = curves["Vizier"]
+    # ASHA reaches a good configuration within ~1.5 x time(R).
+    assert asha.time_to_reach(85.0) is not None
+    assert asha.time_to_reach(85.0) <= 1.5 * time_r
+    # Vizier cannot report anything before its first full training completes.
+    assert vizier.time_to_reach(1e9) >= time_r
+    # ASHA beats Vizier to the good region and at the end of the run.
+    assert asha.time_to_reach(82.0) < (vizier.time_to_reach(82.0) or float("inf"))
+    assert asha.final_mean <= vizier.final_mean + 0.5
+    # Async Hyperband tracks ASHA closely by the end (Section 4.3).
+    assert abs(hb.final_mean - asha.final_mean) < 2.0

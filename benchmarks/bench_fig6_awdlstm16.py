@@ -1,0 +1,45 @@
+"""Figure 6: ASHA vs PBT on the modern AWD-LSTM benchmark (16 workers).
+
+Section 4.3.1 settings: ASHA with ``eta = 4, r = 1, R = 256`` epochs; PBT
+with population 20, exploit/explore every 8 epochs.  Expected shape: PBT is
+competitive early (its whole population trains immediately at increasing
+fidelity) but ASHA finds a better final configuration, with a visible gap at
+the end of the run.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import chart, curves_to_series, emit
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import figure6
+
+TRIALS = 5
+
+
+def test_fig6_awdlstm16(benchmark):
+    curves = benchmark.pedantic(
+        figure6, kwargs=dict(num_trials=TRIALS), rounds=1, iterations=1
+    )
+    grid, series = curves_to_series(curves)
+    emit(
+        "fig6_awdlstm16",
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"Figure 6: AWD-LSTM on PTB, 16 workers ({TRIALS} trials)",
+        )
+        + "\n"
+        + render_table(
+            ["method", "final mean validation ppl"],
+            [[name, round(c.final_mean, 2)] for name, c in curves.items()],
+        )
+        + "\n\n"
+        + chart(curves, y_label="validation perplexity"),
+    )
+    asha, pbt = curves["ASHA"], curves["PBT"]
+    # ASHA ends better (paper: min/max ranges do not overlap at the end).
+    assert asha.final_mean < pbt.final_mean
+    # Final perplexities land in Figure 6's y-range.
+    assert 59.0 < asha.final_mean < 64.0

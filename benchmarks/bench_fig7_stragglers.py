@@ -1,0 +1,46 @@
+"""Figure 7 (Appendix A.1): completions under stragglers and dropped jobs.
+
+For each straggler standard deviation and drop probability, counts how many
+configurations each of ASHA and synchronous SHA trains to the full resource
+``R = 256`` within 2000 time units (``eta = 4, r = 1, n = 256``; the paper
+runs 25 simulations, we default to 10).  Expected shape: ASHA completes more
+configurations everywhere, and the gap widens with both straggler variance
+and drop probability.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.experiments.figures import figure7
+
+SIMS = 10
+
+
+def test_fig7_stragglers(benchmark):
+    rows = benchmark.pedantic(
+        figure7, kwargs=dict(num_sims=SIMS), rounds=1, iterations=1
+    )
+    emit(
+        "fig7_stragglers",
+        render_table(
+            ["method", "train std", "drop prob", "mean # trained to R", "std"],
+            [
+                [r["method"], r["train_std"], r["drop_prob"], round(r["mean_completed"], 2), round(r["std_completed"], 2)]
+                for r in rows
+            ],
+            title=f"Figure 7: configurations trained to R in 2000 time units ({SIMS} sims)",
+        ),
+    )
+    table = {(r["method"], r["train_std"], r["drop_prob"]): r["mean_completed"] for r in rows}
+    stds = sorted({r["train_std"] for r in rows})
+    probs = sorted({r["drop_prob"] for r in rows})
+    # ASHA >= SHA in every cell (allowing tiny simulation noise).
+    for std in stds:
+        for p in probs:
+            assert table[("ASHA", std, p)] >= table[("SHA", std, p)] - 1.0
+    # Drops hurt SHA more than ASHA at the harshest setting.
+    sha_drop = table[("SHA", stds[0], probs[0])] - table[("SHA", stds[0], probs[-1])]
+    asha_drop = table[("ASHA", stds[0], probs[0])] - table[("ASHA", stds[0], probs[-1])]
+    assert sha_drop > asha_drop - 1.0

@@ -1,0 +1,54 @@
+"""Figure 8 (Appendix A.1): time until the first configuration reaches R.
+
+Same simulated workload as Figure 7; measures how long each scheduler takes
+to train its first configuration to the full resource under stragglers and
+drops (censored at the 2000-unit budget).  Expected shape: ASHA's first
+completion is earlier, and the gap grows with straggler variance and drop
+probability — synchronous SHA's rung barriers wait for the slowest job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.experiments.figures import figure8
+
+SIMS = 10
+
+
+def test_fig8_first_completion(benchmark):
+    rows = benchmark.pedantic(
+        figure8, kwargs=dict(num_sims=SIMS), rounds=1, iterations=1
+    )
+    emit(
+        "fig8_first_completion",
+        render_table(
+            ["method", "train std", "drop prob", "mean time to first R", "std"],
+            [
+                [
+                    r["method"],
+                    r["train_std"],
+                    r["drop_prob"],
+                    round(r["mean_first_completion"], 1),
+                    round(r["std_first_completion"], 1),
+                ]
+                for r in rows
+            ],
+            title=f"Figure 8: time until first configuration trained to R ({SIMS} sims)",
+        ),
+    )
+    table = {
+        (r["method"], r["train_std"], r["drop_prob"]): r["mean_first_completion"]
+        for r in rows
+    }
+    stds = sorted({r["train_std"] for r in rows})
+    probs = sorted({r["drop_prob"] for r in rows})
+    # Averaged over the whole grid, ASHA is faster to the first completion.
+    asha_mean = np.mean([table[("ASHA", s, p)] for s in stds for p in probs])
+    sha_mean = np.mean([table[("SHA", s, p)] for s in stds for p in probs])
+    assert asha_mean < sha_mean
+    # At the harshest cell the gap is substantial.
+    worst = (stds[-1], probs[-1])
+    assert table[("ASHA", *worst)] < table[("SHA", *worst)] * 1.05

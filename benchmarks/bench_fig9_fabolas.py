@@ -1,0 +1,66 @@
+"""Figure 9 (Appendix A.2): Hyperband vs Fabolas vs Random, four benchmarks.
+
+Sequential comparison on: the two real synthetic-data SVM tasks ('vehicle'
+and 'mnist' stand-ins, resource = training datapoints) and the two CNN
+surrogates (CIFAR-10 cuda-convnet and SVHN small-CNN, resource = SGD
+iterations).  ``Hyperband (by rung)`` and ``Hyperband (by bracket)`` are the
+same runs under the two incumbent accounting schemes.  Expected shape:
+
+* Hyperband (by rung) is competitive with Fabolas and usually ends at least
+  as good, with lower variance;
+* Hyperband (by bracket) lags by-rung accounting early (it only reports at
+  bracket boundaries);
+* both beat random search.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _bench_utils import chart, curves_to_series, emit
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import FIGURE9_BENCHMARKS, figure9
+
+TRIALS = 3
+
+
+@pytest.mark.parametrize("benchmark_name", FIGURE9_BENCHMARKS)
+def test_fig9_fabolas(benchmark, benchmark_name):
+    curves = benchmark.pedantic(
+        figure9,
+        args=(benchmark_name,),
+        kwargs=dict(num_trials=TRIALS),
+        rounds=1,
+        iterations=1,
+    )
+    grid, series = curves_to_series(curves)
+    emit(
+        f"fig9_fabolas_{benchmark_name}",
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"Figure 9 ({benchmark_name}): test error vs time ({TRIALS} trials)",
+        )
+        + "\n"
+        + render_table(
+            ["method", "final mean error"],
+            [[name, round(c.final_mean, 4)] for name, c in curves.items()],
+        )
+        + "\n\n"
+        + chart(curves, y_label="test error"),
+    )
+    final = {name: c.final_mean for name, c in curves.items()}
+    # Hyperband (by rung) ends at least as well as random search.
+    assert final["Hyperband (by rung)"] <= final["Random"] + 0.01
+    # By-rung accounting reports earlier than by-bracket accounting.
+    rung_curve = curves["Hyperband (by rung)"]
+    bracket_curve = curves["Hyperband (by bracket)"]
+    first_rung = next(t for t, v in zip(rung_curve.grid, rung_curve.mean) if v < float("inf"))
+    first_bracket = next(
+        (t for t, v in zip(bracket_curve.grid, bracket_curve.mean) if v < float("inf")),
+        float("inf"),
+    )
+    assert first_rung <= first_bracket
+    # Hyperband (by rung) is competitive with Fabolas at the end.
+    assert final["Hyperband (by rung)"] <= final["Fabolas"] + 0.03

@@ -1,0 +1,68 @@
+"""Tables 1-3: the paper's search-space definitions, regenerated from code.
+
+The search spaces are code in this repository; this bench renders them back
+into the papers' table format and asserts the exact hyperparameter sets,
+types, and ranges.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.analysis import render_table
+from repro.objectives import cifar_smallcnn, ptb_awd_lstm, ptb_lstm
+from repro.searchspace import Choice, IntUniform, LogUniform, Uniform
+
+
+def describe(space):
+    rows = []
+    for name in space.names:
+        dom = space[name]
+        if isinstance(dom, Choice):
+            rows.append([name, "choice", str(list(dom.values))])
+        elif isinstance(dom, IntUniform):
+            rows.append([name, "discrete", f"[{dom.low}, {dom.high}]"])
+        elif isinstance(dom, LogUniform):
+            rows.append([name, "continuous log", f"[{dom.low:g}, {dom.high:g}]"])
+        elif isinstance(dom, Uniform):
+            rows.append([name, "continuous", f"[{dom.low:g}, {dom.high:g}]"])
+    return rows
+
+
+def test_table1_small_cnn_space(benchmark):
+    space = benchmark.pedantic(cifar_smallcnn.space, rounds=1, iterations=1)
+    rows = describe(space)
+    emit(
+        "table1_searchspace",
+        render_table(["hyperparameter", "type", "values"], rows, title="Table 1: small CNN"),
+    )
+    assert space.dim == 10
+    assert isinstance(space["learning_rate"], LogUniform)
+    assert space["learning_rate"].low == 1e-5 and space["learning_rate"].high == 10.0
+
+
+def test_table2_ptb_lstm_space(benchmark):
+    space = benchmark.pedantic(ptb_lstm.space, rounds=1, iterations=1)
+    rows = describe(space)
+    emit(
+        "table2_searchspace",
+        render_table(["hyperparameter", "type", "values"], rows, title="Table 2: PTB LSTM"),
+    )
+    assert space.dim == 9
+    assert space["hidden_nodes"].low == 200 and space["hidden_nodes"].high == 1500
+    assert space["batch_size"].low == 10 and space["batch_size"].high == 80
+    assert isinstance(space["decay_rate"], Uniform)
+
+
+def test_table3_awd_lstm_space(benchmark):
+    space = benchmark.pedantic(ptb_awd_lstm.space, rounds=1, iterations=1)
+    rows = describe(space)
+    emit(
+        "table3_searchspace",
+        render_table(["hyperparameter", "type", "values"], rows, title="Table 3: AWD-LSTM"),
+    )
+    assert space.dim == 9
+    assert space["learning_rate"].low == 10.0 and space["learning_rate"].high == 100.0
+    assert space["batch_size"].values == (15, 20, 25)
+    assert space["time_steps"].values == (65, 70, 75)
+    assert space["weight_decay"].low == 0.5e-6 and space["weight_decay"].high == 2e-6

@@ -1,0 +1,62 @@
+"""Compare every tuning method on one benchmark — a miniature Figure 3/4.
+
+Runs Random, SHA, Hyperband, PBT, ASHA, async Hyperband and BOHB on the
+CIFAR-10 cuda-convnet surrogate with 25 simulated workers, and prints mean
+incumbent error over time plus the time each method needs to reach a "good"
+configuration.
+
+Run:  python examples/compare_schedulers.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_series, render_table
+from repro.experiments.figures import sequential_benchmarks
+from repro.experiments.methods import standard_methods
+from repro.experiments.runner import aggregate_methods, run_trials
+
+NUM_WORKERS = 25
+NUM_TRIALS = 3
+GOOD_ERROR = 0.21
+
+
+def main() -> None:
+    spec = sequential_benchmarks(grow_brackets=True)["cifar_convnet"]
+    time_limit = 3.0 * spec.settings.max_resource  # 3 x time(R)
+
+    records = {}
+    for name, factory in standard_methods(spec.settings).items():
+        print(f"running {name} ...")
+        records[name] = run_trials(
+            name,
+            factory,
+            spec.make_objective,
+            num_workers=NUM_WORKERS,
+            time_limit=time_limit,
+            seeds=range(NUM_TRIALS),
+            straggler_std=0.25,
+        )
+    curves = aggregate_methods(records, time_limit=time_limit, grid_points=24)
+
+    grid = list(next(iter(curves.values())).grid)
+    series = {name: list(curve.mean.round(4)) for name, curve in curves.items()}
+    print()
+    print(
+        render_series(
+            grid,
+            series,
+            time_label="sim time",
+            title=f"{spec.name}: mean test error, {NUM_WORKERS} workers, {NUM_TRIALS} trials",
+            max_points=8,
+        )
+    )
+    print()
+    rows = [
+        [name, round(curve.final_mean, 4), curve.time_to_reach(GOOD_ERROR)]
+        for name, curve in sorted(curves.items(), key=lambda kv: kv[1].final_mean)
+    ]
+    print(render_table(["method", "final error", f"time to {GOOD_ERROR}"], rows))
+
+
+if __name__ == "__main__":
+    main()

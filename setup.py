@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs where the ``wheel`` package
+is unavailable (``pip install -e . --no-use-pep517 --no-build-isolation``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

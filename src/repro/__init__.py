@@ -1,0 +1,75 @@
+"""repro: a reproduction of "A System for Massively Parallel Hyperparameter
+Tuning" (Li et al., MLSys 2020) — ASHA, its lineage, its baselines, and the
+simulated distributed substrate its evaluation ran on.
+
+Quick start::
+
+    import numpy as np
+    from repro import ASHA, SimulatedCluster
+    from repro.objectives import mlp_real
+
+    objective = mlp_real.make_objective()
+    scheduler = ASHA(objective.space, np.random.default_rng(0),
+                     min_resource=1, max_resource=64, eta=4)
+    cluster = SimulatedCluster(num_workers=8)
+    result = cluster.run(scheduler, objective, time_limit=2000)
+    print(scheduler.best_trial().config)
+"""
+
+from . import analysis, backend, core, experiments, models, objectives, searchspace
+from .backend import SimulatedCluster, ThreadPoolBackend
+from .core import (
+    ASHA,
+    BOHB,
+    PBT,
+    AsyncBOHB,
+    AsyncHyperband,
+    DoublingSHA,
+    Fabolas,
+    Hyperband,
+    ParallelAsyncHyperband,
+    RandomSearch,
+    Scheduler,
+    SynchronousSHA,
+    VizierGP,
+)
+from .core import GridSearch
+from .searchspace import Choice, IntUniform, LogUniform, QUniform, SearchSpace, Uniform
+from .tune import FunctionObjective, TuneResult, tune
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASHA",
+    "AsyncBOHB",
+    "AsyncHyperband",
+    "BOHB",
+    "Choice",
+    "DoublingSHA",
+    "Fabolas",
+    "FunctionObjective",
+    "GridSearch",
+    "Hyperband",
+    "IntUniform",
+    "LogUniform",
+    "PBT",
+    "ParallelAsyncHyperband",
+    "QUniform",
+    "RandomSearch",
+    "Scheduler",
+    "SearchSpace",
+    "SimulatedCluster",
+    "SynchronousSHA",
+    "ThreadPoolBackend",
+    "TuneResult",
+    "Uniform",
+    "VizierGP",
+    "analysis",
+    "tune",
+    "backend",
+    "core",
+    "experiments",
+    "models",
+    "objectives",
+    "searchspace",
+]

@@ -1,0 +1,57 @@
+"""Result handling: incumbent traces, multi-seed aggregation, tables."""
+
+from .ascii_chart import render_chart, sparkline
+from .mispromotion import MispromotionStudy, mispromotion_curve, simulate_mispromotions
+from .serialize import (
+    curve_from_dict,
+    curve_to_dict,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    save_records,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .results import AggregateCurve, RunRecord, aggregate
+from .stats import (
+    MethodSummary,
+    bootstrap_ci,
+    final_values,
+    summarize,
+    time_to_target,
+    times_to_target,
+    win_matrix,
+)
+from .tables import format_value, render_series, render_table
+from .tracker import IncumbentTrace, trace_incumbent
+
+__all__ = [
+    "AggregateCurve",
+    "IncumbentTrace",
+    "MethodSummary",
+    "MispromotionStudy",
+    "RunRecord",
+    "aggregate",
+    "bootstrap_ci",
+    "curve_from_dict",
+    "curve_to_dict",
+    "format_value",
+    "load_records",
+    "record_from_dict",
+    "record_to_dict",
+    "render_chart",
+    "save_records",
+    "sparkline",
+    "trace_from_dict",
+    "trace_to_dict",
+    "mispromotion_curve",
+    "render_series",
+    "render_table",
+    "simulate_mispromotions",
+    "summarize",
+    "time_to_target",
+    "times_to_target",
+    "trace_incumbent",
+    "win_matrix",
+    "final_values",
+]

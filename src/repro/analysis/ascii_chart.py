@@ -1,0 +1,98 @@
+"""Terminal line charts for the figure benches.
+
+The paper's artefacts are mostly *curves*; tables alone hide crossovers.
+:func:`render_chart` draws aggregate curves as a fixed-grid ASCII plot —
+enough to eyeball "who wins and where the lines cross" straight from the
+bench output, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_chart", "sparkline"]
+
+_MARKS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a series (inf/nan rendered as spaces)."""
+    arr = np.asarray(list(values), dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if len(finite) == 0:
+        return " " * len(arr)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not math.isfinite(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_TICKS[3])
+        else:
+            out.append(_TICKS[min(int((v - lo) / span * (len(_TICKS) - 1)), len(_TICKS) - 1)])
+    return "".join(out)
+
+
+def render_chart(
+    grid: Sequence[float],
+    named_series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart; each series gets a letter marker.
+
+    Non-finite values (before a method's first report) are simply not
+    plotted.  The y-axis is linear between the finite min and max across all
+    series; ties on a cell show the *later-listed* series' marker.
+    """
+    if len(named_series) > len(_MARKS):
+        raise ValueError(f"too many series ({len(named_series)} > {len(_MARKS)})")
+    grid = np.asarray(list(grid), dtype=float)
+    all_vals = np.concatenate([np.asarray(list(s), dtype=float) for s in named_series.values()])
+    finite = all_vals[np.isfinite(all_vals)]
+    if len(finite) == 0:
+        return "(no finite data)"
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi == lo:
+        hi = lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    t_lo, t_hi = float(grid.min()), float(grid.max())
+    t_span = (t_hi - t_lo) or 1.0
+
+    for mark, (name, series) in zip(_MARKS, named_series.items()):
+        arr = np.asarray(list(series), dtype=float)
+        for t, v in zip(grid, arr):
+            if not math.isfinite(v):
+                continue
+            col = min(int((t - t_lo) / t_span * (width - 1)), width - 1)
+            row = min(int((hi - v) / (hi - lo) * (height - 1)), height - 1)
+            canvas[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{hi:>10.4g} |"
+        elif i == height - 1:
+            label = f"{lo:>10.4g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + " +" + "-" * width)
+    lines.append(" " * 12 + f"{t_lo:<12.6g}{'time':^{max(width - 24, 4)}}{t_hi:>12.6g}")
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, named_series.keys())
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Serialisation of experiment results to/from JSON.
+
+Long experiments (a 500-worker Figure-5 run simulates ~200k jobs) are worth
+persisting: these helpers round-trip :class:`~repro.analysis.results.RunRecord`
+and :class:`~repro.analysis.results.AggregateCurve` through plain-JSON
+documents so runs can be archived, diffed, and re-aggregated without
+re-simulating.  Only analysis-level data is stored — schedulers and backend
+internals are deliberately not pickled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from .results import AggregateCurve, RunRecord
+from .tracker import IncumbentTrace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "record_to_dict",
+    "record_from_dict",
+    "curve_to_dict",
+    "curve_from_dict",
+    "save_records",
+    "load_records",
+]
+
+
+def _clean(value: float) -> float | str:
+    """JSON has no inf/nan literals; encode them as strings."""
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return float(value)
+
+
+def _restore(value: Any) -> float:
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def trace_to_dict(trace: IncumbentTrace) -> dict:
+    return {
+        "times": [float(t) for t in trace.times],
+        "values": [_clean(v) for v in trace.values],
+        "trial_ids": list(trace.trial_ids),
+    }
+
+
+def trace_from_dict(data: dict) -> IncumbentTrace:
+    trace = IncumbentTrace()
+    for t, v, trial_id in zip(data["times"], data["values"], data["trial_ids"]):
+        trace.append(float(t), _restore(v), int(trial_id))
+    return trace
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    """Serialise a run record (the backend log is summarised, not stored)."""
+    out = {
+        "method": record.method,
+        "seed": record.seed,
+        "trace": trace_to_dict(record.trace),
+    }
+    if record.backend is not None:
+        out["summary"] = {
+            "jobs_dispatched": record.backend.jobs_dispatched,
+            "num_measurements": len(record.backend.measurements),
+            "num_completions": len(record.backend.completions),
+            "num_failures": len(record.backend.failures),
+            "elapsed": float(record.backend.elapsed),
+            "utilization": float(record.backend.utilization),
+        }
+    return out
+
+
+def record_from_dict(data: dict) -> RunRecord:
+    return RunRecord(
+        method=data["method"],
+        seed=int(data["seed"]),
+        trace=trace_from_dict(data["trace"]),
+        backend=None,
+    )
+
+
+def curve_to_dict(curve: AggregateCurve) -> dict:
+    return {
+        "method": curve.method,
+        "grid": [float(g) for g in curve.grid],
+        "mean": [_clean(v) for v in curve.mean],
+        "lo": [_clean(v) for v in curve.lo],
+        "hi": [_clean(v) for v in curve.hi],
+        "finals": [_clean(v) for v in curve.finals],
+    }
+
+
+def curve_from_dict(data: dict) -> AggregateCurve:
+    return AggregateCurve(
+        method=data["method"],
+        grid=np.array([float(g) for g in data["grid"]]),
+        mean=np.array([_restore(v) for v in data["mean"]]),
+        lo=np.array([_restore(v) for v in data["lo"]]),
+        hi=np.array([_restore(v) for v in data["hi"]]),
+        finals=[_restore(v) for v in data["finals"]],
+    )
+
+
+def save_records(path: str, records: list[RunRecord]) -> None:
+    """Write a list of run records to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump([record_to_dict(r) for r in records], fh, indent=1)
+
+
+def load_records(path: str) -> list[RunRecord]:
+    """Read run records back (backend logs are not restored)."""
+    with open(path) as fh:
+        return [record_from_dict(d) for d in json.load(fh)]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every figure/table bench prints its reproduced rows and series through
+these helpers, so the bench output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    grid: Sequence[float],
+    named_series: dict[str, Sequence[float]],
+    *,
+    time_label: str = "time",
+    title: str | None = None,
+    max_points: int = 12,
+) -> str:
+    """Render time series as a table, thinning the grid to ``max_points``."""
+    grid = list(grid)
+    if len(grid) > max_points:
+        idx = np.unique(np.linspace(0, len(grid) - 1, max_points).astype(int))
+    else:
+        idx = np.arange(len(grid))
+    headers = [time_label] + list(named_series)
+    rows = []
+    for i in idx:
+        rows.append([grid[i]] + [series[i] for series in named_series.values()])
+    return render_table(headers, rows, title=title)

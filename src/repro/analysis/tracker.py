@@ -1,0 +1,118 @@
+"""Incumbent-over-time tracking with the paper's accounting schemes.
+
+Appendix A.2 distinguishes two ways to credit progress to a tuner:
+
+* **by rung** — the incumbent may update after every completed rung/job,
+  using intermediate validation losses (what ASHA does natively,
+  Section 3.3, and what makes "Hyperband (by rung)" beat Fabolas);
+* **by bracket** — the incumbent only updates when a full SHA bracket
+  completes (the accounting Klein et al. used, "Hyperband (by bracket)").
+
+A trace is a right-continuous step function ``best value so far`` over
+backend time.  Traces can be re-evaluated through an offline-validation
+callback (e.g. the surrogate's noise-free loss, or "train the incumbent to
+R"), reproducing the paper's offline evaluation framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..backend.trial_runner import BackendResult
+from ..core.scheduler import Scheduler
+from ..core.types import Config
+
+__all__ = ["IncumbentTrace", "trace_incumbent"]
+
+
+@dataclass
+class IncumbentTrace:
+    """A step function of the best-so-far value over time."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    #: Parallel record of which trial held the incumbency.
+    trial_ids: list[int] = field(default_factory=list)
+
+    def append(self, time: float, value: float, trial_id: int) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(f"times must be nondecreasing, got {time} after {self.times[-1]}")
+        self.times.append(time)
+        self.values.append(value)
+        self.trial_ids.append(trial_id)
+
+    def value_at(self, time: float) -> float:
+        """Best value achieved at or before ``time`` (inf before the first)."""
+        idx = np.searchsorted(self.times, time, side="right") - 1
+        if idx < 0:
+            return float("inf")
+        return self.values[idx]
+
+    def resample(self, grid: np.ndarray) -> np.ndarray:
+        """Evaluate the step function on a time grid (vectorised)."""
+        if not self.times:
+            return np.full(len(grid), np.inf)
+        idx = np.searchsorted(self.times, grid, side="right") - 1
+        values = np.asarray(self.values)
+        out = np.where(idx >= 0, values[np.maximum(idx, 0)], np.inf)
+        return out
+
+    @property
+    def final(self) -> float:
+        return self.values[-1] if self.values else float("inf")
+
+
+def trace_incumbent(
+    result: BackendResult,
+    scheduler: Scheduler,
+    *,
+    accounting: str = "by_rung",
+    evaluate: Callable[[Config, float], float] | None = None,
+) -> IncumbentTrace:
+    """Build the incumbent trace from a backend result.
+
+    Parameters
+    ----------
+    accounting:
+        ``"by_rung"`` updates on every measurement; ``"by_bracket"`` only
+        when the scheduler's completed-bracket counter advances (schedulers
+        without one degrade to never updating until the end, which is
+        faithful: a bare SHA bracket reports once).
+    evaluate:
+        Optional offline validation ``(config, resource) -> value``; when
+        given, the trace holds the evaluated value of the incumbent instead
+        of its raw observed loss.
+    """
+    if accounting not in ("by_rung", "by_bracket"):
+        raise ValueError(f"unknown accounting scheme {accounting!r}")
+    trace = IncumbentTrace()
+    best_loss = float("inf")
+    best_key: tuple[int, float] | None = None
+    last_brackets = 0
+    for i, m in enumerate(result.measurements):
+        is_nan = m.loss != m.loss
+        if not is_nan and m.loss < best_loss:
+            best_loss = m.loss
+            best_key = (m.trial_id, m.resource)
+            changed = True
+        else:
+            changed = False
+        if accounting == "by_bracket":
+            snapshot = result.bracket_snapshots[i]
+            if snapshot is None or snapshot <= last_brackets:
+                continue
+            last_brackets = snapshot
+        elif not changed:
+            continue
+        if best_key is None:
+            continue
+        trial_id, resource = best_key
+        if evaluate is not None:
+            value = evaluate(scheduler.trials[trial_id].config, resource)
+        else:
+            value = best_loss
+        trace.append(m.time, value, trial_id)
+    return trace

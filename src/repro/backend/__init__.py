@@ -1,0 +1,16 @@
+"""Execution substrates: simulated cluster, real thread pool, checkpoints."""
+
+from .checkpoint import CheckpointStore
+from .events import EventQueue, SimEvent
+from .simulation import SimulatedCluster
+from .threaded import ThreadPoolBackend
+from .trial_runner import BackendResult
+
+__all__ = [
+    "BackendResult",
+    "CheckpointStore",
+    "EventQueue",
+    "SimEvent",
+    "SimulatedCluster",
+    "ThreadPoolBackend",
+]

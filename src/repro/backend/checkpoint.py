@@ -1,0 +1,114 @@
+"""Checkpoint store: per-trial training state shared by the backends.
+
+Section 3.2 notes that "when training is iterative, ASHA can return an
+answer in time(R), since incrementally trained configurations can be
+checkpointed and resumed."  The store maps a trial id to its latest
+``(resource, state)`` pair and implements the three resume semantics jobs
+can request:
+
+* resume from the trial's own checkpoint (``job.checkpoint_resource > 0``);
+* start from scratch (``checkpoint_resource == 0``);
+* inherit another trial's checkpoint (``job.inherit_from`` — PBT's exploit).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from ..core.types import Config, Job
+from ..objectives.base import Objective
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """In-memory map of trial id -> (resource, opaque training state)."""
+
+    def __init__(self) -> None:
+        self._store: dict[int, tuple[float, Any]] = {}
+        # Donor-state snapshots taken at dispatch time, keyed by job id: PBT
+        # copies weights when the exploit job launches, and the donor may
+        # train further before the clone's job completes.
+        self._snapshots: dict[int, tuple[float, Any]] = {}
+
+    def __contains__(self, trial_id: int) -> bool:
+        return trial_id in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def resource_of(self, trial_id: int) -> float:
+        return self._store[trial_id][0]
+
+    def prepare(self, job: Job) -> None:
+        """Snapshot donor state at dispatch (call before the job starts).
+
+        Only meaningful for inheriting jobs; a no-op otherwise.  Backends
+        call this when the job is handed to a worker so that the clone copies
+        the donor's weights *as of the exploit decision*, not as of whenever
+        the clone's training happens to finish.
+        """
+        if job.inherit_from is None:
+            return
+        if job.inherit_from not in self._store:
+            raise KeyError(
+                f"job {job.job_id} inherits from trial {job.inherit_from}, "
+                "which has no checkpoint"
+            )
+        resource, state = self._store[job.inherit_from]
+        self._snapshots[job.job_id] = (resource, copy.deepcopy(state))
+
+    def starting_state(self, job: Job, objective: Objective) -> tuple[float, Any]:
+        """Resolve the (resource, state) a job should begin training from."""
+        if job.inherit_from is not None:
+            snapshot = self._snapshots.pop(job.job_id, None)
+            if snapshot is not None:
+                return snapshot
+            if job.inherit_from not in self._store:
+                raise KeyError(
+                    f"job {job.job_id} inherits from trial {job.inherit_from}, "
+                    "which has no checkpoint"
+                )
+            resource, state = self._store[job.inherit_from]
+            return resource, copy.deepcopy(state)
+        if job.checkpoint_resource > 0:
+            if job.trial_id not in self._store:
+                raise KeyError(
+                    f"job {job.job_id} resumes trial {job.trial_id} at resource "
+                    f"{job.checkpoint_resource}, but no checkpoint exists"
+                )
+            resource, state = self._store[job.trial_id]
+            return resource, state
+        return 0.0, objective.initial_state(job.config)
+
+    def run_job(self, job: Job, objective: Objective) -> float:
+        """Execute a job's training increment and persist the new checkpoint.
+
+        Returns the validation loss at ``job.resource``.
+        """
+        from_resource, state = self.starting_state(job, objective)
+        state, loss = objective.train(state, job.config, from_resource, job.resource)
+        self._store[job.trial_id] = (job.resource, state)
+        return loss
+
+    def job_cost(self, job: Job, objective: Objective) -> float:
+        """Simulated duration of a job under the objective's cost model."""
+        if job.inherit_from is not None:
+            if job.job_id in self._snapshots:
+                start = self._snapshots[job.job_id][0]
+            elif job.inherit_from in self._store:
+                start = self._store[job.inherit_from][0]
+            else:
+                start = job.checkpoint_resource
+        else:
+            start = job.checkpoint_resource
+        return objective.cost(job.config, start, job.resource)
+
+    def discard(self, job: Job) -> None:
+        """Drop any dispatch snapshot for a job that will never complete."""
+        self._snapshots.pop(job.job_id, None)
+
+    def evict(self, trial_id: int) -> None:
+        """Drop a trial's checkpoint (memory hygiene for long runs)."""
+        self._store.pop(trial_id, None)

@@ -1,0 +1,235 @@
+"""The simulated distributed cluster the evaluation runs on.
+
+The paper's experiments ran on 16-500 real workers; scheduler behaviour,
+however, depends only on the *ordering and timing* of job completions, so a
+discrete-event simulation reproduces it exactly (the paper itself evaluates
+straggler/drop robustness with simulated workloads in Appendix A.1).  The
+simulator models:
+
+* ``num_workers`` identical workers pulling jobs from the scheduler whenever
+  they are free;
+* **stragglers**: each job's duration is its objective-model cost multiplied
+  by ``(1 + |z|)``, ``z ~ N(0, straggler_std)`` — the paper's model;
+* **dropped jobs**: "a given p probability that a job will be dropped at
+  each time unit", i.e. geometric drop times; a job of duration T survives
+  with probability ``(1 - p)**T``;
+* **checkpointed resume** through :class:`~repro.backend.checkpoint.CheckpointStore`.
+
+A worker that receives no job stays idle and is re-polled after the next
+event — synchronous schedulers therefore waste exactly the worker-time their
+rung barriers imply, with no simulation artefacts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.scheduler import Scheduler
+from ..core.types import Job
+from ..objectives.base import Objective
+from .checkpoint import CheckpointStore
+from .events import EventQueue
+from .trial_runner import BackendResult, record_report
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """Discrete-event cluster executing one hyperparameter search.
+
+    Parameters
+    ----------
+    num_workers:
+        Parallel workers (1 reproduces the sequential setting of Section 4.1).
+    straggler_std:
+        Standard deviation of the ``(1 + |z|)`` duration multiplier; 0
+        disables stragglers.
+    drop_probability:
+        Per-time-unit probability a running job is dropped.
+    churn_rate:
+        Expected worker-failure events per time unit across the cluster:
+        at exponential intervals a worker dies — killing its in-flight job
+        (reported to the scheduler as a failure) — and rejoins after
+        ``churn_downtime``.  0 disables churn.
+    churn_downtime:
+        How long a churned worker stays away before rejoining.
+    seed:
+        Seed for the cluster's own randomness (stragglers/drops) — kept
+        separate from the scheduler's RNG so the same search can be replayed
+        under different failure conditions.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        straggler_std: float = 0.0,
+        drop_probability: float = 0.0,
+        churn_rate: float = 0.0,
+        churn_downtime: float = 0.0,
+        seed: int = 0,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if straggler_std < 0:
+            raise ValueError(f"straggler_std must be >= 0, got {straggler_std}")
+        if not 0 <= drop_probability < 1:
+            raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability}")
+        if churn_rate < 0 or churn_downtime < 0:
+            raise ValueError("churn_rate and churn_downtime must be >= 0")
+        self.num_workers = num_workers
+        self.straggler_std = straggler_std
+        self.drop_probability = drop_probability
+        self.churn_rate = churn_rate
+        self.churn_downtime = churn_downtime
+        self.rng = np.random.default_rng(seed)
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        scheduler: Scheduler,
+        objective: Objective,
+        *,
+        time_limit: float,
+        max_resource: float | None = None,
+        max_measurements: int | None = None,
+        stop_on_first_completion: bool = False,
+    ) -> BackendResult:
+        """Drive ``scheduler`` against ``objective`` until the clock runs out.
+
+        Parameters
+        ----------
+        time_limit:
+            Simulated-time budget; jobs finishing after it are discarded.
+        max_resource:
+            Resource counting as "trained to completion" for the
+            :attr:`BackendResult.completions` log (defaults to the
+            objective's ``max_resource``).
+        max_measurements:
+            Optional hard cap on reported results (guards runaway tests).
+        stop_on_first_completion:
+            End the simulation at the first max-resource completion (the
+            Figure 8 "time until first configuration trained for R" metric).
+        """
+        if time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {time_limit}")
+        done_resource = max_resource if max_resource is not None else objective.max_resource
+        queue = EventQueue()
+        store = CheckpointStore()
+        result = BackendResult()
+        free_workers = self.num_workers
+        busy_time = 0.0
+        # In-flight jobs (for churn victims) and jobs whose scheduled
+        # completion/drop event must be ignored because churn killed them.
+        in_flight: dict[int, Job] = {}
+        cancelled: set[int] = set()
+
+        def schedule_churn() -> None:
+            if self.churn_rate > 0:
+                gap = float(self.rng.exponential(1.0 / self.churn_rate))
+                queue.push(queue.clock + gap, "churn", None)
+
+        def try_fill() -> int:
+            nonlocal free_workers, busy_time
+            filled = 0
+            while free_workers > 0 and not scheduler.is_done():
+                job = scheduler.next_job()
+                if job is None:
+                    break
+                free_workers -= 1
+                filled += 1
+                result.jobs_dispatched += 1
+                in_flight[job.job_id] = job
+                store.prepare(job)  # snapshot donor state for inheriting jobs
+                duration = self._duration(store.job_cost(job, objective))
+                drop_at = self._drop_time(duration)
+                if drop_at is not None:
+                    queue.push(queue.clock + drop_at, "drop", job)
+                    busy_time += min(drop_at, max(time_limit - queue.clock, 0.0))
+                else:
+                    queue.push(queue.clock + duration, "complete", job)
+                    busy_time += min(duration, max(time_limit - queue.clock, 0.0))
+            return filled
+
+        try_fill()
+        schedule_churn()
+        while queue:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > time_limit:
+                break
+            event = queue.pop()
+            if event.kind == "churn":
+                if in_flight:
+                    # Kill a random busy worker: its job fails.
+                    victim_id = list(in_flight)[self.rng.integers(len(in_flight))]
+                    victim = in_flight.pop(victim_id)
+                    cancelled.add(victim_id)
+                    store.discard(victim)
+                    scheduler.on_job_failed(victim)
+                    result.failures.append((queue.clock, victim.trial_id))
+                elif free_workers > 0:
+                    free_workers -= 1  # an idle worker goes away instead
+                queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
+                schedule_churn()
+                try_fill()
+                continue
+            if event.kind == "rejoin":
+                free_workers += 1
+                try_fill()
+                continue
+            job: Job = event.payload
+            if job.job_id in cancelled:
+                cancelled.discard(job.job_id)
+                continue  # the worker already churned away; no worker frees
+            in_flight.pop(job.job_id, None)
+            free_workers += 1
+            if event.kind == "complete":
+                loss = store.run_job(job, objective)
+                record_report(result, scheduler, job, loss, queue.clock, done_resource)
+            else:  # drop
+                store.discard(job)
+                scheduler.on_job_failed(job)
+                result.failures.append((queue.clock, job.trial_id))
+            if max_measurements is not None and len(result.measurements) >= max_measurements:
+                break
+            if stop_on_first_completion and result.completions:
+                break
+            try_fill()
+
+        # If we stopped because the next event lies beyond the budget, the
+        # search consumed the whole budget; otherwise it drained early.
+        result.elapsed = time_limit if queue else min(queue.clock, time_limit)
+        horizon = max(result.elapsed, 1e-12)
+        result.utilization = min(busy_time / (self.num_workers * horizon), 1.0)
+        return result
+
+    # ------------------------------------------------------------ physics
+
+    def _duration(self, cost: float) -> float:
+        """Job duration: cost stretched by the straggler multiplier."""
+        if cost <= 0:
+            return 1e-9  # zero-cost jobs still take an instant, keeping event order sane
+        if self.straggler_std == 0:
+            return cost
+        z = self.rng.normal(0.0, self.straggler_std)
+        return cost * (1.0 + abs(z))
+
+    def _drop_time(self, duration: float) -> float | None:
+        """Geometric drop time, or ``None`` if the job survives.
+
+        A job running for ``duration`` time units survives with probability
+        ``(1 - p)**duration``; conditional on dropping, the drop time is the
+        (continuous) geometric first-failure time.
+        """
+        if self.drop_probability == 0:
+            return None
+        u = self.rng.random()
+        survive = (1.0 - self.drop_probability) ** duration
+        if u < survive:
+            return None
+        # Invert the continuous survival function at u (u >= survive here).
+        t = math.log(u) / math.log(1.0 - self.drop_probability)
+        return min(max(t, 1e-9), duration)

@@ -1,0 +1,67 @@
+"""Shared backend plumbing: the result record and the report path.
+
+Every backend produces a :class:`BackendResult` — the chronological stream
+of measurements plus bookkeeping the analysis layer needs (completions at
+the maximum resource for Appendix A.1, worker utilisation for the wall-clock
+claims of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.scheduler import Scheduler
+from ..core.types import Job, Measurement
+
+__all__ = ["BackendResult", "record_report"]
+
+
+@dataclass
+class BackendResult:
+    """Everything observed while a backend drove one search."""
+
+    measurements: list[Measurement] = field(default_factory=list)
+    #: (time, trial_id) for every job finishing at resource >= max_resource.
+    completions: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, trial_id) for every dropped/failed job.
+    failures: list[tuple[float, int]] = field(default_factory=list)
+    #: completed-bracket counter snapshots, parallel to ``measurements``
+    #: (None for schedulers without the notion) — Appendix A.2 accounting.
+    bracket_snapshots: list[int | None] = field(default_factory=list)
+    #: Final backend clock.
+    elapsed: float = 0.0
+    #: Total busy worker-time divided by (workers x elapsed).
+    utilization: float = 0.0
+    #: Jobs dispatched (including dropped ones).
+    jobs_dispatched: int = 0
+
+    def first_completion_time(self) -> float | None:
+        """Clock time of the first job finishing at the max resource."""
+        return self.completions[0][0] if self.completions else None
+
+    def num_completions(self, by_time: float | None = None) -> int:
+        """How many max-resource completions happened by ``by_time``."""
+        if by_time is None:
+            return len(self.completions)
+        return sum(1 for t, _ in self.completions if t <= by_time)
+
+
+def record_report(
+    result: BackendResult,
+    scheduler: Scheduler,
+    job: Job,
+    loss: float,
+    time: float,
+    max_resource: float | None,
+) -> None:
+    """Deliver a completed job's loss to the scheduler and log it.
+
+    The scheduler records the measurement on the trial itself (see
+    ``Scheduler.note_result``); the backend keeps its own timestamped log.
+    """
+    measurement = Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss, time=time)
+    scheduler.report(job, loss)
+    result.measurements.append(measurement)
+    result.bracket_snapshots.append(getattr(scheduler, "completed_brackets", None))
+    if max_resource is not None and job.resource >= max_resource:
+        result.completions.append((time, job.trial_id))

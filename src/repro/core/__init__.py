@@ -1,0 +1,57 @@
+"""Tuning algorithms: ASHA and everything the paper compares it against."""
+
+from .asha import ASHA
+from .async_hyperband import AsyncHyperband
+from .bohb import AsyncBOHB, BOHB
+from .bracket import Bracket, sha_rung_schedule
+from .contract import ContractChecker, ContractViolation
+from .doubling import DoublingSHA
+from .fabolas import Fabolas
+from .grid_search import GridSearch
+from .hyperband import Hyperband, hyperband_bracket_sizes
+from .parallel_hyperband import ParallelAsyncHyperband
+from .pbt import PBT
+from .random_search import RandomSearch
+from .rung import Rung
+from .scheduler import Scheduler
+from .sha import SynchronousSHA
+from .stopping import (
+    CurveExtrapolationRule,
+    MedianStoppingRule,
+    StoppingRule,
+    StoppingWrapper,
+)
+from .types import Config, Job, Measurement, Trial, TrialStatus
+from .vizier import VizierGP
+
+__all__ = [
+    "ASHA",
+    "AsyncBOHB",
+    "AsyncHyperband",
+    "BOHB",
+    "Bracket",
+    "Config",
+    "ContractChecker",
+    "ContractViolation",
+    "CurveExtrapolationRule",
+    "DoublingSHA",
+    "Fabolas",
+    "GridSearch",
+    "Hyperband",
+    "Job",
+    "Measurement",
+    "MedianStoppingRule",
+    "PBT",
+    "ParallelAsyncHyperband",
+    "RandomSearch",
+    "Rung",
+    "Scheduler",
+    "StoppingRule",
+    "StoppingWrapper",
+    "SynchronousSHA",
+    "Trial",
+    "TrialStatus",
+    "VizierGP",
+    "hyperband_bracket_sizes",
+    "sha_rung_schedule",
+]

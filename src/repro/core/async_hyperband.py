@@ -1,0 +1,120 @@
+"""Asynchronous Hyperband: loop ASHA brackets over early-stopping rates.
+
+Section 3.2: "we can asynchronously parallelize Hyperband by either running
+multiple brackets of ASHA or looping through brackets of ASHA sequentially as
+is done in the original Hyperband. We employ the latter looping scheme."
+
+Section 4.1 adds the switching rule: brackets are switched "when a budget
+corresponding to a hypothetical bracket of SHA would be depleted."  We track
+the resource dispatched into the current ASHA bracket and move to the next
+early-stopping rate once it reaches the total budget a synchronous SHA
+bracket with ``n_s`` configurations would have consumed.  Unlike the
+synchronous version there is no barrier: switching happens mid-flight, and
+results for earlier brackets keep arriving and keep triggering promotions
+within their own rung ladders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .asha import ASHA
+from .bracket import Bracket
+from .hyperband import hyperband_bracket_sizes
+from .scheduler import Scheduler
+from .types import Job
+
+__all__ = ["AsyncHyperband"]
+
+
+class AsyncHyperband(Scheduler):
+    """Loop through ASHA brackets ``s = 0, ..., s_max`` by budget depletion.
+
+    Parameters
+    ----------
+    min_resource, max_resource, eta:
+        Geometry shared by every bracket (finite horizon required).
+    brackets:
+        How many early-stopping rates to loop over, starting at ``s = 0``;
+        defaults to all ``s_max + 1`` rates.  Section 4.3 loops
+        ``s = 0, 1, 2, 3``.
+    from_checkpoint:
+        Whether promotions resume from checkpoints.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        min_resource: float,
+        max_resource: float,
+        eta: int = 4,
+        brackets: int | None = None,
+        from_checkpoint: bool = True,
+    ):
+        super().__init__(space, rng)
+        if max_resource is None:
+            raise ValueError("AsyncHyperband requires a finite max_resource")
+        sizes = hyperband_bracket_sizes(min_resource, max_resource, eta)
+        if brackets is not None:
+            if not 1 <= brackets <= len(sizes):
+                raise ValueError(f"brackets must be in [1, {len(sizes)}], got {brackets}")
+            sizes = sizes[:brackets]
+        self.eta = eta
+        self._ashas: list[ASHA] = []
+        self._budgets: list[float] = []
+        for s, n_s in enumerate(sizes):
+            asha = ASHA(
+                space,
+                rng,
+                min_resource=min_resource,
+                max_resource=max_resource,
+                eta=eta,
+                early_stopping_rate=s,
+                from_checkpoint=from_checkpoint,
+            )
+            # Share the trial table / id allocators for globally unique ids.
+            asha.trials = self.trials
+            asha._trial_ids = self._trial_ids
+            asha._job_ids = self._job_ids
+            self._ashas.append(asha)
+            geometry = Bracket(min_resource, max_resource, eta, s)
+            self._budgets.append(geometry.total_budget(n_s))
+        self._current = 0
+        self._spent = 0.0
+        self._bracket_of_trial: dict[int, int] = {}
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        job = self._ashas[self._current].next_job()
+        if job is None:  # only possible for trial-capped ASHA; not used here
+            return None
+        self._bracket_of_trial.setdefault(job.trial_id, self._current)
+        owner = self._bracket_of_trial[job.trial_id]
+        self._spent += job.delta_resource
+        if self._spent >= self._budgets[self._current]:
+            self._current = (self._current + 1) % len(self._ashas)
+            self._spent = 0.0
+        return dataclasses.replace(job, bracket=owner)
+
+    def report(self, job: Job, loss: float) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].report(job, loss)
+
+    def on_job_failed(self, job: Job) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].on_job_failed(job)
+
+    # ------------------------------------------------------------ insight
+
+    @property
+    def current_bracket(self) -> int:
+        """Early-stopping rate of the bracket currently receiving budget."""
+        return self._current
+
+    def rung_sizes(self) -> list[list[int]]:
+        """Rung occupancy per bracket (diagnostics)."""
+        return [a.rung_sizes() for a in self._ashas]

@@ -1,0 +1,117 @@
+"""BOHB [Falkner et al., 2018]: synchronous SHA + model-based sampling.
+
+"BOHB uses SHA to perform early-stopping and differs only in how
+configurations are sampled; while SHA uses random sampling, BOHB uses
+Bayesian optimization to adaptively sample new configurations"
+(Section 4.1).  Following the original, one TPE-style KDE model is kept per
+rung ("budget") and proposals come from the model of the *highest* rung that
+has enough observations; a fixed fraction of proposals stays uniformly
+random.
+
+Two variants are provided:
+
+* :class:`BOHB` — the paper's comparator: synchronous SHA promotion (and
+  therefore the same straggler sensitivity, which is why ASHA beats it on
+  benchmark 2 in Section 4.2).
+* :class:`AsyncBOHB` — an extension the paper's conclusion gestures at
+  ("combining ASHA with adaptive selection methods"): the identical sampler
+  plugged into ASHA's asynchronous promotion scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.kde import TPESampler
+from ..searchspace import SearchSpace, UnitCubeEncoder
+from .asha import ASHA
+from .sha import SynchronousSHA
+from .types import Config, Job
+
+__all__ = ["BOHB", "AsyncBOHB"]
+
+
+class _RungModels:
+    """Per-rung TPE models + highest-ready-rung proposal rule (shared logic)."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        gamma: float,
+        num_candidates: int,
+        random_fraction: float,
+    ):
+        self.encoder = UnitCubeEncoder(space)
+        self.gamma = gamma
+        self.num_candidates = num_candidates
+        self.random_fraction = random_fraction
+        self.models: dict[int, TPESampler] = {}
+
+    def observe(self, rung: int, config: Config, loss: float) -> None:
+        model = self.models.get(rung)
+        if model is None:
+            model = self.models[rung] = TPESampler(
+                self.encoder.dim,
+                gamma=self.gamma,
+                num_candidates=self.num_candidates,
+                random_fraction=self.random_fraction,
+            )
+        model.observe(self.encoder.encode(config), loss)
+
+    def propose(self, rng: np.random.Generator) -> Config:
+        for rung in sorted(self.models, reverse=True):
+            if self.models[rung].model_ready():
+                return self.encoder.decode(self.models[rung].propose(rng))
+        return self.encoder.decode(rng.random(self.encoder.dim))
+
+
+class BOHB(SynchronousSHA):
+    """Synchronous SHA with TPE-style adaptive sampling.
+
+    Accepts every :class:`~repro.core.sha.SynchronousSHA` parameter plus the
+    sampler knobs below.  Run "with default settings and the same eta and
+    early-stopping rate as ASHA" to match Section 4.2.
+
+    Parameters
+    ----------
+    gamma, num_candidates, random_fraction:
+        See :class:`repro.models.kde.TPESampler` (BOHB defaults).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        gamma: float = 0.15,
+        num_candidates: int = 24,
+        random_fraction: float = 1.0 / 3.0,
+        **sha_kwargs,
+    ):
+        self._models = _RungModels(space, gamma, num_candidates, random_fraction)
+        super().__init__(space, rng, sampler=self._models.propose, **sha_kwargs)
+
+    def report(self, job: Job, loss: float) -> None:
+        self._models.observe(job.rung, job.config, loss)
+        super().report(job, loss)
+
+
+class AsyncBOHB(ASHA):
+    """ASHA promotion + BOHB sampling (the paper's future-work combination)."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        gamma: float = 0.15,
+        num_candidates: int = 24,
+        random_fraction: float = 1.0 / 3.0,
+        **asha_kwargs,
+    ):
+        self._models = _RungModels(space, gamma, num_candidates, random_fraction)
+        super().__init__(space, rng, sampler=self._models.propose, **asha_kwargs)
+
+    def report(self, job: Job, loss: float) -> None:
+        self._models.observe(job.rung, job.config, loss)
+        super().report(job, loss)

@@ -1,0 +1,185 @@
+"""Brackets: ladders of rungs parameterised by (r, R, eta, s).
+
+A bracket fixes an early-stopping rate ``s`` and derives the rung geometry of
+Algorithm 1 / Figure 1:
+
+* ``s_max = floor(log_eta(R / r))``
+* rung ``i`` (0-based) trains to cumulative resource ``r_i = r * eta**(i+s)``
+* there are ``s_max - s + 1`` rungs, the top rung training to
+  ``r * eta**s_max <= R``.
+
+The same geometry object serves synchronous SHA, ASHA, both Hyperband
+variants, and BOHB.  The infinite-horizon variant of ASHA (Section 3.3) is a
+bracket with ``max_resource=None``: rungs are materialised on demand and
+promotion is never capped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .rung import Rung
+
+__all__ = ["Bracket", "sha_rung_schedule"]
+
+
+class Bracket:
+    """Rung ladder for one early-stopping rate.
+
+    Parameters
+    ----------
+    min_resource:
+        ``r``, the paper's minimum resource per configuration.
+    max_resource:
+        ``R``; ``None`` selects the infinite-horizon setting where the rung
+        ladder grows without bound.
+    eta:
+        Reduction factor (``eta >= 2``).
+    early_stopping_rate:
+        ``s``; the base rung trains to ``r * eta**s``, so larger ``s`` means
+        less aggressive early stopping.
+    """
+
+    def __init__(
+        self,
+        min_resource: float,
+        max_resource: float | None,
+        eta: int,
+        early_stopping_rate: int = 0,
+    ):
+        if min_resource <= 0:
+            raise ValueError(f"min_resource must be positive, got {min_resource}")
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if early_stopping_rate < 0:
+            raise ValueError(f"early_stopping_rate must be >= 0, got {early_stopping_rate}")
+        if max_resource is not None:
+            if max_resource < min_resource:
+                raise ValueError(
+                    f"max_resource ({max_resource}) must be >= min_resource ({min_resource})"
+                )
+            s_max = int(math.floor(round(math.log(max_resource / min_resource, eta), 10)))
+            if early_stopping_rate > s_max:
+                raise ValueError(
+                    f"early_stopping_rate ({early_stopping_rate}) exceeds s_max ({s_max})"
+                )
+        self.min_resource = min_resource
+        self.max_resource = max_resource
+        self.eta = eta
+        self.s = early_stopping_rate
+        self._rungs: list[Rung] = []
+        # Materialise the full ladder up front in the finite horizon so that
+        # num_rungs is well-defined; infinite horizon grows on demand.
+        if max_resource is not None:
+            for i in range(self.num_rungs):
+                self._rungs.append(Rung(index=i, resource=self.rung_resource(i)))
+
+    # ----------------------------------------------------------- geometry
+
+    @property
+    def s_max(self) -> int:
+        """``floor(log_eta(R / r))``; raises in the infinite horizon."""
+        if self.max_resource is None:
+            raise ValueError("s_max undefined for the infinite horizon")
+        return int(math.floor(round(math.log(self.max_resource / self.min_resource, self.eta), 10)))
+
+    @property
+    def num_rungs(self) -> int:
+        """Number of rungs; raises in the infinite horizon."""
+        return self.s_max - self.s + 1
+
+    @property
+    def top_rung_index(self) -> int | None:
+        """Index of the final rung, or ``None`` in the infinite horizon."""
+        if self.max_resource is None:
+            return None
+        return self.num_rungs - 1
+
+    def rung_resource(self, i: int) -> float:
+        """Cumulative resource for rung ``i``: ``r * eta**(i+s)``."""
+        if i < 0:
+            raise ValueError(f"rung index must be >= 0, got {i}")
+        return self.min_resource * self.eta ** (i + self.s)
+
+    def rung(self, i: int) -> Rung:
+        """The :class:`Rung` at index ``i``, created on demand if infinite."""
+        if self.max_resource is not None and i >= self.num_rungs:
+            raise IndexError(f"rung {i} out of range for {self.num_rungs}-rung bracket")
+        while len(self._rungs) <= i:
+            self._rungs.append(Rung(index=len(self._rungs), resource=self.rung_resource(len(self._rungs))))
+        return self._rungs[i]
+
+    @property
+    def rungs(self) -> list[Rung]:
+        """All rungs materialised so far (all rungs, in the finite horizon)."""
+        return list(self._rungs)
+
+    def __iter__(self) -> Iterator[Rung]:
+        return iter(self._rungs)
+
+    # ---------------------------------------------------------- promotion
+
+    def record(self, rung_index: int, trial_id: int, loss: float) -> None:
+        """File a result into rung ``rung_index``."""
+        self.rung(rung_index).record(trial_id, loss)
+
+    def find_promotion(self) -> tuple[int, int] | None:
+        """ASHA's promotion scan (Algorithm 2, lines 13-19).
+
+        Scans rungs from the highest promotable one down to the base rung and
+        returns ``(trial_id, target_rung)`` for the best promotable
+        configuration found, or ``None`` if no promotion is possible.  In the
+        finite horizon the top rung never promotes; in the infinite horizon
+        every materialised rung may promote (growing the ladder).
+        """
+        if self.max_resource is not None:
+            highest = self.num_rungs - 2  # top rung does not promote
+        else:
+            highest = len(self._rungs) - 1  # any materialised rung may promote
+        for k in range(highest, -1, -1):
+            candidate = self.rung(k).first_promotable(self.eta)
+            if candidate is not None:
+                return candidate, k + 1
+        return None
+
+    def promote(self, trial_id: int, from_rung: int) -> None:
+        """Mark ``trial_id`` promoted out of ``from_rung``."""
+        self.rung(from_rung).mark_promoted(trial_id)
+
+    # ------------------------------------------------------------- totals
+
+    def total_budget(self, n: int) -> float:
+        """Total resource consumed by synchronous SHA on ``n`` configurations.
+
+        Matches the "total budget" column of Figure 1 (right): each rung ``i``
+        trains ``floor(n / eta**i)`` configurations to ``r_i`` from scratch,
+        i.e. without checkpoint reuse across rungs.
+        """
+        total = 0.0
+        for i in range(self.num_rungs):
+            total += (n // self.eta**i) * self.rung_resource(i)
+        return total
+
+    def __repr__(self) -> str:
+        horizon = "inf" if self.max_resource is None else self.max_resource
+        return (
+            f"Bracket(r={self.min_resource}, R={horizon}, eta={self.eta}, s={self.s}, "
+            f"rungs={len(self._rungs)})"
+        )
+
+
+def sha_rung_schedule(n: int, min_resource: float, max_resource: float, eta: int, s: int = 0) -> list[dict]:
+    """The promotion-scheme table of Figure 1 (right) for one bracket.
+
+    Returns one row per rung with keys ``rung``, ``n_i``, ``r_i`` and
+    ``total`` (= ``n_i * r_i``, the per-rung budget, which Figure 1 notes is
+    constant across rungs when ``n = eta**(s_max - s)``).
+    """
+    bracket = Bracket(min_resource, max_resource, eta, s)
+    rows = []
+    for i in range(bracket.num_rungs):
+        n_i = n // eta**i
+        r_i = bracket.rung_resource(i)
+        rows.append({"rung": i, "n_i": n_i, "r_i": r_i, "total": n_i * r_i})
+    return rows

@@ -1,0 +1,97 @@
+"""Protocol contract checker for schedulers (testing utility).
+
+Wrap any scheduler in :class:`ContractChecker` and it asserts the
+scheduler/backend protocol invariants on every interaction:
+
+* every reported/failed job was previously dispatched and not yet resolved;
+* a trial never trains backwards (job target >= its checkpoint);
+* at most one in-flight job per trial (no scheduler in this library ever
+  double-books a configuration);
+* ``is_done()`` never flips back to ``False`` once ``True``.
+
+Used by the integration suite, and handy when developing new schedulers.
+"""
+
+from __future__ import annotations
+
+from .scheduler import Scheduler
+from .types import Job
+
+__all__ = ["ContractChecker", "ContractViolation"]
+
+
+class ContractViolation(AssertionError):
+    """A scheduler broke the dispatch/report protocol."""
+
+
+class ContractChecker(Scheduler):
+    """Transparent scheduler wrapper asserting protocol invariants."""
+
+    def __init__(self, inner: Scheduler):
+        # Alias the inner scheduler's state; do not call super().__init__.
+        self.inner = inner
+        self.space = inner.space
+        self.rng = inner.rng
+        self.trials = inner.trials
+        self._outstanding: dict[int, Job] = {}
+        self._in_flight_trials: set[int] = set()
+        self._was_done = False
+        self.jobs_seen = 0
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        job = self.inner.next_job()
+        if job is None:
+            return None
+        self.jobs_seen += 1
+        if job.job_id in self._outstanding:
+            raise ContractViolation(f"job id {job.job_id} dispatched twice")
+        if job.trial_id in self._in_flight_trials:
+            raise ContractViolation(
+                f"trial {job.trial_id} double-booked (already has an in-flight job)"
+            )
+        if job.resource < job.checkpoint_resource:
+            raise ContractViolation(
+                f"job {job.job_id} trains backwards: "
+                f"{job.checkpoint_resource} -> {job.resource}"
+            )
+        if job.resource <= 0:
+            raise ContractViolation(f"job {job.job_id} has non-positive target resource")
+        self._outstanding[job.job_id] = job
+        self._in_flight_trials.add(job.trial_id)
+        return job
+
+    def report(self, job: Job, loss: float) -> None:
+        self._resolve(job)
+        self.inner.report(job, loss)
+
+    def on_job_failed(self, job: Job) -> None:
+        self._resolve(job)
+        self.inner.on_job_failed(job)
+
+    def is_done(self) -> bool:
+        done = self.inner.is_done()
+        if self._was_done and not done:
+            raise ContractViolation("is_done() flipped from True back to False")
+        self._was_done = self._was_done or done
+        return done
+
+    def best_trial(self):
+        return self.inner.best_trial()
+
+    @property
+    def num_trials(self) -> int:
+        return self.inner.num_trials
+
+    # ------------------------------------------------------------- helpers
+
+    def _resolve(self, job: Job) -> None:
+        if job.job_id not in self._outstanding:
+            raise ContractViolation(f"job {job.job_id} resolved but never dispatched")
+        del self._outstanding[job.job_id]
+        self._in_flight_trials.discard(job.trial_id)
+
+    @property
+    def outstanding_jobs(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,142 @@
+"""Infinite-horizon SHA via the doubling trick (Section 3.3's foil).
+
+Section 3.3 contrasts ASHA's smooth infinite-horizon generalisation with
+synchronous SHA, which "relies on the doubling trick and must rerun
+brackets with larger budgets to increase the maximum resource".  This module
+implements that foil faithfully so the latency comparison can actually be
+run: each completed bracket is followed by a fresh bracket whose maximum
+resource is ``eta`` times larger (so budgets double in the ``eta = 2``
+case that names the trick), with ``n`` scaled to keep Algorithm 1's
+``n >= eta**s_max`` requirement satisfied.
+
+The consequence the paper calls out is measurable here: the interval
+between outputs doubles from bracket to bracket, whereas infinite-horizon
+ASHA emits progressively deeper results continuously (see
+``tests/core/test_doubling.py`` and the latency ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .bracket import Bracket
+from .scheduler import Scheduler
+from .sha import SynchronousSHA
+from .types import Job
+
+__all__ = ["DoublingSHA"]
+
+
+class DoublingSHA(Scheduler):
+    """Synchronous SHA with geometrically growing maximum resource.
+
+    Parameters
+    ----------
+    min_resource:
+        ``r``; fixed across brackets.
+    initial_max_resource:
+        ``R`` of the first bracket; bracket ``k`` uses ``R * eta**k``.
+    eta:
+        Reduction factor (and the budget growth factor between brackets).
+    n:
+        Configurations in the *first* bracket; bracket ``k`` samples
+        ``n * eta**k`` so every rung keeps its occupancy ratios.
+    max_brackets:
+        Optional cap on how many brackets to run (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        min_resource: float,
+        initial_max_resource: float,
+        eta: int = 2,
+        n: int | None = None,
+        max_brackets: int | None = None,
+    ):
+        super().__init__(space, rng)
+        if initial_max_resource < min_resource:
+            raise ValueError("initial_max_resource must be >= min_resource")
+        probe = Bracket(min_resource, initial_max_resource, eta, 0)
+        min_n = eta**probe.s_max
+        self.min_resource = min_resource
+        self.initial_max_resource = initial_max_resource
+        self.eta = eta
+        self.initial_n = n if n is not None else min_n
+        if self.initial_n < min_n:
+            raise ValueError(f"n must be >= eta**s_max = {min_n}")
+        self.max_brackets = max_brackets
+        self.bracket_index = 0
+        #: (bracket index, winner trial id, resource) per completed bracket —
+        #: the "outputs" whose inter-arrival interval doubles.
+        self.outputs: list[tuple[int, int, float]] = []
+        self._current: SynchronousSHA | None = None
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        if self._current is None:
+            if self.max_brackets is not None and self.bracket_index >= self.max_brackets:
+                return None
+            self._current = self._make_bracket()
+        job = self._current.next_job()
+        if job is None and self._current.is_done():
+            self._finish_bracket()
+            return self.next_job()
+        return job
+
+    def report(self, job: Job, loss: float) -> None:
+        assert self._current is not None
+        self._current.report(job, loss)
+        if self._current.is_done():
+            self._finish_bracket()
+
+    def on_job_failed(self, job: Job) -> None:
+        assert self._current is not None
+        self._current.on_job_failed(job)
+        if self._current.is_done():
+            self._finish_bracket()
+
+    def is_done(self) -> bool:
+        return (
+            self.max_brackets is not None
+            and self.bracket_index >= self.max_brackets
+            and self._current is None
+        )
+
+    # ------------------------------------------------------------- helpers
+
+    def current_max_resource(self) -> float:
+        """``R`` of the bracket currently running (or next to run)."""
+        return self.initial_max_resource * self.eta**self.bracket_index
+
+    def _make_bracket(self) -> SynchronousSHA:
+        sha = SynchronousSHA(
+            self.space,
+            self.rng,
+            n=self.initial_n * self.eta**self.bracket_index,
+            min_resource=self.min_resource,
+            max_resource=self.current_max_resource(),
+            eta=self.eta,
+            grow_brackets=False,
+        )
+        sha.trials = self.trials
+        sha._trial_ids = self._trial_ids
+        sha._job_ids = self._job_ids
+        return sha
+
+    def _finish_bracket(self) -> None:
+        assert self._current is not None
+        top = self._current.runs[0].bracket.rung(
+            self._current.runs[0].bracket.top_rung_index
+        )
+        winner = top.best()
+        if winner is not None:
+            self.outputs.append(
+                (self.bracket_index, winner[0], self.current_max_resource())
+            )
+        self._current = None
+        self.bracket_index += 1

@@ -1,0 +1,220 @@
+"""Stand-in for Fabolas [Klein et al., 2017]: multi-task GP over
+(configuration, dataset fraction).
+
+Fabolas models validation loss as a function of both the hyperparameters and
+the fraction of the training set used, then picks cheap subset evaluations
+that are maximally informative about the optimum at the *full* dataset size.
+Our stand-in keeps that structure with a simpler acquisition (documented
+substitution, see DESIGN.md):
+
+* one GP over ``[0, 1]^(d+1)`` — the encoded configuration plus the
+  log-scaled dataset fraction;
+* candidate configurations are scored by expected improvement of their
+  *predicted loss at the full dataset*;
+* the evaluation fidelity is then chosen cost-aware: each allowed fraction
+  ``f`` is scored by ``EI_full(config) * std(config, f) / cost(f)``, so cheap
+  fidelities win while they remain informative, and the full dataset wins
+  once the subsets are resolved — the qualitative behaviour Klein et al.
+  report.
+
+The incumbent, following the paper's evaluation framework (Appendix A.2), is
+the configuration with the lowest *predicted* loss at the full dataset; the
+experiment runner performs the offline validation step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..models.acquisition import expected_improvement
+from ..models.gp import GaussianProcess
+from ..models.kernels import Matern52
+from ..searchspace import SearchSpace, UnitCubeEncoder
+from .scheduler import Scheduler
+from .types import Config, Job, TrialStatus
+
+__all__ = ["Fabolas"]
+
+
+class Fabolas(Scheduler):
+    """Cost-aware multi-fidelity Bayesian optimisation over dataset fractions.
+
+    Parameters
+    ----------
+    max_resource:
+        Resource corresponding to the full dataset.
+    fractions:
+        Allowed dataset fractions, ascending, ending at 1.0.  Defaults to
+        the geometric ladder (1/64, 1/16, 1/4, 1).
+    num_init:
+        Initial random configurations, each evaluated at the two smallest
+        fractions (Fabolas's initial design).
+    num_candidates:
+        Random candidate configurations scored per proposal.
+    refit_every, max_fit_points:
+        Speed knobs as in :class:`repro.core.vizier.VizierGP`.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        max_resource: float,
+        fractions: tuple[float, ...] = (1 / 64, 1 / 16, 1 / 4, 1.0),
+        num_init: int = 8,
+        num_candidates: int = 256,
+        refit_every: int = 5,
+        max_fit_points: int = 400,
+        max_trials: int | None = None,
+        incumbent_every: int = 5,
+    ):
+        super().__init__(space, rng)
+        if max_resource <= 0:
+            raise ValueError(f"max_resource must be positive, got {max_resource}")
+        if sorted(fractions) != list(fractions) or fractions[-1] != 1.0:
+            raise ValueError("fractions must be ascending and end at 1.0")
+        if any(f <= 0 for f in fractions):
+            raise ValueError("fractions must be positive")
+        self.max_resource = max_resource
+        self.fractions = tuple(fractions)
+        self.num_init = num_init
+        self.num_candidates = num_candidates
+        self.refit_every = refit_every
+        self.max_fit_points = max_fit_points
+        self.max_trials = max_trials
+        self.encoder = UnitCubeEncoder(space)
+        self._x: list[np.ndarray] = []  # (config encoding, fraction encoding)
+        self._y: list[float] = []
+        self._init_queue: list[tuple[Config, float]] = []
+        init_fracs = self.fractions[: min(2, len(self.fractions))]
+        for _ in range(num_init):
+            config = self.space.sample(rng)
+            for f in init_fracs:
+                self._init_queue.append((config, f))
+        self._gp: GaussianProcess | None = None
+        self._dispatches_since_fit = 0
+        self.incumbent_every = incumbent_every
+        self._num_reports = 0
+        #: (report count, predicted-best config) snapshots — the Figure 9
+        #: bench maps these to backend time and validates them offline.
+        self.incumbent_history: list[tuple[int, Config]] = []
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        if self.max_trials is not None and self.num_trials >= self.max_trials:
+            return None
+        if self._init_queue:
+            config, fraction = self._init_queue.pop(0)
+        else:
+            config, fraction = self._propose()
+        trial = self.new_trial(config)
+        trial.metadata["fraction"] = fraction
+        return self.make_job(trial, fraction * self.max_resource, from_checkpoint=False)
+
+    def report(self, job: Job, loss: float) -> None:
+        self.note_result(job, loss)
+        trial = self.trials[job.trial_id]
+        trial.status = TrialStatus.COMPLETED
+        fraction = trial.metadata["fraction"]
+        self._x.append(self._encode(job.config, fraction))
+        self._y.append(float(loss) if np.isfinite(loss) else max(self._finite_y(), default=1.0))
+        self._gp = None
+        self._num_reports += 1
+        if self._num_reports % self.incumbent_every == 0:
+            best = self.incumbent()
+            if best is not None:
+                self.incumbent_history.append((self._num_reports, best))
+
+    def is_done(self) -> bool:
+        if self.max_trials is None or self.num_trials < self.max_trials:
+            return False
+        return not any(t.status == TrialStatus.RUNNING for t in self.trials.values())
+
+    def incumbent(self) -> Config | None:
+        """Config with the lowest predicted loss at the full dataset.
+
+        This is the Fabolas incumbent rule from Appendix A.2 ("the
+        configuration with the lowest predicted validation loss on the full
+        dataset"); its true quality is measured offline by the runner.
+        """
+        if not self._x:
+            return None
+        gp = self._gp if self._gp is not None else self._fit_if_needed(force=True, tune=False)
+        observed = np.stack(self._x)
+        # Long runs accumulate tens of thousands of observations; ranking all
+        # of them per incumbent probe is O(n_fit x n) — restrict the probe to
+        # the lowest-loss observations plus the most recent ones.
+        if len(observed) > 512:
+            order = np.argsort(np.asarray(self._y))
+            keep = np.unique(np.concatenate([order[:256], np.arange(len(observed) - 256, len(observed))]))
+            observed = observed[keep]
+        at_full = observed.copy()
+        at_full[:, -1] = 1.0
+        mean, _ = gp.predict(at_full)
+        best = int(np.argmin(mean))
+        return self.encoder.decode(observed[best, :-1])
+
+    # ------------------------------------------------------------- model
+
+    def _encode(self, config: Config, fraction: float) -> np.ndarray:
+        return np.concatenate([self.encoder.encode(config), [self._encode_fraction(fraction)]])
+
+    def _finite_y(self) -> list[float]:
+        return [y for y in self._y if np.isfinite(y)]
+
+    def _propose(self) -> tuple[Config, float]:
+        gp = self._fit_if_needed()
+        configs = self.encoder.sample_unit(self.num_candidates, self.rng)
+        at_full = np.hstack([configs, np.ones((len(configs), 1))])
+        mean_full, std_full = gp.predict(at_full)
+        full_obs = [y for x, y in zip(self._x, self._y) if x[-1] == 1.0 and np.isfinite(y)]
+        best = min(full_obs) if full_obs else min(self._finite_y(), default=0.0)
+        ei = expected_improvement(mean_full, std_full, best)
+        pick = int(np.argmax(ei))
+        config_vec = configs[pick]
+        # Fidelity choice: informative-per-cost.
+        best_score, best_fraction = -np.inf, 1.0
+        for f in self.fractions:
+            x = np.concatenate([config_vec, [self._encode_fraction(f)]])[None, :]
+            _, std = gp.predict(x)
+            score = float(ei[pick]) * float(std[0]) / f
+            if score > best_score:
+                best_score, best_fraction = score, f
+        return self.encoder.decode(config_vec), best_fraction
+
+    def _encode_fraction(self, fraction: float) -> float:
+        if self.fractions[0] >= 1:
+            return 1.0
+        return math.log(fraction / self.fractions[0]) / math.log(1.0 / self.fractions[0])
+
+    def _fit_if_needed(self, force: bool = False, tune: bool = True) -> GaussianProcess:
+        self._dispatches_since_fit += 1
+        if not force and self._gp is not None and self._dispatches_since_fit < self.refit_every:
+            return self._gp
+        self._dispatches_since_fit = 0
+        x = np.stack(self._x)
+        y = np.asarray(self._y)
+        if len(y) > self.max_fit_points:
+            order = np.argsort(y)
+            keep = np.concatenate(
+                [
+                    order[: self.max_fit_points // 2],
+                    self.rng.choice(
+                        order[self.max_fit_points // 2 :],
+                        size=self.max_fit_points // 2,
+                        replace=False,
+                    ),
+                ]
+            )
+            x, y = x[keep], y[keep]
+        gp = GaussianProcess(kernel=Matern52(), noise=1e-3)
+        if tune:
+            gp.fit_tuned(x, y)
+        else:
+            gp.fit(x, y)
+        self._gp = gp
+        return gp

@@ -1,0 +1,120 @@
+"""The other asynchronous Hyperband from Section 3.2: concurrent brackets.
+
+"We can asynchronously parallelize Hyperband by either running multiple
+brackets of ASHA or looping through brackets of ASHA sequentially."  The
+looping variant lives in :mod:`repro.core.async_hyperband` (it is what the
+paper evaluates); this module implements the first option so the two can be
+compared: one ASHA instance per early-stopping rate runs *concurrently*,
+and each new job is routed to the bracket with the least dispatched
+resource relative to its SHA-equivalent budget share.
+
+This weighted routing keeps the long-run budget split identical to the
+looping variant while letting every bracket make progress at all times —
+the natural choice when worker counts are large.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .asha import ASHA
+from .bracket import Bracket
+from .hyperband import hyperband_bracket_sizes
+from .scheduler import Scheduler
+from .types import Job
+
+__all__ = ["ParallelAsyncHyperband"]
+
+
+class ParallelAsyncHyperband(Scheduler):
+    """Run all ASHA brackets concurrently with budget-proportional routing.
+
+    Parameters
+    ----------
+    min_resource, max_resource, eta:
+        Shared bracket geometry (finite horizon).
+    brackets:
+        How many early-stopping rates to run, starting at ``s = 0``;
+        defaults to all of them.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        min_resource: float,
+        max_resource: float,
+        eta: int = 4,
+        brackets: int | None = None,
+        from_checkpoint: bool = True,
+    ):
+        super().__init__(space, rng)
+        if max_resource is None:
+            raise ValueError("ParallelAsyncHyperband requires a finite max_resource")
+        sizes = hyperband_bracket_sizes(min_resource, max_resource, eta)
+        if brackets is not None:
+            if not 1 <= brackets <= len(sizes):
+                raise ValueError(f"brackets must be in [1, {len(sizes)}], got {brackets}")
+            sizes = sizes[:brackets]
+        self.eta = eta
+        self._ashas: list[ASHA] = []
+        self._shares: list[float] = []
+        for s, n_s in enumerate(sizes):
+            asha = ASHA(
+                space,
+                rng,
+                min_resource=min_resource,
+                max_resource=max_resource,
+                eta=eta,
+                early_stopping_rate=s,
+                from_checkpoint=from_checkpoint,
+            )
+            asha.trials = self.trials
+            asha._trial_ids = self._trial_ids
+            asha._job_ids = self._job_ids
+            self._ashas.append(asha)
+            self._shares.append(Bracket(min_resource, max_resource, eta, s).total_budget(n_s))
+        total = sum(self._shares)
+        self._shares = [share / total for share in self._shares]
+        self._spent = [0.0] * len(self._ashas)
+        self._bracket_of_trial: dict[int, int] = {}
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        # Route to the bracket furthest behind its budget share.
+        deficits = [
+            self._spent[i] - self._shares[i] * (sum(self._spent) + 1e-12)
+            for i in range(len(self._ashas))
+        ]
+        order = np.argsort(deficits)
+        for i in order:
+            job = self._ashas[i].next_job()
+            if job is None:
+                continue
+            owner = self._bracket_of_trial.setdefault(job.trial_id, int(i))
+            self._spent[i] += job.delta_resource
+            return dataclasses.replace(job, bracket=owner)
+        return None
+
+    def report(self, job: Job, loss: float) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].report(job, loss)
+
+    def on_job_failed(self, job: Job) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].on_job_failed(job)
+
+    # ------------------------------------------------------------ insight
+
+    def budget_split(self) -> list[float]:
+        """Fraction of dispatched resource per bracket (→ shares in the limit)."""
+        total = sum(self._spent)
+        if total == 0:
+            return [0.0] * len(self._spent)
+        return [s / total for s in self._spent]
+
+    def rung_sizes(self) -> list[list[int]]:
+        return [a.rung_sizes() for a in self._ashas]

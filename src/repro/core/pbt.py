@@ -1,0 +1,285 @@
+"""Population Based Training [Jaderberg et al., 2017], as configured in A.3.
+
+PBT trains a population of models in lock-step-ish intervals.  After each
+interval a member in the bottom ``exploit_fraction`` of the population is
+replaced by a copy (weights *and* hyperparameters) of a uniformly sampled
+member from the top fraction, whose hyperparameters then pass through an
+explore step: with probability 3/4 each is perturbed by a factor of 0.8 or
+1.2 (adjacent choice for discrete domains), with probability 1/4 it is
+resampled uniformly.
+
+Implementation notes matching Appendix A.3:
+
+* **Truncation selection** with 20% fractions.
+* **Lag bound**: configurations are kept "trained within ``max_lag``
+  iterations of each other" so exploit comparisons are fair; a member whose
+  next interval would exceed the bound over the population minimum waits.
+* **Architecture freezing**: hyperparameters named in ``frozen`` are exempt
+  from the explore step (inherited weights would be invalid otherwise).
+* **Worker efficiency**: when no member of any existing population can run
+  (all blocked by the lag bound or complete), a brand-new population is
+  spawned — "we spawn new populations of 25 whenever a job is not available
+  from existing populations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .scheduler import Scheduler
+from .types import Job, Measurement, Trial, TrialStatus
+
+__all__ = ["PBT"]
+
+
+@dataclass
+class _Member:
+    """One slot of a population: points at its current trial."""
+
+    trial_id: int
+    busy: bool = False
+
+    def resource(self, trials: dict[int, Trial]) -> float:
+        return trials[self.trial_id].resource
+
+    def last_loss(self, trials: dict[int, Trial]) -> float | None:
+        return trials[self.trial_id].last_loss
+
+
+class _Population:
+    def __init__(self, members: list[_Member]):
+        self.members = members
+
+    def min_resource(self, trials: dict[int, Trial]) -> float:
+        return min(m.resource(trials) for m in self.members)
+
+    def done(self, trials: dict[int, Trial], max_resource: float) -> bool:
+        return all(m.resource(trials) >= max_resource for m in self.members)
+
+
+class PBT(Scheduler):
+    """Population Based Training with truncation selection.
+
+    Parameters
+    ----------
+    max_resource:
+        Training stops for a member once it reaches this resource.
+    interval:
+        Resource trained per round between exploit/explore decisions
+        (1000 iterations in Section 4.1/4.2; 8 epochs in Section 4.3.1).
+    population_size:
+        Members per population (25 in Section 4.1/4.2, 20 in Section 4.3.1).
+    exploit_fraction:
+        Truncation fraction for both the bottom (replaced) and top (donors).
+    resample_probability, perturb_factors:
+        Explore-step parameters.
+    frozen:
+        Hyperparameter names exempt from exploration (architecture knobs).
+    max_lag:
+        Maximum allowed resource spread within a population; defaults to
+        ``2 * interval`` (the paper's "within 2000 iterations" with 1000-step
+        intervals).
+    spawn_populations:
+        Spawn a fresh population when no job is available (keeps workers at
+        100% utilisation in distributed settings).  With ``False`` the search
+        ends when the single population completes.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        max_resource: float,
+        interval: float,
+        population_size: int = 25,
+        exploit_fraction: float = 0.2,
+        resample_probability: float = 0.25,
+        perturb_factors: tuple[float, float] = (0.8, 1.2),
+        frozen: frozenset[str] | set[str] = frozenset(),
+        max_lag: float | None = None,
+        spawn_populations: bool = True,
+    ):
+        super().__init__(space, rng)
+        if interval <= 0 or max_resource <= 0:
+            raise ValueError("interval and max_resource must be positive")
+        if interval > max_resource:
+            raise ValueError(f"interval ({interval}) exceeds max_resource ({max_resource})")
+        if not 0 < exploit_fraction < 0.5:
+            raise ValueError(f"exploit_fraction must be in (0, 0.5), got {exploit_fraction}")
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.max_resource = max_resource
+        self.interval = interval
+        self.population_size = population_size
+        self.exploit_fraction = exploit_fraction
+        self.resample_probability = resample_probability
+        self.perturb_factors = perturb_factors
+        self.frozen = frozenset(frozen)
+        self.max_lag = max_lag if max_lag is not None else 2 * interval
+        if self.max_lag < interval:
+            raise ValueError(f"max_lag ({self.max_lag}) must be >= interval ({interval})")
+        self.spawn_populations = spawn_populations
+        self.populations: list[_Population] = []
+        self._member_of_trial: dict[int, _Member] = {}
+        self._population_of_trial: dict[int, _Population] = {}
+
+    # ----------------------------------------------------------------- API
+
+    def next_job(self) -> Job | None:
+        job = self._dispatch_from_existing()
+        if job is not None:
+            return job
+        if not self.populations or (
+            self.spawn_populations
+            and all(p.done(self.trials, self.max_resource) or self._fully_busy_or_blocked(p) for p in self.populations)
+        ):
+            if self.populations and not self.spawn_populations:
+                return None
+            self._spawn_population()
+            return self._dispatch_from_existing()
+        return None
+
+    def report(self, job: Job, loss: float) -> None:
+        self.note_result(job, loss)
+        trial = self.trials[job.trial_id]
+        member = self._member_of_trial[job.trial_id]
+        population = self._population_of_trial[job.trial_id]
+        member.busy = False
+        trial.metadata.pop("clone_pending", None)
+        if trial.resource >= self.max_resource:
+            trial.status = TrialStatus.COMPLETED
+        else:
+            trial.status = TrialStatus.PAUSED
+        self._maybe_exploit(member, population)
+
+    def on_job_failed(self, job: Job) -> None:
+        """A crashed member is resampled from scratch (slot is never lost)."""
+        super().on_job_failed(job)
+        member = self._member_of_trial[job.trial_id]
+        population = self._population_of_trial[job.trial_id]
+        member.busy = False
+        fresh = self.new_trial(self.space.sample(self.rng))
+        self._rebind(member, population, fresh.trial_id)
+
+    def is_done(self) -> bool:
+        if self.spawn_populations or not self.populations:
+            return False
+        return all(p.done(self.trials, self.max_resource) for p in self.populations)
+
+    # ------------------------------------------------------- exploit logic
+
+    def _maybe_exploit(self, member: _Member, population: _Population) -> None:
+        """Truncation selection on interval completion (async, member-local)."""
+        trial = self.trials[member.trial_id]
+        if trial.resource >= self.max_resource:
+            return
+        losses = [
+            (m, m.last_loss(self.trials))
+            for m in population.members
+            if m.last_loss(self.trials) is not None
+        ]
+        if len(losses) < len(population.members):
+            return  # rank only fully-measured populations (fair comparison)
+        ranked = sorted(losses, key=lambda pair: _loss_key(pair[1]))
+        k = max(1, int(len(ranked) * self.exploit_fraction))
+        bottom = {id(m) for m, _ in ranked[-k:]}
+        if id(member) not in bottom:
+            return
+        # A clone that has not trained since inheriting has no checkpoint of
+        # its own yet, so it cannot serve as a weight donor.
+        top = [
+            m
+            for m, _ in ranked[:k]
+            if m is not member and not self.trials[m.trial_id].metadata.get("clone_pending")
+        ]
+        if not top:
+            return
+        donor = top[self.rng.integers(len(top))]
+        donor_trial = self.trials[donor.trial_id]
+        explored = self.space.perturb(
+            donor_trial.config,
+            self.rng,
+            resample_probability=self.resample_probability,
+            factors=self.perturb_factors,
+            frozen=self.frozen,
+        )
+        clone = self.new_trial(explored)
+        clone.resource = donor_trial.resource  # weights (state) copied at dispatch
+        clone.metadata["inherit_from"] = donor.trial_id
+        clone.metadata["clone_pending"] = True  # cleared at its first report
+        # The clone's model *is* the donor's model right now, so it enters
+        # the ranking with the donor's loss until its own interval reports.
+        if donor_trial.measurements:
+            last = donor_trial.measurements[-1]
+            clone.record(Measurement(clone.trial_id, last.resource, last.loss))
+        self.trials[member.trial_id].status = TrialStatus.STOPPED
+        self._rebind(member, population, clone.trial_id)
+
+    # ------------------------------------------------------------- helpers
+
+    def _spawn_population(self) -> None:
+        members = []
+        for _ in range(self.population_size):
+            trial = self.new_trial(self.space.sample(self.rng))
+            member = _Member(trial_id=trial.trial_id)
+            self._member_of_trial[trial.trial_id] = member
+            members.append(member)
+        population = _Population(members)
+        for m in members:
+            self._population_of_trial[m.trial_id] = population
+        self.populations.append(population)
+
+    def _dispatch_from_existing(self) -> Job | None:
+        for population in self.populations:
+            floor = population.min_resource(self.trials)
+            for member in population.members:
+                if member.busy:
+                    continue
+                trial = self.trials[member.trial_id]
+                donor = trial.metadata.get("inherit_from")
+                if donor is not None:
+                    # The donor may have kept training since the exploit
+                    # decision; the clone continues from the donor's *current*
+                    # checkpoint, so refresh before computing the target.
+                    trial.resource = max(trial.resource, self.trials[donor].resource)
+                if trial.resource >= self.max_resource:
+                    continue
+                target = min(trial.resource + self.interval, self.max_resource)
+                if target - floor > self.max_lag:
+                    continue  # would run too far ahead of the stragglers
+                member.busy = True
+                job = self.make_job(trial, target)
+                if trial.metadata.pop("inherit_from", None) is not None:
+                    job = replace(job, inherit_from=donor)
+                return job
+        return None
+
+    def _fully_busy_or_blocked(self, population: _Population) -> bool:
+        floor = population.min_resource(self.trials)
+        for member in population.members:
+            if member.busy:
+                continue
+            trial = self.trials[member.trial_id]
+            if trial.resource >= self.max_resource:
+                continue
+            target = min(trial.resource + self.interval, self.max_resource)
+            if target - floor <= self.max_lag:
+                return False
+        return True
+
+    def _rebind(self, member: _Member, population: _Population, new_trial_id: int) -> None:
+        del self._member_of_trial[member.trial_id]
+        del self._population_of_trial[member.trial_id]
+        member.trial_id = new_trial_id
+        self._member_of_trial[new_trial_id] = member
+        self._population_of_trial[new_trial_id] = population
+
+
+def _loss_key(loss: float) -> tuple[int, float]:
+    """NaN losses rank worst."""
+    is_nan = loss != loss
+    return (1 if is_nan else 0, 0.0 if is_nan else loss)

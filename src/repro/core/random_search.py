@@ -1,0 +1,58 @@
+"""Random search: the no-early-stopping baseline.
+
+Every configuration is trained straight to the maximum resource ``R``.  This
+is the embarrassingly parallel baseline the paper's figures label "Random";
+it anchors the value of early stopping in Figures 3 and 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .scheduler import Scheduler
+from .types import Job, TrialStatus
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Scheduler):
+    """Train uniformly sampled configurations to completion.
+
+    Parameters
+    ----------
+    max_resource:
+        Resource every trial is trained to.
+    max_trials:
+        Optional cap on the number of configurations; ``None`` keeps sampling
+        for as long as the backend runs.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        max_resource: float,
+        max_trials: int | None = None,
+    ):
+        super().__init__(space, rng)
+        if max_resource <= 0:
+            raise ValueError(f"max_resource must be positive, got {max_resource}")
+        self.max_resource = max_resource
+        self.max_trials = max_trials
+
+    def next_job(self) -> Job | None:
+        if self.max_trials is not None and self.num_trials >= self.max_trials:
+            return None
+        trial = self.new_trial(self.space.sample(self.rng))
+        return self.make_job(trial, self.max_resource)
+
+    def report(self, job: Job, loss: float) -> None:
+        self.note_result(job, loss)
+        self.trials[job.trial_id].status = TrialStatus.COMPLETED
+
+    def is_done(self) -> bool:
+        if self.max_trials is None or self.num_trials < self.max_trials:
+            return False
+        return not any(t.status == TrialStatus.RUNNING for t in self.trials.values())

@@ -1,0 +1,139 @@
+"""Rungs: the per-resource-level leaderboards of SHA-family schedulers.
+
+"All configurations trained for a given i constitute a 'rung'" (Algorithm 1).
+A :class:`Rung` records the loss of every configuration evaluated at its
+resource level, remembers which of them have already been promoted, and
+answers the two questions the schedulers ask:
+
+* SHA: who are the top ``k`` performers? (synchronous elimination)
+* ASHA: is any configuration in the top ``1/eta`` fraction *and* not yet
+  promoted? (Algorithm 2's ``get_job``)
+
+ASHA in the large-scale regime polls the promotion question once per free
+worker, and base rungs grow to tens of thousands of entries in the
+500-worker benchmark, so the promotion query must not rescan the
+leaderboard.  The rung keeps two sorted lists — all entries, and the
+not-yet-promoted entries — and answers in O(log n): the best unpromoted
+entry is promotable iff its rank in the full leaderboard is within the
+``len//eta`` quota.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+__all__ = ["Rung"]
+
+
+def _sort_loss(loss: float) -> float:
+    """NaN losses sort last, so diverged trials are never promoted."""
+    return math.inf if loss != loss else loss
+
+
+class Rung:
+    """Results recorded at one rung of a bracket.
+
+    Parameters
+    ----------
+    index:
+        Rung number within its bracket, base rung = 0.
+    resource:
+        Cumulative resource a configuration must be trained to in order to
+        enter this rung (``r_i = r * eta**(i + s)``).
+    """
+
+    def __init__(self, index: int, resource: float):
+        self.index = index
+        self.resource = resource
+        self.losses: dict[int, float] = {}
+        self.promoted: set[int] = set()
+        # Entries sorted by (loss, trial_id); ties broken by trial id for
+        # determinism.  NaN is mapped to +inf at insertion.
+        self._sorted: list[tuple[float, int]] = []
+        self._unpromoted: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self.losses)
+
+    def record(self, trial_id: int, loss: float) -> None:
+        """File ``trial_id``'s loss at this rung.
+
+        Re-reporting overwrites — relevant for PBT-style re-evaluation, and
+        harmless for SHA/ASHA where each trial reaches a rung once.
+        """
+        if trial_id in self.losses:
+            old = (_sort_loss(self.losses[trial_id]), trial_id)
+            self._remove(self._sorted, old)
+            if trial_id not in self.promoted:
+                self._remove(self._unpromoted, old)
+        self.losses[trial_id] = loss
+        key = (_sort_loss(loss), trial_id)
+        bisect.insort(self._sorted, key)
+        if trial_id not in self.promoted:
+            bisect.insort(self._unpromoted, key)
+
+    @staticmethod
+    def _remove(entries: list[tuple[float, int]], key: tuple[float, int]) -> None:
+        pos = bisect.bisect_left(entries, key)
+        if pos < len(entries) and entries[pos] == key:
+            entries.pop(pos)
+
+    def top_k(self, k: int) -> list[int]:
+        """Ids of the ``k`` lowest-loss entries (ties broken by trial id)."""
+        if k <= 0:
+            return []
+        return [trial_id for _, trial_id in self._sorted[:k]]
+
+    def promotion_quota(self, eta: int) -> int:
+        """How many entries the top ``1/eta`` fraction currently holds."""
+        return len(self.losses) // eta
+
+    def first_promotable(self, eta: int) -> int | None:
+        """Best promotable trial id, or ``None`` (Algorithm 2, lines 14-16).
+
+        A trial is promotable when it sits in the top ``|rung|/eta`` entries
+        by loss and has not already been promoted out of this rung.  O(log n):
+        the best unpromoted entry's rank in the full leaderboard decides.
+        """
+        if not self._unpromoted:
+            return None
+        quota = self.promotion_quota(eta)
+        if quota == 0:
+            return None
+        best = self._unpromoted[0]
+        rank = bisect.bisect_left(self._sorted, best)
+        if rank < quota:
+            return best[1]
+        return None
+
+    def promotable(self, eta: int) -> list[int]:
+        """All promotable candidates, best first (used by tests/diagnostics)."""
+        quota = self.promotion_quota(eta)
+        return [t for _, t in self._sorted[:quota] if t not in self.promoted]
+
+    def mark_promoted(self, trial_id: int) -> None:
+        """Record that ``trial_id`` has been promoted out of this rung."""
+        if trial_id not in self.losses:
+            raise KeyError(f"trial {trial_id} has no result in rung {self.index}")
+        if trial_id not in self.promoted:
+            self.promoted.add(trial_id)
+            self._remove(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+
+    def unmark_promoted(self, trial_id: int) -> None:
+        """Return a promoted entry to the promotable pool (failed promotion).
+
+        Used when the job training the promoted configuration toward the
+        next rung is dropped: the configuration still sits in this rung's
+        top fraction and may be promoted again.
+        """
+        if trial_id in self.promoted:
+            self.promoted.discard(trial_id)
+            bisect.insort(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+
+    def best(self) -> tuple[int, float] | None:
+        """(trial_id, loss) of the current leader, or ``None`` if empty."""
+        if not self._sorted:
+            return None
+        _, trial_id = self._sorted[0]
+        return trial_id, self.losses[trial_id]

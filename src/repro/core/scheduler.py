@@ -1,0 +1,141 @@
+"""The pull-based scheduler interface every tuning algorithm implements.
+
+The interface mirrors ASHA's structure (Algorithm 2): an execution backend
+repeatedly asks the scheduler for work via :meth:`Scheduler.next_job` whenever
+a worker is free, and feeds results back via :meth:`Scheduler.report`.
+Synchronous algorithms (SHA, Hyperband, BOHB, PBT with synchronised rounds)
+return ``None`` from ``next_job`` while they are blocked waiting for
+outstanding jobs — which leaves workers idle and is precisely the straggler
+bottleneck Section 3.1 analyses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..searchspace import SearchSpace
+from .types import Config, IdAllocator, Job, Measurement, Trial, TrialStatus
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for all tuning algorithms.
+
+    Subclasses implement :meth:`next_job` and :meth:`report`.  The base class
+    owns the trial table and id allocation so that all algorithms expose a
+    uniform view of their history to trackers and tests.
+
+    Parameters
+    ----------
+    space:
+        The search space configurations are drawn from.
+    rng:
+        Source of randomness; every stochastic decision flows through it.
+    """
+
+    def __init__(self, space: SearchSpace, rng: np.random.Generator):
+        self.space = space
+        self.rng = rng
+        self.trials: dict[int, Trial] = {}
+        self._trial_ids = IdAllocator()
+        self._job_ids = IdAllocator()
+
+    # ------------------------------------------------------------------ API
+
+    @abstractmethod
+    def next_job(self) -> Job | None:
+        """Return work for a free worker, or ``None`` if blocked / finished.
+
+        Returning ``None`` does not mean the search is over — synchronous
+        schedulers return ``None`` while waiting on stragglers.  Use
+        :meth:`is_done` to distinguish.
+        """
+
+    @abstractmethod
+    def report(self, job: Job, loss: float) -> None:
+        """Ingest the validation loss of a completed job."""
+
+    def on_job_failed(self, job: Job) -> None:
+        """Handle a dropped or crashed job.
+
+        Default policy: mark the trial failed and forget it.  Subclasses
+        override to e.g. re-queue the work (synchronous SHA must, or a rung
+        never completes).
+        """
+        trial = self.trials[job.trial_id]
+        trial.status = TrialStatus.FAILED
+
+    def is_done(self) -> bool:
+        """Whether the scheduler will never produce another job.
+
+        Anytime algorithms (ASHA, random search) never finish on their own;
+        fixed-budget algorithms (SHA) finish when their bracket completes.
+        """
+        return False
+
+    # -------------------------------------------------------------- helpers
+
+    def note_result(self, job: Job, loss: float) -> None:
+        """Record a completed job's measurement on its trial.
+
+        Every ``report`` implementation calls this first, so schedulers stay
+        correct even when driven directly (without a backend recording
+        measurements).  The measurement's ``time`` field is left at zero —
+        backend clocks live in the backend's own result log.
+        """
+        trial = self.trials[job.trial_id]
+        trial.record(Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss))
+
+    def new_trial(self, config: Config) -> Trial:
+        """Register a new trial for ``config`` and return it."""
+        trial = Trial(trial_id=self._trial_ids.next(), config=config)
+        self.trials[trial.trial_id] = trial
+        return trial
+
+    def make_job(
+        self,
+        trial: Trial,
+        resource: float,
+        *,
+        rung: int = 0,
+        bracket: int = 0,
+        from_checkpoint: bool = True,
+    ) -> Job:
+        """Build a job training ``trial`` up to cumulative ``resource``."""
+        checkpoint = trial.resource if from_checkpoint else 0.0
+        trial.status = TrialStatus.RUNNING
+        return Job(
+            job_id=self._job_ids.next(),
+            trial_id=trial.trial_id,
+            config=trial.config,
+            resource=resource,
+            checkpoint_resource=checkpoint,
+            rung=rung,
+            bracket=bracket,
+        )
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def best_trial(self) -> Trial | None:
+        """Trial with the lowest observed loss at its highest resource.
+
+        This is ASHA's intermediate-loss incumbent rule (Section 3.3): the
+        current best is judged by latest observed loss, not only by fully
+        trained configurations.
+        """
+        measured = [
+            t
+            for t in self.trials.values()
+            if t.measurements and t.measurements[-1].loss == t.measurements[-1].loss
+        ]
+        if not measured:
+            # Everything measured so far diverged (NaN); surface one anyway.
+            measured = [t for t in self.trials.values() if t.measurements]
+        if not measured:
+            return None
+        return min(measured, key=lambda t: t.measurements[-1].loss)

@@ -1,0 +1,126 @@
+"""Core value types shared by every scheduler and backend.
+
+The vocabulary follows the paper:
+
+* a **trial** is one hyperparameter configuration together with everything
+  observed about it so far;
+* a **job** is one unit of work handed to a worker — "train trial ``t`` until
+  cumulative resource ``r``";
+* a **measurement** is the validation loss observed when a job completes.
+
+Resources are abstract non-negative numbers (SGD iterations, epochs, dataset
+fractions — Section 3.1 lists the options); schedulers never interpret them
+beyond ordering and arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+Config = dict[str, Any]
+
+__all__ = ["Config", "Job", "Measurement", "Trial", "TrialStatus"]
+
+
+class TrialStatus(enum.Enum):
+    """Lifecycle of a trial."""
+
+    PENDING = "pending"  # created, never run
+    RUNNING = "running"  # a job for it is on a worker
+    PAUSED = "paused"  # partially trained, awaiting possible promotion
+    COMPLETED = "completed"  # trained to the maximum resource
+    FAILED = "failed"  # its last job was dropped or raised
+    STOPPED = "stopped"  # terminated early by a stopping rule / PBT exploit
+
+    def is_terminal(self) -> bool:
+        return self in (TrialStatus.COMPLETED, TrialStatus.FAILED, TrialStatus.STOPPED)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One observed (resource, loss) point for a trial."""
+
+    trial_id: int
+    resource: float
+    loss: float
+    time: float = 0.0  # backend clock when observed
+
+
+@dataclass
+class Trial:
+    """A hyperparameter configuration and its observation history."""
+
+    trial_id: int
+    config: Config
+    status: TrialStatus = TrialStatus.PENDING
+    resource: float = 0.0  # cumulative resource trained so far
+    measurements: list[Measurement] = field(default_factory=list)
+    rung: int = 0  # highest rung this trial occupies (SHA-family schedulers)
+    bracket: int = 0  # bracket index (Hyperband-family schedulers)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, measurement: Measurement) -> None:
+        """Append a measurement and advance the cumulative resource."""
+        self.measurements.append(measurement)
+        self.resource = max(self.resource, measurement.resource)
+
+    @property
+    def last_loss(self) -> float | None:
+        """Most recently observed loss, or ``None`` if never measured."""
+        return self.measurements[-1].loss if self.measurements else None
+
+    @property
+    def best_loss(self) -> float | None:
+        """Lowest loss observed at any resource, or ``None``."""
+        if not self.measurements:
+            return None
+        return min(m.loss for m in self.measurements)
+
+    def loss_at(self, resource: float) -> float | None:
+        """Loss observed at exactly ``resource``, or ``None``."""
+        for m in reversed(self.measurements):
+            if m.resource == resource:
+                return m.loss
+        return None
+
+
+@dataclass(frozen=True)
+class Job:
+    """A unit of work: train ``trial_id`` from its checkpoint up to ``resource``.
+
+    ``resource`` is cumulative, so the incremental work for a checkpointed
+    objective is ``resource - checkpoint_resource``.  ``rung`` and ``bracket``
+    tag where the result should be filed by SHA-family schedulers; other
+    schedulers leave them at their defaults.
+
+    ``inherit_from`` asks the backend to seed this trial's training state
+    from another trial's checkpoint before running — PBT's exploit step
+    ("both weights and hyperparameters are copied over", Appendix A.3).
+    """
+
+    job_id: int
+    trial_id: int
+    config: Config
+    resource: float
+    checkpoint_resource: float = 0.0
+    rung: int = 0
+    bracket: int = 0
+    inherit_from: int | None = None
+
+    @property
+    def delta_resource(self) -> float:
+        """Incremental resource this job must pay for when checkpointing."""
+        return self.resource - self.checkpoint_resource
+
+
+class IdAllocator:
+    """Monotonic id source for trials and jobs (deterministic, no globals)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next(self) -> int:
+        return next(self._counter)

@@ -1,0 +1,17 @@
+"""Per-figure reproduction drivers and the experiment registry."""
+
+from . import figures
+from .methods import MethodSettings, standard_methods
+from .runner import aggregate_methods, run_trials
+from .specs import EXPERIMENTS, ExperimentSpec, get_spec
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "MethodSettings",
+    "aggregate_methods",
+    "figures",
+    "get_spec",
+    "run_trials",
+    "standard_methods",
+]

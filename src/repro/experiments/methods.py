@@ -1,0 +1,152 @@
+"""Scheduler factories configured the way the paper's experiments were.
+
+Appendix A.3 fixes the settings shared by Sections 4.1 and 4.2: SHA and
+BOHB with ``n = 256, eta = 4, s = 0, r = R/256``; Hyperband looping five
+brackets; ASHA/async-Hyperband with the same geometry; PBT with population
+25, perturbation interval 1000 iterations, truncation fraction 20%.  These
+helpers build ``(objective, rng) -> Scheduler`` factories so every figure
+bench assembles methods identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core import (
+    ASHA,
+    BOHB,
+    PBT,
+    AsyncHyperband,
+    Hyperband,
+    RandomSearch,
+    Scheduler,
+    SynchronousSHA,
+)
+from ..objectives.base import Objective
+from .runner import SchedulerFactory
+
+__all__ = ["standard_methods", "MethodSettings"]
+
+
+class MethodSettings:
+    """Geometry + PBT settings for one benchmark's experiments."""
+
+    def __init__(
+        self,
+        *,
+        eta: int,
+        min_resource: float,
+        max_resource: float,
+        n: int = 256,
+        early_stopping_rate: int = 0,
+        hyperband_brackets: int | None = None,
+        pbt_interval: float | None = None,
+        pbt_population: int = 25,
+        pbt_frozen: frozenset[str] = frozenset(),
+        grow_brackets: bool = False,
+    ):
+        self.eta = eta
+        self.min_resource = min_resource
+        self.max_resource = max_resource
+        self.n = n
+        self.early_stopping_rate = early_stopping_rate
+        self.hyperband_brackets = hyperband_brackets
+        self.pbt_interval = pbt_interval if pbt_interval is not None else max_resource / 30.0
+        self.pbt_population = pbt_population
+        self.pbt_frozen = pbt_frozen
+        self.grow_brackets = grow_brackets
+
+
+def standard_methods(
+    settings: MethodSettings, include: Iterable[str] | None = None
+) -> dict[str, SchedulerFactory]:
+    """The paper's method suite as a name -> factory mapping.
+
+    Names follow the figure legends: ``Random``, ``SHA``, ``Hyperband``,
+    ``PBT``, ``ASHA``, ``Hyperband (async)``, ``BOHB``.
+    """
+    s = settings
+
+    def random_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return RandomSearch(objective.space, rng, max_resource=s.max_resource)
+
+    def sha_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return SynchronousSHA(
+            objective.space,
+            rng,
+            n=s.n,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            early_stopping_rate=s.early_stopping_rate,
+            grow_brackets=s.grow_brackets,
+        )
+
+    def hyperband_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return Hyperband(
+            objective.space,
+            rng,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+        )
+
+    def asha_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return ASHA(
+            objective.space,
+            rng,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            early_stopping_rate=s.early_stopping_rate,
+        )
+
+    def async_hb_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return AsyncHyperband(
+            objective.space,
+            rng,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            brackets=s.hyperband_brackets,
+        )
+
+    def bohb_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return BOHB(
+            objective.space,
+            rng,
+            n=s.n,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            early_stopping_rate=s.early_stopping_rate,
+            grow_brackets=s.grow_brackets,
+        )
+
+    def pbt_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return PBT(
+            objective.space,
+            rng,
+            max_resource=s.max_resource,
+            interval=s.pbt_interval,
+            population_size=s.pbt_population,
+            frozen=s.pbt_frozen,
+        )
+
+    factories: dict[str, SchedulerFactory] = {
+        "Random": random_factory,
+        "SHA": sha_factory,
+        "Hyperband": hyperband_factory,
+        "PBT": pbt_factory,
+        "ASHA": asha_factory,
+        "Hyperband (async)": async_hb_factory,
+        "BOHB": bohb_factory,
+    }
+    if include is None:
+        return factories
+    missing = set(include) - set(factories)
+    if missing:
+        raise KeyError(f"unknown methods requested: {sorted(missing)}")
+    return {name: factories[name] for name in include}

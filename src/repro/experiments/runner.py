@@ -1,0 +1,102 @@
+"""The shared experiment driver: one search = scheduler + objective + cluster.
+
+Every figure bench assembles the same pieces: build an objective (a fresh
+instance per experiment trial, mimicking fresh data splits), build a
+scheduler seeded per trial, run it on a simulated cluster, and track the
+incumbent.  :func:`run_trials` does this across seeds and returns the
+records the analysis layer aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..analysis.results import AggregateCurve, RunRecord, aggregate
+from ..analysis.tracker import trace_incumbent
+from ..backend.simulation import SimulatedCluster
+from ..core.scheduler import Scheduler
+from ..objectives.base import Objective
+from ..objectives.surrogate import SurrogateObjective
+
+__all__ = ["run_trials", "aggregate_methods", "SchedulerFactory", "ObjectiveFactory"]
+
+SchedulerFactory = Callable[[Objective, np.random.Generator], Scheduler]
+ObjectiveFactory = Callable[[int], Objective]
+
+
+def run_trials(
+    method: str,
+    make_scheduler: SchedulerFactory,
+    make_objective: ObjectiveFactory,
+    *,
+    num_workers: int,
+    time_limit: float,
+    seeds: Iterable[int],
+    straggler_std: float = 0.0,
+    drop_probability: float = 0.0,
+    accounting: str = "by_rung",
+    offline_validation: bool = False,
+    max_measurements: int | None = None,
+) -> list[RunRecord]:
+    """Run one tuning method across several experiment trials.
+
+    Parameters
+    ----------
+    make_scheduler:
+        ``(objective, rng) -> Scheduler``; the rng is seeded per trial.
+    make_objective:
+        ``seed -> Objective``; a fresh benchmark instance per trial.
+    offline_validation:
+        For surrogate objectives, report the incumbent's *noise-free*
+        from-scratch loss at its trained resource instead of the noisy
+        observation.  Off by default: it misvalues trials whose state was
+        inherited (PBT clones), and the paper's curves track the best
+        observed validation loss anyway.
+    """
+    records = []
+    for seed in seeds:
+        objective = make_objective(seed)
+        rng = np.random.default_rng(seed)
+        scheduler = make_scheduler(objective, rng)
+        cluster = SimulatedCluster(
+            num_workers,
+            straggler_std=straggler_std,
+            drop_probability=drop_probability,
+            seed=seed + 10_000,
+        )
+        backend_result = cluster.run(
+            scheduler,
+            objective,
+            time_limit=time_limit,
+            max_measurements=max_measurements,
+        )
+        evaluate = None
+        if offline_validation and isinstance(objective, SurrogateObjective):
+            evaluate = objective.clean_loss_at
+        trace = trace_incumbent(
+            backend_result, scheduler, accounting=accounting, evaluate=evaluate
+        )
+        records.append(RunRecord(method=method, seed=seed, trace=trace, backend=backend_result))
+    return records
+
+
+def aggregate_methods(
+    records_by_method: dict[str, list[RunRecord]],
+    *,
+    time_limit: float,
+    grid_points: int = 64,
+    band: str = "minmax",
+) -> dict[str, AggregateCurve]:
+    """Aggregate each method's records on a shared time grid."""
+    grid = np.linspace(0.0, time_limit, grid_points)
+    return {
+        method: aggregate(method, records, grid, band=band)
+        for method, records in records_by_method.items()
+    }
+
+
+def sequence_seeds(base: int, count: int) -> Sequence[int]:
+    """Deterministic per-trial seeds for an experiment family."""
+    return [base + 1000 * i for i in range(count)]

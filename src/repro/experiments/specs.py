@@ -1,0 +1,140 @@
+"""The experiment registry: every paper table/figure and how to regenerate it.
+
+This is machine-readable documentation — the README/DESIGN index, the
+``python -m repro.experiments`` listing, and the bench files all reference
+these specs, so the mapping from paper artefact to code cannot silently
+drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_spec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper artefact and its reproduction entry points."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    workload: str
+    driver: str  # function in repro.experiments.figures
+    bench: str  # file under benchmarks/
+
+
+EXPERIMENTS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec(
+        "fig1",
+        "Figure 1 (right table)",
+        "SHA promotion scheme: rung sizes, resources and budgets per bracket",
+        "analytic (n=9, r=1, R=9, eta=3)",
+        "figure1_rows",
+        "benchmarks/bench_fig1_promotion_scheme.py",
+    ),
+    ExperimentSpec(
+        "fig2",
+        "Figure 2",
+        "Chronological job traces of synchronous SHA vs ASHA on bracket 0",
+        "scripted toy objective, 1 worker",
+        "figure2_traces",
+        "benchmarks/bench_fig2_promotion_trace.py",
+    ),
+    ExperimentSpec(
+        "fig3",
+        "Figure 3",
+        "Sequential comparison of SHA/Hyperband/Random/PBT/ASHA/async-HB/BOHB",
+        "CIFAR-10 surrogates (benchmarks 1-2), 1 worker",
+        "figure3",
+        "benchmarks/bench_fig3_sequential.py",
+    ),
+    ExperimentSpec(
+        "fig4",
+        "Figure 4",
+        "Limited-scale distributed comparison (25 workers)",
+        "CIFAR-10 surrogates, simulated 25-worker cluster",
+        "figure4",
+        "benchmarks/bench_fig4_distributed25.py",
+    ),
+    ExperimentSpec(
+        "fig5",
+        "Figure 5",
+        "Large-scale comparison vs Vizier (500 workers, PTB LSTM)",
+        "PTB LSTM surrogate with heavy-tailed divergence",
+        "figure5",
+        "benchmarks/bench_fig5_vizier500.py",
+    ),
+    ExperimentSpec(
+        "fig6",
+        "Figure 6",
+        "ASHA vs PBT on the AWD-LSTM task (16 workers)",
+        "AWD-LSTM (Merity et al. 2018) surrogate",
+        "figure6",
+        "benchmarks/bench_fig6_awdlstm16.py",
+    ),
+    ExperimentSpec(
+        "fig7",
+        "Figure 7 (Appendix A.1)",
+        "Completions within 2000 time units vs drop probability / straggler std",
+        "unit-cost simulated workload (eta=4, r=1, R=256, n=256)",
+        "figure7",
+        "benchmarks/bench_fig7_stragglers.py",
+    ),
+    ExperimentSpec(
+        "fig8",
+        "Figure 8 (Appendix A.1)",
+        "Time until first completion vs drop probability / straggler std",
+        "unit-cost simulated workload",
+        "figure8",
+        "benchmarks/bench_fig8_first_completion.py",
+    ),
+    ExperimentSpec(
+        "fig9",
+        "Figure 9 (Appendix A.2)",
+        "Hyperband (by rung / by bracket) vs Fabolas vs Random",
+        "real synthetic-data SVM (vehicle/MNIST stand-ins) + CNN surrogates",
+        "figure9",
+        "benchmarks/bench_fig9_fabolas.py",
+    ),
+    ExperimentSpec(
+        "table1-3",
+        "Tables 1, 2, 3",
+        "Search-space definitions for the CNN/LSTM/AWD-LSTM tasks",
+        "definitions",
+        "SEQUENTIAL_BENCHMARKS",
+        "benchmarks/bench_tables_searchspaces.py",
+    ),
+    ExperimentSpec(
+        "claim-wallclock",
+        "Section 3.2",
+        "ASHA returns a fully trained config in 13/9 x time(R) (or time(R) checkpointed)",
+        "toy bracket, 9 workers",
+        "claim_wallclock",
+        "benchmarks/bench_claim_wallclock.py",
+    ),
+    ExperimentSpec(
+        "claim-scaling",
+        "Section 4.2",
+        "ASHA scales linearly with the number of workers",
+        "benchmark-2 surrogate, worker sweep {1, 5, 25}",
+        "figure4",
+        "benchmarks/bench_claim_linear_scaling.py",
+    ),
+    ExperimentSpec(
+        "claim-mispromotion",
+        "Section 3.3",
+        "Rung-0 mispromotions scale like sqrt(n)",
+        "Monte-Carlo on i.i.d. losses",
+        "claim_mispromotion",
+        "benchmarks/bench_claim_mispromotion.py",
+    ),
+)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    for spec in EXPERIMENTS:
+        if spec.experiment_id == experiment_id:
+            return spec
+    raise KeyError(f"unknown experiment {experiment_id!r}")

@@ -1,0 +1,62 @@
+"""Deterministic toy fixtures for Figures 1-2 and the Section 3.2 claims.
+
+Figure 2 depicts SHA and ASHA on Bracket 0 of the ``n = 9, r = 1, R = 9,
+eta = 3`` example, with configurations 1, 6 and 8 (1-indexed) promoted to
+rung 1 and configuration 8 to rung 2.  To replay that exact story we need
+(a) configurations arriving in a scripted order and (b) losses that realise
+the figure's ranking.  :func:`scripted_sampler` and :func:`toy_objective`
+provide both; tests assert the reproduced job sequence matches the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..objectives.curves import CurveProfile
+from ..objectives.surrogate import SurrogateObjective
+from ..searchspace import Config, SearchSpace, Uniform
+
+__all__ = ["FIGURE2_QUALITIES", "scripted_sampler", "toy_objective", "toy_space"]
+
+#: Qualities for trials 0..8 chosen so that, in arrival order, the rung-0
+#: promotions are trials 0, 5, 7 (configurations 1, 6, 8 in the figure's
+#: 1-indexed labels) and the rung-1 promotion is trial 7 (configuration 8).
+FIGURE2_QUALITIES: tuple[float, ...] = (0.3, 0.8, 0.9, 0.7, 0.6, 0.2, 0.5, 0.1, 0.4)
+
+
+def toy_space() -> SearchSpace:
+    return SearchSpace({"quality": Uniform(0.0, 1.0)})
+
+
+def scripted_sampler(qualities: Sequence[float]):
+    """A sampler that returns ``{"quality": q}`` for each q in order.
+
+    Raises if asked for more configurations than scripted — schedulers under
+    test must not over-sample.
+    """
+    queue = list(qualities)
+
+    def sample(rng: np.random.Generator) -> Config:
+        if not queue:
+            raise RuntimeError("scripted sampler exhausted")
+        return {"quality": queue.pop(0)}
+
+    return sample
+
+
+def toy_objective(max_resource: float = 9.0, *, constant: bool = True) -> SurrogateObjective:
+    """Loss equals the scripted quality (optionally with a mild curve).
+
+    With ``constant=True`` the loss is flat in the resource, so rankings are
+    identical at every rung — the assumption behind Figure 2's colouring.
+    """
+
+    def profile(config: Config, seed: int) -> CurveProfile:
+        q = config["quality"]
+        if constant:
+            return CurveProfile(asymptote=q, initial_loss=q, gamma=1.0, half_resource=1.0)
+        return CurveProfile(asymptote=q, initial_loss=q + 0.5, gamma=1.0, half_resource=2.0)
+
+    return SurrogateObjective(toy_space(), max_resource, profile)

@@ -1,0 +1,18 @@
+"""Model substrates for the model-based baselines (GP, KDE, acquisitions)."""
+
+from .acquisition import expected_improvement, propose_constant_liar, ucb
+from .gp import GaussianProcess
+from .kde import DensityEstimate, TPESampler
+from .kernels import Kernel, Matern52, RBF
+
+__all__ = [
+    "DensityEstimate",
+    "GaussianProcess",
+    "Kernel",
+    "Matern52",
+    "RBF",
+    "TPESampler",
+    "expected_improvement",
+    "propose_constant_liar",
+    "ucb",
+]

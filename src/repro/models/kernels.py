@@ -1,0 +1,79 @@
+"""Covariance kernels for the Gaussian-process substrate.
+
+Only what the model-based baselines need: RBF and Matern-5/2 over the unit
+hypercube, with per-kernel signal variance and a shared isotropic length
+scale.  Everything is vectorised numpy; no pairwise Python loops.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Kernel", "RBF", "Matern52", "cdist_sq"]
+
+
+def cdist_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (clipped: rounding can go negative)
+    sq = (
+        np.sum(a**2, axis=1)[:, None]
+        + np.sum(b**2, axis=1)[None, :]
+        - 2.0 * a @ b.T
+    )
+    return np.maximum(sq, 0.0)
+
+
+class Kernel(ABC):
+    """A positive-definite covariance function ``k(x, x')``."""
+
+    @abstractmethod
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix between rows of ``a`` and rows of ``b``."""
+
+    @abstractmethod
+    def with_params(self, length_scale: float, variance: float) -> "Kernel":
+        """A copy with new hyperparameters (used by grid marginal-likelihood tuning)."""
+
+
+@dataclass(frozen=True)
+class RBF(Kernel):
+    """Squared-exponential kernel ``variance * exp(-||x-x'||^2 / (2 l^2))``."""
+
+    length_scale: float = 0.25
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.variance <= 0:
+            raise ValueError("length_scale and variance must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = cdist_sq(a, b)
+        return self.variance * np.exp(-0.5 * sq / self.length_scale**2)
+
+    def with_params(self, length_scale: float, variance: float) -> "RBF":
+        return RBF(length_scale=length_scale, variance=variance)
+
+
+@dataclass(frozen=True)
+class Matern52(Kernel):
+    """Matern-5/2 kernel, the default in most Bayesian-optimisation services."""
+
+    length_scale: float = 0.25
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.variance <= 0:
+            raise ValueError("length_scale and variance must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d = np.sqrt(cdist_sq(a, b)) / self.length_scale
+        sqrt5d = np.sqrt(5.0) * d
+        return self.variance * (1.0 + sqrt5d + 5.0 / 3.0 * d**2) * np.exp(-sqrt5d)
+
+    def with_params(self, length_scale: float, variance: float) -> "Matern52":
+        return Matern52(length_scale=length_scale, variance=variance)

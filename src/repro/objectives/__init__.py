@@ -1,0 +1,38 @@
+"""Tuning workloads: the paper's benchmarks as surrogate or real objectives."""
+
+from . import (
+    cifar_convnet,
+    cifar_smallcnn,
+    mlp_real,
+    ptb_awd_lstm,
+    ptb_lstm,
+    sim_workload,
+    svhn_smallcnn,
+    svm,
+)
+from .base import Objective, config_seed
+from .curves import CurveProfile, advance_loss, curve_loss, invert_curve
+from .mlp_real import RealMLPObjective
+from .surrogate import CurveState, SurrogateObjective
+from .svm import SVMObjective
+
+__all__ = [
+    "CurveProfile",
+    "CurveState",
+    "Objective",
+    "RealMLPObjective",
+    "SVMObjective",
+    "SurrogateObjective",
+    "advance_loss",
+    "cifar_convnet",
+    "cifar_smallcnn",
+    "config_seed",
+    "curve_loss",
+    "invert_curve",
+    "mlp_real",
+    "ptb_awd_lstm",
+    "ptb_lstm",
+    "sim_workload",
+    "svhn_smallcnn",
+    "svm",
+]

@@ -1,0 +1,104 @@
+"""The objective protocol: what schedulers tune and backends execute.
+
+An :class:`Objective` is a resumable training process.  Backends hold one
+opaque *state* per trial (the "weights" / checkpoint) and advance it in
+resource increments:
+
+``state = initial_state(config)`` then repeatedly
+``state, loss = train(state, config, from_resource, to_resource)``.
+
+``cost`` reports how long an increment takes in backend time units — for the
+simulated cluster this *is* the clock; for the threaded backend it is
+ignored (real time is real).  The default cost model is the paper's
+assumption that "training time for a configuration scales linearly with the
+allocated resource" (Section 3.1), optionally scaled by a config-dependent
+multiplier (the source of benchmark 2's straggler pain in Section 4.2).
+
+Determinism contract: ``train`` must be a pure function of
+``(state, config, from_resource, to_resource)`` so that a configuration's
+learning curve is identical no matter which scheduler runs it — that is what
+makes cross-scheduler comparisons and the promotion-equivalence tests fair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ..searchspace import Config, SearchSpace
+
+__all__ = ["Objective", "config_seed"]
+
+
+def config_seed(config: Config, salt: int = 0) -> int:
+    """A stable 64-bit seed derived from a configuration's contents.
+
+    Uses a canonical JSON encoding hashed with blake2b, so the same
+    configuration yields the same seed across processes and schedulers
+    (Python's built-in ``hash`` is salted per process and unusable here).
+    """
+    payload = json.dumps(
+        {k: _canonical(v) for k, v in config.items()}, sort_keys=True
+    ).encode()
+    digest = hashlib.blake2b(payload, digest_size=8, salt=salt.to_bytes(8, "little"))
+    return int.from_bytes(digest.digest(), "little")
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise numpy scalars so json encoding is stable."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+class Objective(ABC):
+    """A resumable, deterministic training process over a search space."""
+
+    #: The hyperparameter space this objective is tuned over.
+    space: SearchSpace
+    #: The maximum meaningful resource ``R`` (informational; schedulers set
+    #: their own horizons).
+    max_resource: float
+
+    @abstractmethod
+    def initial_state(self, config: Config) -> Any:
+        """Fresh training state ("random init weights") for ``config``."""
+
+    @abstractmethod
+    def train(
+        self, state: Any, config: Config, from_resource: float, to_resource: float
+    ) -> tuple[Any, float]:
+        """Advance ``state`` from ``from_resource`` to ``to_resource``.
+
+        Returns the new state and the validation loss at ``to_resource``.
+        """
+
+    def cost(self, config: Config, from_resource: float, to_resource: float) -> float:
+        """Backend time units to train the increment.
+
+        Default: linear in the resource delta, scaled by
+        :meth:`cost_multiplier`.
+        """
+        return max(to_resource - from_resource, 0.0) * self.cost_multiplier(config)
+
+    def cost_multiplier(self, config: Config) -> float:
+        """Config-dependent per-unit training cost (default 1).
+
+        Benchmarks where model size varies (e.g. the small-CNN architecture
+        task, Table 1) override this — the paper reports a 30 +/- 27 minute
+        spread in time-to-R there, which drives synchronous SHA's straggler
+        problem.
+        """
+        return 1.0
+
+    def evaluate(self, config: Config, resource: float) -> float:
+        """Convenience: loss of ``config`` trained from scratch to ``resource``.
+
+        Used for offline validation of incumbents (the Appendix A.2
+        evaluation framework) and in tests.
+        """
+        state = self.initial_state(config)
+        _, loss = self.train(state, config, 0.0, resource)
+        return loss

@@ -1,0 +1,98 @@
+"""The modern AWD-LSTM benchmark (Section 4.3.1, Table 3).
+
+Merity et al. [2018]'s LSTM with DropConnect on PTB, with the paper's search
+space "constructed around their configuration" (Table 3).  Calibration from
+Figure 6 and the text:
+
+* Merity et al.'s own configuration reaches validation perplexity ~ 60.7
+  without fine-tuning; the best configuration ASHA found reached 60.2 — the
+  surrogate's optimum sits just above 59.9;
+* most of the space is mildly worse (validation perplexity 61-70, the
+  y-range of Figure 6), since the space is a tight box around a known-good
+  configuration;
+* training is 256 epochs (``r = 1, R = 256, eta = 4``); PBT runs
+  population 20 with explore/exploit every 8 epochs.
+
+Costs are nearly uniform (the architecture is fixed); only batch size and
+BPTT length move per-epoch time slightly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..searchspace import Choice, Config, LogUniform, SearchSpace, Uniform
+from .curves import CurveProfile
+from .response import band, log_band
+from .surrogate import SurrogateObjective, seeded_normal, seeded_uniform
+
+__all__ = ["space", "make_objective", "R", "BEST_PERPLEXITY", "INITIAL_PERPLEXITY"]
+
+R = 256.0
+BEST_PERPLEXITY = 59.2
+INITIAL_PERPLEXITY = 320.0
+
+
+def space() -> SearchSpace:
+    """Table 3: hyperparameters for the 16-GPU near-SOTA LSTM task."""
+    return SearchSpace(
+        {
+            "learning_rate": LogUniform(10.0, 100.0),
+            "dropout_rnn": Uniform(0.15, 0.35),
+            "dropout_input": Uniform(0.3, 0.5),
+            "dropout_embedding": Uniform(0.05, 0.2),
+            "dropout_output": Uniform(0.3, 0.5),
+            "dropout_dropconnect": Uniform(0.4, 0.6),
+            "weight_decay": LogUniform(0.5e-6, 2e-6),
+            "batch_size": Choice([15, 20, 25]),
+            "time_steps": Choice([65, 70, 75]),
+        }
+    )
+
+
+def profile(config: Config, seed: int) -> CurveProfile:
+    lr = config["learning_rate"]
+    # Rare blow-ups: very high lr with weak regularisation.
+    if lr > 70 and config["dropout_dropconnect"] < 0.45:
+        if seeded_uniform(seed, 3.0) < 0.5:
+            return CurveProfile(
+                asymptote=900.0,
+                initial_loss=1500.0,
+                gamma=0.2,
+                half_resource=R,
+                noise_std=0.02,
+            )
+    penalty = (
+        log_band(lr, 30.0, 0.35, 2.2)
+        + band(config["dropout_rnn"], 0.25, 0.07, 1.4)
+        + band(config["dropout_input"], 0.4, 0.07, 1.2)
+        + band(config["dropout_embedding"], 0.1, 0.05, 1.0)
+        + band(config["dropout_output"], 0.4, 0.07, 1.2)
+        + band(config["dropout_dropconnect"], 0.5, 0.07, 1.6)
+        + log_band(config["weight_decay"], 1.2e-6, 0.35, 0.8)
+        + band(float(config["batch_size"]), 20.0, 6.0, 0.3)
+        + band(float(config["time_steps"]), 70.0, 6.0, 0.2)
+    )
+    idiosyncratic = 1.0 * abs(seeded_normal(seed, 2.0))
+    asymptote = BEST_PERPLEXITY + penalty + idiosyncratic
+    cost = (config["batch_size"] / 20.0) ** 0.3 * (config["time_steps"] / 70.0) ** 0.3
+    # Config-seeded convergence-speed spread (uncorrelated with quality):
+    # learning curves cross, so rankings at 8 epochs differ from rankings at
+    # 256.  PBT's truncation selection acts on the 8-epoch view every round
+    # and systematically favours fast convergers; ASHA re-ranks at each
+    # deeper rung, which is the dynamic behind Figure 6's crossover.
+    half = 8.0 * 10.0 ** (0.25 * seeded_normal(seed, 5.0))
+    return CurveProfile(
+        asymptote=asymptote,
+        initial_loss=INITIAL_PERPLEXITY,
+        gamma=1.4,
+        half_resource=half,
+        noise_std=0.004,
+        cost_multiplier=cost,
+        noise_mode="relative",
+    )
+
+
+def make_objective(seed_salt: int = 0) -> SurrogateObjective:
+    """AWD-LSTM objective for the 16-worker benchmark (Figure 6)."""
+    return SurrogateObjective(space(), R, profile, seed_salt=seed_salt)

@@ -1,0 +1,55 @@
+"""Response-surface building blocks for the benchmark profile functions.
+
+Each surrogate benchmark composes its configuration-quality function from a
+handful of primitives: log-scale and linear-scale quadratic *bands* (there
+is a sweet spot; quality degrades away from it) and *ramps* (monotone
+better-with-more effects like network width).  Penalties are additive on the
+loss asymptote and capped so no single hyperparameter drives the loss out of
+its benchmark's plausible range — except explicit divergence, which the
+benchmarks model separately.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_band", "band", "ramp", "log_ramp"]
+
+
+def log_band(
+    value: float, optimum: float, width_decades: float, strength: float, cap: float = 4.0
+) -> float:
+    """Quadratic penalty in log10 space around ``optimum``.
+
+    ``width_decades`` is the scale at which the penalty reaches ``strength``;
+    the penalty saturates at ``strength * cap``.
+    """
+    if value <= 0 or optimum <= 0:
+        return strength * cap
+    z = (math.log10(value) - math.log10(optimum)) / width_decades
+    return strength * min(z * z, cap)
+
+
+def band(value: float, optimum: float, width: float, strength: float, cap: float = 4.0) -> float:
+    """Quadratic penalty on a linear scale around ``optimum``."""
+    z = (value - optimum) / width
+    return strength * min(z * z, cap)
+
+
+def ramp(value: float, low: float, high: float, strength: float) -> float:
+    """Monotone penalty: ``strength`` at ``value=low`` shrinking to 0 at ``high``.
+
+    Models better-with-more hyperparameters (layers, filters, hidden units).
+    """
+    if high <= low:
+        raise ValueError("ramp requires high > low")
+    frac = (min(max(value, low), high) - low) / (high - low)
+    return strength * (1.0 - frac)
+
+
+def log_ramp(value: float, low: float, high: float, strength: float) -> float:
+    """Like :func:`ramp` but interpolated in log10 space."""
+    if value <= 0 or low <= 0 or high <= low:
+        return strength
+    lv, ll, lh = math.log10(min(max(value, low), high)), math.log10(low), math.log10(high)
+    return strength * (1.0 - (lv - ll) / (lh - ll))

@@ -1,0 +1,42 @@
+"""The Appendix A.1 simulated workload for straggler/drop experiments.
+
+"We assume that the expected training time for each job is the same as the
+allocated resource" — cost is exactly the resource delta, and configuration
+quality is an arbitrary (uniform) draw, constant in rank across rungs.  The
+straggler multiplier and drop process live in the *cluster*
+(:class:`repro.backend.SimulatedCluster`), not here, matching the paper's
+setup where they are properties of the infrastructure.
+"""
+
+from __future__ import annotations
+
+from ..searchspace import Config, SearchSpace, Uniform
+from .curves import CurveProfile
+from .surrogate import SurrogateObjective
+
+__all__ = ["space", "make_objective", "R"]
+
+R = 256.0
+
+
+def space() -> SearchSpace:
+    """A single dummy hyperparameter; quality is i.i.d. uniform anyway."""
+    return SearchSpace({"x": Uniform(0.0, 1.0)})
+
+
+def profile(config: Config, seed: int) -> CurveProfile:
+    # Quality equals the sampled hyperparameter itself: uniform on [0, 1],
+    # with a mild learning curve so early rungs are informative.
+    quality = config["x"]
+    return CurveProfile(
+        asymptote=quality,
+        initial_loss=quality + 0.5,
+        gamma=1.0,
+        half_resource=8.0,
+        noise_std=0.0,
+    )
+
+
+def make_objective(seed_salt: int = 0) -> SurrogateObjective:
+    """Unit-cost workload used by Figures 7 and 8."""
+    return SurrogateObjective(space(), R, profile, seed_salt=seed_salt)

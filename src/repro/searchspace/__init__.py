@@ -1,0 +1,17 @@
+"""Search-space definitions and sampling."""
+
+from .domains import Choice, Domain, IntUniform, LogUniform, QUniform, Uniform
+from .encoding import UnitCubeEncoder
+from .space import Config, SearchSpace
+
+__all__ = [
+    "Choice",
+    "Config",
+    "Domain",
+    "IntUniform",
+    "LogUniform",
+    "QUniform",
+    "SearchSpace",
+    "Uniform",
+    "UnitCubeEncoder",
+]

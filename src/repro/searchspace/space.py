@@ -1,0 +1,138 @@
+"""Search spaces: named collections of hyperparameter domains.
+
+A :class:`SearchSpace` is the object every searcher in :mod:`repro.core`
+draws configurations from.  It supports uniform random sampling (SHA / ASHA /
+Hyperband / random search), PBT-style perturbation of an existing
+configuration, and clipping arbitrary dicts back into the space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from .domains import Choice, Domain
+
+__all__ = ["SearchSpace"]
+
+Config = dict[str, Any]
+
+
+class SearchSpace:
+    """An ordered mapping from hyperparameter name to :class:`Domain`.
+
+    Parameters
+    ----------
+    domains:
+        Mapping of hyperparameter name to domain.  Iteration order is
+        preserved and defines the dimension order used by
+        :mod:`repro.searchspace.encoding`.
+    """
+
+    def __init__(self, domains: Mapping[str, Domain]):
+        if not domains:
+            raise ValueError("SearchSpace requires at least one domain")
+        self._domains: dict[str, Domain] = dict(domains)
+
+    @property
+    def names(self) -> list[str]:
+        """Hyperparameter names in dimension order."""
+        return list(self._domains)
+
+    @property
+    def dim(self) -> int:
+        """Number of hyperparameters."""
+        return len(self._domains)
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._domains)
+
+    def __getitem__(self, name: str) -> Domain:
+        return self._domains[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._domains.items())
+        return f"SearchSpace({inner})"
+
+    def sample(self, rng: np.random.Generator) -> Config:
+        """Draw one configuration uniformly at random."""
+        return {name: dom.sample(rng) for name, dom in self._domains.items()}
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> list[Config]:
+        """Draw ``n`` i.i.d. configurations.
+
+        This is the paper's ``get_hyperparameter_configuration(n)``
+        subroutine (Algorithm 1, line 4).
+        """
+        return [self.sample(rng) for _ in range(n)]
+
+    def clip(self, config: Mapping[str, Any]) -> Config:
+        """Project every value of ``config`` back into its domain."""
+        self._check_keys(config)
+        return {name: dom.clip(config[name]) for name, dom in self._domains.items()}
+
+    def contains(self, config: Mapping[str, Any]) -> bool:
+        """Whether every value of ``config`` lies inside its domain."""
+        if set(config) != set(self._domains):
+            return False
+        return all(dom.contains(config[name]) for name, dom in self._domains.items())
+
+    def perturb(
+        self,
+        config: Mapping[str, Any],
+        rng: np.random.Generator,
+        *,
+        resample_probability: float = 0.25,
+        factors: tuple[float, float] = (0.8, 1.2),
+        frozen: frozenset[str] | set[str] = frozenset(),
+    ) -> Config:
+        """PBT explore step (Appendix A.3 of the paper).
+
+        With probability ``resample_probability`` a hyperparameter is
+        resampled uniformly from its domain; otherwise it is perturbed by a
+        factor of 0.8 or 1.2 (adjacent choice for discrete domains).
+        Hyperparameters named in ``frozen`` are copied unchanged — the paper
+        freezes architecture-changing hyperparameters because inherited
+        weights would be invalid if they moved.
+        """
+        self._check_keys(config)
+        out: Config = {}
+        for name, dom in self._domains.items():
+            if name in frozen:
+                out[name] = config[name]
+            elif rng.random() < resample_probability:
+                out[name] = dom.sample(rng)
+            else:
+                out[name] = dom.perturb(config[name], rng, factors)
+        return out
+
+    def grid(self, points_per_dim: int, rng: np.random.Generator | None = None) -> list[Config]:
+        """A coarse axis-aligned grid, used by acquisition optimisers.
+
+        Categorical domains contribute all of their values; continuous
+        domains contribute ``points_per_dim`` evenly spaced quantiles.  The
+        cross product is capped implicitly by callers choosing small
+        ``points_per_dim``.
+        """
+        axes: list[list[Any]] = []
+        for dom in self._domains.values():
+            if isinstance(dom, Choice):
+                axes.append(list(dom.values))
+            else:
+                axes.append([dom.from_unit(u) for u in np.linspace(0.0, 1.0, points_per_dim)])
+        configs: list[Config] = [{}]
+        for name, axis in zip(self._domains, axes):
+            configs = [dict(c, **{name: v}) for c in configs for v in axis]
+        return configs
+
+    def _check_keys(self, config: Mapping[str, Any]) -> None:
+        missing = set(self._domains) - set(config)
+        if missing:
+            raise KeyError(f"config missing hyperparameters: {sorted(missing)}")

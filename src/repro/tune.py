@@ -1,0 +1,207 @@
+"""High-level entry point: tune a plain Python function with one call.
+
+Everything in :mod:`repro.core` speaks the scheduler/objective protocols;
+this module is the friendly wrapper a downstream user reaches for first:
+
+    from repro import tune
+    from repro.searchspace import LogUniform, SearchSpace
+
+    space = SearchSpace({"lr": LogUniform(1e-4, 1.0)})
+
+    def train(config, state, from_resource, to_resource):
+        ...train incrementally...
+        return state, validation_loss
+
+    result = tune(train, space, max_resource=81, scheduler="asha",
+                  num_workers=8, time_limit=5_000, seed=0)
+    print(result.best_config, result.best_loss)
+
+The training callable receives ``(config, state, from_resource,
+to_resource)`` and returns ``(state, loss)``; pass ``state=None`` through if
+your function is not resumable (it will then be retrained from scratch at
+each fidelity, and you should set ``scheduler_kwargs={"from_checkpoint":
+False}`` for SHA-family schedulers so budgets are accounted correctly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .backend import SimulatedCluster, ThreadPoolBackend
+from .backend.trial_runner import BackendResult
+from .core import (
+    ASHA,
+    BOHB,
+    PBT,
+    AsyncHyperband,
+    Hyperband,
+    RandomSearch,
+    Scheduler,
+    SynchronousSHA,
+    VizierGP,
+)
+from .objectives.base import Objective
+from .searchspace import Config, SearchSpace
+
+__all__ = ["tune", "TuneResult", "FunctionObjective", "SCHEDULERS"]
+
+TrainFn = Callable[[Config, Any, float, float], tuple[Any, float]]
+
+
+class FunctionObjective(Objective):
+    """Adapt a plain training callable to the :class:`Objective` protocol.
+
+    Parameters
+    ----------
+    train_fn:
+        ``(config, state, from_resource, to_resource) -> (state, loss)``.
+    space, max_resource:
+        Search space and maximum resource.
+    cost_fn:
+        Optional ``(config, from_resource, to_resource) -> simulated cost``;
+        defaults to the resource delta (only used by the simulated backend).
+    """
+
+    def __init__(
+        self,
+        train_fn: TrainFn,
+        space: SearchSpace,
+        max_resource: float,
+        cost_fn: Callable[[Config, float, float], float] | None = None,
+    ):
+        self.space = space
+        self.max_resource = max_resource
+        self._train_fn = train_fn
+        self._cost_fn = cost_fn
+
+    def initial_state(self, config: Config) -> Any:
+        return None
+
+    def train(self, state: Any, config: Config, from_resource: float, to_resource: float):
+        return self._train_fn(config, state, from_resource, to_resource)
+
+    def cost(self, config: Config, from_resource: float, to_resource: float) -> float:
+        if self._cost_fn is not None:
+            return self._cost_fn(config, from_resource, to_resource)
+        return super().cost(config, from_resource, to_resource)
+
+
+def _build_scheduler(
+    name: str,
+    space: SearchSpace,
+    rng: np.random.Generator,
+    *,
+    min_resource: float,
+    max_resource: float,
+    eta: int,
+    kwargs: dict,
+) -> Scheduler:
+    if name == "asha":
+        return ASHA(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "sha":
+        kwargs.setdefault("n", max(int(eta ** np.floor(np.log(max_resource / min_resource) / np.log(eta))), eta))
+        return SynchronousSHA(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "hyperband":
+        return Hyperband(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "async_hyperband":
+        return AsyncHyperband(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "bohb":
+        kwargs.setdefault("n", max(int(eta ** np.floor(np.log(max_resource / min_resource) / np.log(eta))), eta))
+        return BOHB(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "random":
+        return RandomSearch(space, rng, max_resource=max_resource, **kwargs)
+    if name == "pbt":
+        kwargs.setdefault("interval", max_resource / 8.0)
+        return PBT(space, rng, max_resource=max_resource, **kwargs)
+    if name == "gp":
+        return VizierGP(space, rng, max_resource=max_resource, **kwargs)
+    raise KeyError(f"unknown scheduler {name!r}; options: {sorted(SCHEDULERS)}")
+
+
+#: Scheduler names accepted by :func:`tune`.
+SCHEDULERS = ("asha", "sha", "hyperband", "async_hyperband", "bohb", "random", "pbt", "gp")
+
+
+@dataclass
+class TuneResult:
+    """What :func:`tune` hands back."""
+
+    best_config: Config | None
+    best_loss: float | None
+    scheduler: Scheduler
+    backend_result: BackendResult
+    num_trials: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+def tune(
+    train_fn: TrainFn,
+    space: SearchSpace,
+    *,
+    max_resource: float,
+    min_resource: float = 1.0,
+    eta: int = 4,
+    scheduler: str = "asha",
+    scheduler_kwargs: dict | None = None,
+    num_workers: int = 4,
+    time_limit: float | None = None,
+    backend: str = "simulated",
+    cost_fn: Callable[[Config, float, float], float] | None = None,
+    seed: int = 0,
+) -> TuneResult:
+    """Tune ``train_fn`` over ``space`` and return the best configuration.
+
+    Parameters
+    ----------
+    scheduler:
+        One of :data:`SCHEDULERS` (default ``"asha"``).
+    backend:
+        ``"simulated"`` (discrete-event clock driven by ``cost_fn``) or
+        ``"threads"`` (real wall-clock parallel execution; ``time_limit``
+        is then in seconds).
+    time_limit:
+        Backend time budget; defaults to ``50 * max_resource`` simulated
+        units (or 60 s for the thread backend).
+    """
+    objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
+    rng = np.random.default_rng(seed)
+    sched = _build_scheduler(
+        scheduler,
+        space,
+        rng,
+        min_resource=min_resource,
+        max_resource=max_resource,
+        eta=eta,
+        kwargs=dict(scheduler_kwargs or {}),
+    )
+    if backend == "simulated":
+        limit = time_limit if time_limit is not None else 50.0 * max_resource
+        result = SimulatedCluster(num_workers, seed=seed).run(
+            sched, objective, time_limit=limit
+        )
+    elif backend == "threads":
+        limit = time_limit if time_limit is not None else 60.0
+        result = ThreadPoolBackend(num_workers).run(sched, objective, time_limit=limit)
+    else:
+        raise KeyError(f"unknown backend {backend!r}; options: simulated, threads")
+    best = sched.best_trial()
+    return TuneResult(
+        best_config=best.config if best else None,
+        best_loss=best.last_loss if best else None,
+        scheduler=sched,
+        backend_result=result,
+        num_trials=sched.num_trials,
+    )

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] < line[-1]  # unicode blocks sort by height
+
+    def test_constant_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_nonfinite_as_spaces(self):
+        line = sparkline([float("inf"), 1.0, float("nan"), 2.0])
+        assert line[0] == " "
+        assert line[2] == " "
+
+    def test_all_nonfinite(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        grid = np.linspace(0, 10, 20)
+        out = render_chart(
+            grid,
+            {"down": 1.0 - grid / 20.0, "up": grid / 20.0},
+            width=40,
+            height=8,
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) >= 8 + 3
+        assert "A=down" in out and "B=up" in out
+
+    def test_markers_placed(self):
+        grid = [0.0, 1.0]
+        out = render_chart(grid, {"s": [0.0, 1.0]}, width=20, height=5)
+        assert "A" in out
+
+    def test_nonfinite_skipped(self):
+        grid = [0.0, 1.0, 2.0]
+        out = render_chart(grid, {"s": [float("inf"), 0.5, 1.0]}, width=20, height=5)
+        assert "A" in out
+
+    def test_no_finite_data(self):
+        assert render_chart([0.0], {"s": [float("inf")]}) == "(no finite data)"
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0.0], {f"s{i}": [0.0] for i in range(40)})
+
+    def test_y_bounds_labelled(self):
+        out = render_chart([0, 1], {"s": [2.0, 8.0]}, width=20, height=5)
+        assert "8" in out.splitlines()[0]
+        assert "2" in out.splitlines()[4]

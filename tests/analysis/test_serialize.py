@@ -1,0 +1,79 @@
+"""Round-trip tests for result serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AggregateCurve,
+    IncumbentTrace,
+    RunRecord,
+    aggregate,
+    curve_from_dict,
+    curve_to_dict,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    save_records,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.backend.trial_runner import BackendResult
+
+
+def make_trace():
+    trace = IncumbentTrace()
+    trace.append(1.0, 0.9, 3)
+    trace.append(2.5, 0.4, 7)
+    return trace
+
+
+def test_trace_round_trip():
+    original = make_trace()
+    restored = trace_from_dict(trace_to_dict(original))
+    assert restored.times == original.times
+    assert restored.values == original.values
+    assert restored.trial_ids == original.trial_ids
+
+
+def test_trace_with_nonfinite_values():
+    trace = IncumbentTrace()
+    trace.append(0.0, float("inf"), 0)
+    trace.append(1.0, float("nan"), 1)
+    restored = trace_from_dict(trace_to_dict(trace))
+    assert restored.values[0] == float("inf")
+    assert restored.values[1] != restored.values[1]  # NaN
+
+
+def test_record_round_trip_drops_backend():
+    backend = BackendResult(jobs_dispatched=7, elapsed=10.0, utilization=0.9)
+    record = RunRecord(method="ASHA", seed=3, trace=make_trace(), backend=backend)
+    data = record_to_dict(record)
+    assert data["summary"]["jobs_dispatched"] == 7
+    restored = record_from_dict(data)
+    assert restored.method == "ASHA"
+    assert restored.seed == 3
+    assert restored.backend is None
+    assert restored.trace.final == 0.4
+
+
+def test_curve_round_trip():
+    grid = np.linspace(0, 10, 5)
+    records = [RunRecord("m", i, make_trace()) for i in range(3)]
+    curve = aggregate("m", records, grid)
+    restored = curve_from_dict(curve_to_dict(curve))
+    np.testing.assert_allclose(restored.grid, curve.grid)
+    np.testing.assert_allclose(restored.mean, curve.mean)
+    np.testing.assert_allclose(restored.lo, curve.lo)
+    assert restored.method == "m"
+
+
+def test_save_load_records(tmp_path):
+    records = [RunRecord("ASHA", i, make_trace()) for i in range(4)]
+    path = str(tmp_path / "records.json")
+    save_records(path, records)
+    restored = load_records(path)
+    assert len(restored) == 4
+    assert [r.seed for r in restored] == [0, 1, 2, 3]
+    assert all(r.trace.final == 0.4 for r in restored)

@@ -1,0 +1,100 @@
+"""Tests for the run-record statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import IncumbentTrace, RunRecord
+from repro.analysis.stats import (
+    bootstrap_ci,
+    final_values,
+    summarize,
+    time_to_target,
+    times_to_target,
+    win_matrix,
+)
+
+
+def record(method, seed, points):
+    trace = IncumbentTrace()
+    for t, v in points:
+        trace.append(t, v, 0)
+    return RunRecord(method=method, seed=seed, trace=trace)
+
+
+class TestBootstrapCI:
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_contains_mean_for_tight_data(self):
+        lo, hi = bootstrap_ci([5.0] * 10)
+        assert lo == hi == 5.0
+
+    def test_widens_with_spread(self):
+        tight = bootstrap_ci([1.0, 1.1, 0.9, 1.0, 1.05, 0.95])
+        wide = bootstrap_ci([0.0, 2.0, 0.1, 1.9, 0.2, 1.8])
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_deterministic_given_seed(self):
+        values = list(np.random.default_rng(0).random(20))
+        assert bootstrap_ci(values, seed=1) == bootstrap_ci(values, seed=1)
+
+
+class TestTimeToTarget:
+    def test_first_crossing(self):
+        r = record("m", 0, [(1.0, 0.9), (5.0, 0.4), (9.0, 0.2)])
+        assert time_to_target(r, 0.5, horizon=100.0) == 5.0
+        assert time_to_target(r, 0.9, horizon=100.0) == 1.0
+
+    def test_censoring(self):
+        r = record("m", 0, [(1.0, 0.9)])
+        assert time_to_target(r, 0.1, horizon=50.0) == 50.0
+
+    def test_batch(self):
+        records = [record("m", i, [(float(i + 1), 0.1)]) for i in range(3)]
+        assert times_to_target(records, 0.5, horizon=10.0) == [1.0, 2.0, 3.0]
+
+
+class TestWinMatrix:
+    def test_paired_wins(self):
+        by_method = {
+            "A": [record("A", 0, [(1.0, 0.1)]), record("A", 1, [(1.0, 0.5)])],
+            "B": [record("B", 0, [(1.0, 0.2)]), record("B", 1, [(1.0, 0.4)])],
+        }
+        wins = win_matrix(by_method)
+        assert wins[("A", "B")] == 0.5
+        assert wins[("B", "A")] == 0.5
+
+    def test_no_shared_seeds_is_nan(self):
+        by_method = {
+            "A": [record("A", 0, [(1.0, 0.1)])],
+            "B": [record("B", 5, [(1.0, 0.2)])],
+        }
+        wins = win_matrix(by_method)
+        assert wins[("A", "B")] != wins[("A", "B")]  # NaN
+
+
+class TestSummarize:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_target_requires_horizon(self):
+        with pytest.raises(ValueError):
+            summarize([record("m", 0, [(1.0, 0.5)])], target=0.4)
+
+    def test_full_summary(self):
+        records = [
+            record("m", 0, [(2.0, 0.4), (8.0, 0.2)]),
+            record("m", 1, [(3.0, 0.45)]),
+        ]
+        s = summarize(records, target=0.41, horizon=10.0)
+        assert s.method == "m"
+        assert s.num_seeds == 2
+        assert s.final_mean == pytest.approx((0.2 + 0.45) / 2)
+        assert s.final_ci[0] <= s.final_mean <= s.final_ci[1]
+        # Seed 0 hits 0.41 at t=2; seed 1 never does (censored at 10).
+        assert s.time_to_target_mean == pytest.approx(6.0)
+        assert s.censored_runs == 1

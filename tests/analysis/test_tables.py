@@ -1,0 +1,46 @@
+"""Tests for the ASCII table renderer used by the benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_ints_and_floats(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(0.123456, precision=3) == "0.123"
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value("abc") == "abc"
+        assert format_value(np.float64(2.5)) == "2.5"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"], [["a", 1], ["bb", 22.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2].replace(" ", "")) == {"-"}
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned
+
+
+def test_render_series_thins_grid():
+    grid = list(range(100))
+    out = render_series(grid, {"a": list(range(100))}, max_points=5)
+    data_lines = out.splitlines()[2:]
+    assert len(data_lines) <= 6
+    assert data_lines[0].split()[0] == "0"
+    assert data_lines[-1].split()[0] == "99"
+
+
+def test_render_series_multiple_columns():
+    grid = [0.0, 1.0]
+    out = render_series(grid, {"x": [1, 2], "y": [3, 4]}, time_label="t")
+    header = out.splitlines()[0].split()
+    assert header == ["t", "x", "y"]

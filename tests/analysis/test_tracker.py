@@ -1,0 +1,99 @@
+"""Tests for incumbent tracking and the two accounting schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import IncumbentTrace, trace_incumbent
+from repro.backend import SimulatedCluster
+from repro.backend.trial_runner import BackendResult
+from repro.core import Hyperband, RandomSearch
+from repro.core.types import Measurement
+from repro.experiments.toys import toy_objective
+
+
+class TestIncumbentTrace:
+    def test_value_at_step_function(self):
+        trace = IncumbentTrace()
+        trace.append(1.0, 0.5, 0)
+        trace.append(3.0, 0.3, 1)
+        assert trace.value_at(0.5) == float("inf")
+        assert trace.value_at(1.0) == 0.5
+        assert trace.value_at(2.9) == 0.5
+        assert trace.value_at(3.0) == 0.3
+        assert trace.value_at(100.0) == 0.3
+        assert trace.final == 0.3
+
+    def test_resample(self):
+        trace = IncumbentTrace()
+        trace.append(1.0, 0.5, 0)
+        trace.append(3.0, 0.3, 1)
+        grid = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(
+            trace.resample(grid), [np.inf, 0.5, 0.5, 0.3, 0.3]
+        )
+
+    def test_empty_trace_resample(self):
+        assert np.all(np.isinf(IncumbentTrace().resample(np.array([0.0, 1.0]))))
+
+    def test_times_must_not_decrease(self):
+        trace = IncumbentTrace()
+        trace.append(2.0, 0.5, 0)
+        with pytest.raises(ValueError):
+            trace.append(1.0, 0.4, 1)
+
+
+class TestByRungAccounting:
+    def test_running_minimum(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=20)
+        backend = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=1e6)
+        trace = trace_incumbent(backend, rs)
+        assert trace.values == sorted(trace.values, reverse=True)
+        observed = [m.loss for m in backend.measurements]
+        assert trace.final == min(observed)
+
+    def test_nan_losses_skipped(self, one_d_space, rng):
+        result = BackendResult()
+        result.measurements = [
+            Measurement(0, 1.0, float("nan"), time=1.0),
+            Measurement(1, 1.0, 0.4, time=2.0),
+        ]
+        result.bracket_snapshots = [None, None]
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        rs.new_trial({"quality": 0.5})
+        rs.new_trial({"quality": 0.4})
+        trace = trace_incumbent(result, rs)
+        assert trace.values == [0.4]
+
+    def test_evaluate_callback(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=5)
+        backend = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=1e6)
+        trace = trace_incumbent(backend, rs, evaluate=lambda config, r: 42.0)
+        assert set(trace.values) == {42.0}
+
+
+class TestByBracketAccounting:
+    def test_updates_only_on_bracket_completion(self, one_d_space, rng, toy_obj):
+        hb = Hyperband(
+            one_d_space, rng, min_resource=1.0, max_resource=9.0, eta=3, max_loops=1
+        )
+        backend = SimulatedCluster(1, seed=0).run(hb, toy_obj, time_limit=1e6)
+        by_rung = trace_incumbent(backend, hb, accounting="by_rung")
+        by_bracket = trace_incumbent(backend, hb, accounting="by_bracket")
+        assert len(by_bracket.times) <= hb.completed_brackets
+        # By-bracket incumbency can never lead by-rung incumbency.
+        for t in np.linspace(0.0, backend.elapsed, 20):
+            assert by_bracket.value_at(t) >= by_rung.value_at(t) - 1e-12
+
+    def test_scheduler_without_brackets_never_updates(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=10)
+        backend = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=1e6)
+        trace = trace_incumbent(backend, rs, accounting="by_bracket")
+        assert trace.times == []
+
+    def test_unknown_accounting_rejected(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=2)
+        backend = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=1e6)
+        with pytest.raises(ValueError):
+            trace_incumbent(backend, rs, accounting="by_vibes")

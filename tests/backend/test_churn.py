@@ -1,0 +1,71 @@
+"""Tests for simulated worker churn (workers dying and rejoining)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import ASHA, RandomSearch
+from repro.experiments.toys import toy_objective
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimulatedCluster(2, churn_rate=-1.0)
+    with pytest.raises(ValueError):
+        SimulatedCluster(2, churn_downtime=-1.0)
+
+
+def test_churn_kills_jobs(one_d_space, rng, toy_obj):
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+    cluster = SimulatedCluster(4, seed=1, churn_rate=0.1, churn_downtime=3.0)
+    result = cluster.run(rs, toy_obj, time_limit=500.0)
+    assert result.failures  # churn really killed jobs
+    assert result.measurements  # and the search still progressed
+
+
+def test_churn_reduces_throughput(one_d_space, toy_obj):
+    def completions(churn_rate):
+        rng = np.random.default_rng(0)
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        cluster = SimulatedCluster(
+            4, seed=2, churn_rate=churn_rate, churn_downtime=10.0
+        )
+        result = cluster.run(rs, toy_obj, time_limit=500.0)
+        return len(result.completions)
+
+    assert completions(0.2) < completions(0.0)
+
+
+def test_asha_survives_heavy_churn():
+    objective = toy_objective(max_resource=16.0, constant=False)
+    rng = np.random.default_rng(3)
+    asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=16.0, eta=4)
+    cluster = SimulatedCluster(4, seed=3, churn_rate=0.2, churn_downtime=5.0)
+    result = cluster.run(asha, objective, time_limit=800.0)
+    assert len(result.failures) > 10
+    assert asha.best_trial() is not None
+    assert asha.best_trial().last_loss < 0.4
+
+
+def test_churn_deterministic():
+    def trace():
+        objective = toy_objective(max_resource=16.0, constant=False)
+        rng = np.random.default_rng(5)
+        asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=16.0, eta=4)
+        cluster = SimulatedCluster(3, seed=5, churn_rate=0.1, churn_downtime=2.0)
+        result = cluster.run(asha, objective, time_limit=300.0)
+        return [(m.trial_id, m.time) for m in result.measurements]
+
+    assert trace() == trace()
+
+
+def test_worker_count_restored_after_downtime(one_d_space, rng, toy_obj):
+    """With downtime 0+, churn costs only the killed jobs, not capacity."""
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+    cluster = SimulatedCluster(2, seed=7, churn_rate=0.05, churn_downtime=1e-6)
+    result = cluster.run(rs, toy_obj, time_limit=300.0)
+    # Two workers over 300 units at cost 9/job: near 66 jobs minus kills.
+    total = len(result.measurements) + len(result.failures)
+    assert total >= 55

@@ -1,0 +1,66 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, "c")
+    q.push(1.0, "a")
+    q.push(2.0, "b")
+    assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_fifo_tie_break():
+    q = EventQueue()
+    q.push(1.0, "first")
+    q.push(1.0, "second")
+    q.push(1.0, "third")
+    assert [q.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_clock_advances_monotonically():
+    q = EventQueue()
+    for t in (5.0, 1.0, 3.0):
+        q.push(t, "e")
+    times = [q.pop().time for _ in range(3)]
+    assert times == sorted(times)
+    assert q.clock == 5.0
+
+
+def test_rejects_past_events():
+    q = EventQueue()
+    q.push(2.0, "e")
+    q.pop()
+    with pytest.raises(ValueError):
+        q.push(1.0, "late")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_peek_and_len():
+    q = EventQueue()
+    assert q.peek_time() is None
+    assert not q
+    q.push(1.5, "e")
+    assert q.peek_time() == 1.5
+    assert len(q) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(times=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=50))
+def test_drain_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, "e", payload=t)
+    drained = [q.pop().payload for _ in range(len(times))]
+    assert drained == sorted(times)

@@ -1,0 +1,136 @@
+"""Tests for the simulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import SimulatedCluster
+from repro.core import ASHA, RandomSearch
+from repro.experiments.toys import toy_objective
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimulatedCluster(0)
+    with pytest.raises(ValueError):
+        SimulatedCluster(1, straggler_std=-1.0)
+    with pytest.raises(ValueError):
+        SimulatedCluster(1, drop_probability=1.0)
+    with pytest.raises(ValueError):
+        SimulatedCluster(1).run(None, None, time_limit=0.0)  # type: ignore[arg-type]
+
+
+class TestTiming:
+    def test_sequential_timing_exact(self, one_d_space, rng, toy_obj):
+        """One worker, jobs of cost 9 each: completions at 9, 18, 27, ..."""
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=3)
+        result = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=1e6)
+        times = [m.time for m in result.measurements]
+        assert times == [9.0, 18.0, 27.0]
+
+    def test_parallel_timing_exact(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=4)
+        result = SimulatedCluster(2, seed=0).run(rs, toy_obj, time_limit=1e6)
+        times = sorted(m.time for m in result.measurements)
+        assert times == [9.0, 9.0, 18.0, 18.0]
+
+    def test_time_limit_respected(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        result = SimulatedCluster(1, seed=0).run(rs, toy_obj, time_limit=20.0)
+        assert all(m.time <= 20.0 for m in result.measurements)
+        assert len(result.measurements) == 2
+        assert result.elapsed == 20.0
+
+    def test_utilization_full_for_anytime_scheduler(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        result = SimulatedCluster(4, seed=0).run(rs, toy_obj, time_limit=100.0)
+        assert result.utilization == pytest.approx(1.0, abs=0.05)
+
+    def test_stragglers_stretch_durations(self, one_d_space, toy_obj):
+        rng = np.random.default_rng(0)
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=5)
+        result = SimulatedCluster(1, seed=3, straggler_std=1.0).run(
+            rs, toy_obj, time_limit=1e6
+        )
+        gaps = np.diff([0.0] + [m.time for m in result.measurements])
+        assert np.all(gaps >= 9.0)  # (1 + |z|) multiplier never shrinks a job
+        assert np.any(gaps > 9.0)
+
+
+class TestDrops:
+    def test_drop_probability_zero_no_failures(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=20)
+        result = SimulatedCluster(2, seed=0).run(rs, toy_obj, time_limit=1e6)
+        assert result.failures == []
+
+    def test_drops_happen_and_are_reported(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=200)
+        result = SimulatedCluster(4, seed=1, drop_probability=0.05).run(
+            rs, toy_obj, time_limit=1e6
+        )
+        # Survival over 9 units at p=0.05 is ~0.63: expect many drops.
+        assert len(result.failures) > 20
+        assert len(result.measurements) + len(result.failures) == 200
+
+    def test_drop_time_before_completion(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=100)
+        result = SimulatedCluster(1, seed=2, drop_probability=0.1).run(
+            rs, toy_obj, time_limit=1e6
+        )
+        # A dropped job frees the worker *early*: the run must take strictly
+        # less total time than 100 successful jobs would have.
+        assert result.failures
+        assert result.elapsed < 100 * 9.0
+
+
+class TestCompletionLog:
+    def test_completions_at_max_resource_only(self, one_d_space, rng, toy_obj):
+        asha = ASHA(one_d_space, rng, min_resource=1.0, max_resource=9.0, eta=3, max_trials=9)
+        result = SimulatedCluster(3, seed=0).run(asha, toy_obj, time_limit=1e6)
+        assert len(result.completions) == 1
+        assert result.num_completions() == 1
+        assert result.first_completion_time() is not None
+
+    def test_stop_on_first_completion(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        result = SimulatedCluster(2, seed=0).run(
+            rs, toy_obj, time_limit=1e6, stop_on_first_completion=True
+        )
+        assert len(result.completions) == 1
+
+    def test_max_measurements_cap(self, one_d_space, rng, toy_obj):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        result = SimulatedCluster(2, seed=0).run(
+            rs, toy_obj, time_limit=1e6, max_measurements=7
+        )
+        assert len(result.measurements) == 7
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_simulation_fully_deterministic(seed):
+    """Identical seeds produce bit-identical traces."""
+    def run_once():
+        objective = toy_objective(max_resource=9.0, constant=False)
+        rng = np.random.default_rng(seed)
+        asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+        cluster = SimulatedCluster(3, seed=seed, straggler_std=0.5, drop_probability=0.01)
+        result = cluster.run(asha, objective, time_limit=100.0)
+        return [(m.trial_id, m.resource, m.loss, m.time) for m in result.measurements]
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), workers=st.integers(1, 8))
+def test_measurement_times_nondecreasing(seed, workers):
+    objective = toy_objective(max_resource=9.0, constant=False)
+    rng = np.random.default_rng(seed)
+    asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+    cluster = SimulatedCluster(workers, seed=seed, straggler_std=0.3)
+    result = cluster.run(asha, objective, time_limit=60.0)
+    times = [m.time for m in result.measurements]
+    assert times == sorted(times)

@@ -1,0 +1,63 @@
+"""Tests for the real thread-pool backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ThreadPoolBackend
+from repro.core import ASHA, RandomSearch
+from repro.experiments.toys import toy_objective
+from repro.objectives import mlp_real
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ThreadPoolBackend(0)
+    with pytest.raises(ValueError):
+        ThreadPoolBackend(2).run(None, None, time_limit=0.0)  # type: ignore[arg-type]
+
+
+def test_runs_surrogate_search_to_done(one_d_space, rng, toy_obj):
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=10)
+    backend = ThreadPoolBackend(4, poll_interval=0.001)
+    result = backend.run(rs, toy_obj, time_limit=30.0)
+    assert rs.is_done()
+    assert len(result.measurements) == 10
+
+
+def test_asha_on_real_mlp():
+    """End to end: ASHA really trains numpy MLPs in parallel threads."""
+    objective = mlp_real.make_objective(max_epochs=8, num_train=96, num_val=64)
+    rng = np.random.default_rng(0)
+    asha = ASHA(
+        objective.space, rng, min_resource=1.0, max_resource=8.0, eta=2, max_trials=12
+    )
+    backend = ThreadPoolBackend(4, poll_interval=0.001)
+    result = backend.run(asha, objective, time_limit=120.0)
+    assert asha.is_done()
+    assert result.measurements
+    best = asha.best_trial()
+    assert best is not None
+    assert best.last_loss < 0.5  # better than coin-flipping on two spirals
+
+
+def test_objective_exception_reported_as_failure(one_d_space, rng):
+    class ExplodingObjective:
+        space = one_d_space
+        max_resource = 9.0
+
+        def initial_state(self, config):
+            return None
+
+        def train(self, state, config, from_resource, to_resource):
+            raise RuntimeError("boom")
+
+        def cost(self, config, a, b):
+            return b - a
+
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=3)
+    backend = ThreadPoolBackend(2, poll_interval=0.001)
+    result = backend.run(rs, ExplodingObjective(), time_limit=10.0)
+    assert len(result.failures) == 3
+    assert result.measurements == []

@@ -1,0 +1,53 @@
+"""Unit tests for the shared backend plumbing (BackendResult, record_report)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.trial_runner import BackendResult, record_report
+from repro.core import RandomSearch
+
+
+class TestBackendResult:
+    def test_first_completion_time(self):
+        result = BackendResult()
+        assert result.first_completion_time() is None
+        result.completions = [(5.0, 1), (9.0, 2)]
+        assert result.first_completion_time() == 5.0
+
+    def test_num_completions_by_time(self):
+        result = BackendResult(completions=[(5.0, 1), (9.0, 2), (20.0, 3)])
+        assert result.num_completions() == 3
+        assert result.num_completions(by_time=9.0) == 2
+        assert result.num_completions(by_time=1.0) == 0
+
+
+class TestRecordReport:
+    def test_routes_to_scheduler_and_logs(self, one_d_space, rng):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        job = rs.next_job()
+        result = BackendResult()
+        record_report(result, rs, job, loss=0.4, time=7.0, max_resource=9.0)
+        assert len(result.measurements) == 1
+        m = result.measurements[0]
+        assert (m.trial_id, m.resource, m.loss, m.time) == (job.trial_id, 9.0, 0.4, 7.0)
+        assert result.completions == [(7.0, job.trial_id)]
+        # The scheduler recorded its own copy on the trial.
+        assert rs.trials[job.trial_id].last_loss == 0.4
+
+    def test_partial_resource_not_a_completion(self, one_d_space, rng):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        job = rs.next_job()
+        result = BackendResult()
+        record_report(result, rs, job, loss=0.4, time=7.0, max_resource=20.0)
+        assert result.completions == []
+
+    def test_bracket_snapshots_parallel_to_measurements(self, one_d_space, rng):
+        rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+        result = BackendResult()
+        for _ in range(3):
+            job = rs.next_job()
+            record_report(result, rs, job, loss=0.5, time=1.0, max_resource=None)
+        assert len(result.bracket_snapshots) == len(result.measurements) == 3
+        assert result.bracket_snapshots == [None, None, None]  # no bracket notion

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.toys import toy_objective, toy_space
+from repro.searchspace import Choice, IntUniform, LogUniform, SearchSpace, Uniform
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def mixed_space() -> SearchSpace:
+    """A space with one domain of every kind (encoding/sampling tests)."""
+    return SearchSpace(
+        {
+            "lr": LogUniform(1e-5, 1.0),
+            "width": IntUniform(4, 64),
+            "momentum": Uniform(0.0, 1.0),
+            "batch": Choice([16, 32, 64, 128]),
+        }
+    )
+
+
+@pytest.fixture
+def toy_obj():
+    """Flat-loss toy objective on a 1-d space (quality == loss)."""
+    return toy_objective(max_resource=9.0)
+
+
+@pytest.fixture
+def curved_toy_obj():
+    """Toy objective with a decaying learning curve."""
+    return toy_objective(max_resource=9.0, constant=False)
+
+
+@pytest.fixture
+def one_d_space() -> SearchSpace:
+    return toy_space()

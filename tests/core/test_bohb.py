@@ -1,0 +1,66 @@
+"""Tests for BOHB (sync SHA + TPE sampling) and the AsyncBOHB extension."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import SimulatedCluster
+from repro.core import BOHB, AsyncBOHB
+from repro.experiments.toys import toy_objective
+from repro.searchspace import SearchSpace, Uniform
+
+
+def quality_objective():
+    """Loss equals the single hyperparameter: lower x is better."""
+    return toy_objective(max_resource=16.0, constant=True)
+
+
+def test_bohb_is_sha_with_model_sampling(rng):
+    objective = toy_objective(max_resource=9.0)
+    bohb = BOHB(
+        objective.space, rng, n=9, min_resource=1.0, max_resource=9.0, eta=3
+    )
+    result = SimulatedCluster(3, seed=0).run(bohb, objective, time_limit=1e6)
+    assert bohb.is_done()
+    assert result.jobs_dispatched == 13  # identical bracket structure to SHA
+
+
+def test_bohb_observations_feed_rung_models(rng):
+    objective = toy_objective(max_resource=9.0)
+    bohb = BOHB(objective.space, rng, n=9, min_resource=1.0, max_resource=9.0, eta=3)
+    SimulatedCluster(3, seed=0).run(bohb, objective, time_limit=1e6)
+    assert 0 in bohb._models.models
+    assert bohb._models.models[0].num_observations == 9
+    assert bohb._models.models[1].num_observations == 3
+
+
+def test_bohb_sampling_concentrates_once_model_ready(rng):
+    objective = toy_objective(max_resource=4.0)
+
+    bohb = BOHB(
+        objective.space,
+        rng,
+        n=64,
+        min_resource=1.0,
+        max_resource=4.0,
+        eta=2,
+        grow_brackets=True,
+        random_fraction=0.1,
+    )
+    result = SimulatedCluster(4, seed=0).run(bohb, objective, time_limit=400.0)
+    configs = [t.config["quality"] for t in bohb.trials.values()]
+    # Loss == quality, so the KDE model must pull sampling far below the
+    # uniform mean of 0.5 (the first few samples are random, then TPE bites).
+    assert np.mean(configs) < 0.3
+    assert np.mean(configs[32:]) < np.mean(configs[:8]) + 0.2
+
+
+def test_async_bohb_runs_asha_promotions(rng):
+    objective = toy_objective(max_resource=9.0)
+    abohb = AsyncBOHB(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+    result = SimulatedCluster(2, seed=0).run(
+        abohb, objective, time_limit=80.0
+    )
+    rungs = abohb.rung_sizes()
+    assert rungs[0] > 0 and len(rungs) == 3
+    assert abohb._models.models[0].num_observations == rungs[0]

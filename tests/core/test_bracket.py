@@ -1,0 +1,153 @@
+"""Tests for bracket geometry: the arithmetic of Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bracket import Bracket, sha_rung_schedule
+
+
+class TestGeometry:
+    def test_figure1_bracket0(self):
+        b = Bracket(1.0, 9.0, 3, 0)
+        assert b.s_max == 2
+        assert b.num_rungs == 3
+        assert [b.rung_resource(i) for i in range(3)] == [1.0, 3.0, 9.0]
+
+    def test_figure1_bracket1_and_2(self):
+        b1 = Bracket(1.0, 9.0, 3, 1)
+        assert b1.num_rungs == 2
+        assert [b1.rung_resource(i) for i in range(2)] == [3.0, 9.0]
+        b2 = Bracket(1.0, 9.0, 3, 2)
+        assert b2.num_rungs == 1
+        assert b2.rung_resource(0) == 9.0
+
+    def test_paper_section43_geometry(self):
+        """eta=4, r=R/64: rungs at R/64, R/16, R/4, R."""
+        r_max = 256.0
+        b = Bracket(r_max / 64, r_max, 4, 0)
+        assert b.num_rungs == 4
+        assert [b.rung_resource(i) for i in range(4)] == [4.0, 16.0, 64.0, 256.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bracket(0.0, 9.0, 3)
+        with pytest.raises(ValueError):
+            Bracket(1.0, 9.0, 1)
+        with pytest.raises(ValueError):
+            Bracket(1.0, 0.5, 3)
+        with pytest.raises(ValueError):
+            Bracket(1.0, 9.0, 3, early_stopping_rate=5)
+        with pytest.raises(ValueError):
+            Bracket(1.0, 9.0, 3, early_stopping_rate=-1)
+
+    def test_non_power_ratio_floors(self):
+        b = Bracket(1.0, 10.0, 3, 0)
+        assert b.s_max == 2  # floor(log3 10) = 2
+        assert b.rung_resource(b.num_rungs - 1) == 9.0  # <= R
+
+    def test_infinite_horizon(self):
+        b = Bracket(1.0, None, 3, 0)
+        assert b.top_rung_index is None
+        with pytest.raises(ValueError):
+            _ = b.s_max
+        # Rungs materialise on demand, unboundedly.
+        assert b.rung(7).resource == 3.0**7
+
+
+class TestPromotionScan:
+    def test_scans_top_down(self):
+        b = Bracket(1.0, 9.0, 3, 0)
+        for i in range(3):
+            b.record(0, i, 0.1 * (i + 1))
+        for i in range(3):
+            b.record(1, 0, 0.2)
+            b.record(2, 0, 0.3)
+        # Rung 1 has 1 entry -> quota 0; rung 0 has 3 -> quota 1.
+        promotion = b.find_promotion()
+        assert promotion is not None
+        trial, target = promotion
+        assert target == 1
+
+    def test_prefers_higher_rung(self):
+        b = Bracket(1.0, 27.0, 3, 0)  # 4 rungs
+        for t in range(9):
+            b.record(0, t, t / 10)
+        for t in range(3):
+            b.record(1, t, t / 10)
+        # Both rung 0 (quota 3) and rung 1 (quota 1) promotable; rung 1 wins.
+        trial, target = b.find_promotion()
+        assert target == 2
+        assert trial == 0
+
+    def test_top_rung_never_promotes_finite(self):
+        b = Bracket(1.0, 3.0, 3, 0)  # 2 rungs
+        for t in range(3):
+            b.record(1, t, t / 10)  # top rung full of results
+        assert b.find_promotion() is None
+
+    def test_infinite_horizon_promotes_from_top(self):
+        b = Bracket(1.0, None, 3, 0)
+        for t in range(3):
+            b.record(0, t, t / 10)
+        trial, target = b.find_promotion()
+        assert (trial, target) == (0, 1)
+        b.promote(0, 0)
+        b.record(1, 0, 0.05)
+        # A single-entry rung 1 cannot promote yet (quota 0) ...
+        assert b.find_promotion() is None
+        for t in (3, 4):
+            b.record(0, t, 0.5 + t / 10)
+        # ... and rung 0's quota is back below its promoted count.
+        assert b.find_promotion() is None
+
+
+class TestBudget:
+    def test_figure1_total_budget(self):
+        """Figure 1 (right): per-rung budget is 9 in every rung of bracket 0."""
+        rows = sha_rung_schedule(9, 1.0, 9.0, 3, 0)
+        assert [r["total"] for r in rows] == [9.0, 9.0, 9.0]
+        rows = sha_rung_schedule(9, 1.0, 9.0, 3, 1)
+        assert [r["total"] for r in rows] == [27.0, 27.0]
+        rows = sha_rung_schedule(9, 1.0, 9.0, 3, 2)
+        assert [r["total"] for r in rows] == [81.0]
+
+    def test_total_budget_sums_rows(self):
+        b = Bracket(1.0, 9.0, 3, 0)
+        assert b.total_budget(9) == 27.0
+
+
+# ----------------------------------------------------------------- property
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    eta=st.sampled_from([2, 3, 4, 5]),
+    s_max=st.integers(0, 6),
+    s=st.integers(0, 6),
+)
+def test_rung_geometry_closed_form(eta, s_max, s):
+    if s > s_max:
+        return
+    r, big_r = 1.0, float(eta**s_max)
+    b = Bracket(r, big_r, eta, s)
+    assert b.num_rungs == s_max - s + 1
+    for i in range(b.num_rungs):
+        assert b.rung_resource(i) == pytest.approx(r * eta ** (i + s))
+    assert b.rung_resource(b.num_rungs - 1) <= big_r
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    eta=st.sampled_from([2, 3, 4]),
+    s_max=st.integers(1, 5),
+    mult=st.integers(1, 5),
+)
+def test_budget_equal_per_rung_when_n_is_power(eta, s_max, mult):
+    """With n = mult * eta**s_max, every rung's budget n_i * r_i is equal."""
+    n = mult * eta**s_max
+    rows = sha_rung_schedule(n, 1.0, float(eta**s_max), eta, 0)
+    budgets = {r["total"] for r in rows}
+    assert len(budgets) == 1

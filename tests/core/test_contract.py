@@ -1,0 +1,81 @@
+"""Tests for the scheduler contract checker — and, through it, a sweep
+asserting that every scheduler in the library honours the protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import (
+    ASHA,
+    PBT,
+    AsyncHyperband,
+    ContractChecker,
+    ContractViolation,
+    GridSearch,
+    Hyperband,
+    ParallelAsyncHyperband,
+    RandomSearch,
+    SynchronousSHA,
+)
+from repro.core.types import Job
+from repro.experiments.toys import toy_objective
+
+R = 16.0
+
+
+class TestCheckerCatchesViolations:
+    def test_report_without_dispatch(self, one_d_space, rng):
+        checker = ContractChecker(RandomSearch(one_d_space, rng, max_resource=R))
+        rogue = Job(job_id=999, trial_id=0, config={"quality": 0.5}, resource=R)
+        with pytest.raises(ContractViolation):
+            checker.report(rogue, 0.5)
+
+    def test_double_report(self, one_d_space, rng):
+        checker = ContractChecker(RandomSearch(one_d_space, rng, max_resource=R))
+        job = checker.next_job()
+        checker.report(job, 0.5)
+        with pytest.raises(ContractViolation):
+            checker.report(job, 0.5)
+
+    def test_backwards_job_detected(self, one_d_space, rng):
+        class Backwards(RandomSearch):
+            def next_job(self):
+                trial = self.new_trial(self.space.sample(self.rng))
+                trial.resource = 10.0
+                return self.make_job(trial, 5.0)
+
+        checker = ContractChecker(Backwards(one_d_space, rng, max_resource=R))
+        with pytest.raises(ContractViolation):
+            checker.next_job()
+
+
+FACTORIES = {
+    "asha": lambda s, rng: ASHA(s, rng, min_resource=1.0, max_resource=R, eta=4),
+    "sha": lambda s, rng: SynchronousSHA(
+        s, rng, n=16, min_resource=1.0, max_resource=R, eta=4, grow_brackets=True
+    ),
+    "hyperband": lambda s, rng: Hyperband(s, rng, min_resource=1.0, max_resource=R, eta=4),
+    "async-hb": lambda s, rng: AsyncHyperband(s, rng, min_resource=1.0, max_resource=R, eta=4),
+    "parallel-hb": lambda s, rng: ParallelAsyncHyperband(
+        s, rng, min_resource=1.0, max_resource=R, eta=4
+    ),
+    "random": lambda s, rng: RandomSearch(s, rng, max_resource=R),
+    "grid": lambda s, rng: GridSearch(s, rng, max_resource=R, points_per_dim=8),
+    "pbt": lambda s, rng: PBT(s, rng, max_resource=R, interval=4.0, population_size=5),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_scheduler_honours_contract(name):
+    """Full searches under stragglers and drops, protocol-checked throughout."""
+    objective = toy_objective(max_resource=R, constant=False)
+    rng = np.random.default_rng(17)
+    checker = ContractChecker(FACTORIES[name](objective.space, rng))
+    cluster = SimulatedCluster(4, seed=17, straggler_std=0.3, drop_probability=0.02)
+    result = cluster.run(checker, objective, time_limit=40 * R)
+    assert result.measurements
+    assert checker.jobs_seen == result.jobs_dispatched
+    # Nothing left dangling except jobs cut off by the time limit.
+    assert checker.outstanding_jobs <= 4

@@ -1,0 +1,91 @@
+"""Tests for the doubling-trick SHA (Section 3.3's infinite-horizon foil)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import ASHA, DoublingSHA
+from repro.experiments.toys import toy_objective
+
+
+def test_validation(one_d_space, rng):
+    with pytest.raises(ValueError):
+        DoublingSHA(one_d_space, rng, min_resource=2.0, initial_max_resource=1.0)
+    with pytest.raises(ValueError):
+        DoublingSHA(
+            one_d_space, rng, min_resource=1.0, initial_max_resource=9.0, eta=3, n=5
+        )
+
+
+def test_budget_grows_geometrically(one_d_space, rng):
+    objective = toy_objective(max_resource=1e9, constant=False)
+    sha = DoublingSHA(
+        one_d_space,
+        rng,
+        min_resource=1.0,
+        initial_max_resource=4.0,
+        eta=2,
+        max_brackets=3,
+    )
+    SimulatedCluster(2, seed=0).run(sha, objective, time_limit=1e9)
+    assert sha.is_done()
+    assert [r for _, _, r in sha.outputs] == [4.0, 8.0, 16.0]
+
+
+def test_output_intervals_double(one_d_space, rng):
+    """The interval between outputs grows geometrically (Section 3.3)."""
+    objective = toy_objective(max_resource=1e9, constant=False)
+    sha = DoublingSHA(
+        one_d_space,
+        rng,
+        min_resource=1.0,
+        initial_max_resource=4.0,
+        eta=2,
+        max_brackets=3,
+    )
+    result = SimulatedCluster(1, seed=0).run(sha, objective, time_limit=1e9)
+    # On one worker, each bracket's duration is its budget; reconstruct the
+    # output times from the completion log at each bracket's R.
+    output_times = []
+    for _, winner_id, big_r in sha.outputs:
+        t = max(m.time for m in result.measurements if m.trial_id == winner_id)
+        output_times.append(t)
+    intervals = np.diff([0.0] + output_times)
+    # Between-output intervals grow at least geometrically (doubling trick).
+    assert intervals[1] > 2 * intervals[0]
+    assert intervals[2] > 2 * intervals[1]
+
+
+def test_asha_infinite_horizon_emits_continuously(one_d_space, rng):
+    """Contrast: infinite-horizon ASHA reaches deep resources without
+    bracket-boundary gaps — the depth of its deepest measurement grows
+    through the run rather than jumping at completions."""
+    objective = toy_objective(max_resource=1e9, constant=False)
+    asha = ASHA(one_d_space, rng, min_resource=1.0, max_resource=None, eta=2)
+    result = SimulatedCluster(1, seed=0).run(asha, objective, time_limit=3000.0)
+    deepest = 0.0
+    depth_updates = 0
+    for m in result.measurements:
+        if m.resource > deepest:
+            deepest = m.resource
+            depth_updates += 1
+    assert deepest >= 64.0
+    assert depth_updates >= 7  # one per rung level climbed
+
+
+def test_winner_recorded_per_bracket(one_d_space, rng):
+    objective = toy_objective(max_resource=1e9, constant=True)
+    sha = DoublingSHA(
+        one_d_space,
+        rng,
+        min_resource=1.0,
+        initial_max_resource=4.0,
+        eta=2,
+        max_brackets=2,
+    )
+    SimulatedCluster(2, seed=0).run(sha, objective, time_limit=1e9)
+    for bracket_index, winner_id, _ in sha.outputs:
+        winner = sha.trials[winner_id]
+        assert winner.measurements

@@ -1,0 +1,70 @@
+"""Tests for the Fabolas stand-in (multi-fidelity GP over dataset fractions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import Fabolas
+from repro.experiments.toys import toy_objective
+from repro.searchspace import SearchSpace, Uniform
+
+
+def make_fabolas(space, rng, **kwargs):
+    defaults = dict(max_resource=64.0, num_init=4, num_candidates=32, incumbent_every=3)
+    defaults.update(kwargs)
+    return Fabolas(space, rng, **defaults)
+
+
+def test_validation(one_d_space, rng):
+    with pytest.raises(ValueError):
+        make_fabolas(one_d_space, rng, max_resource=0.0)
+    with pytest.raises(ValueError):
+        make_fabolas(one_d_space, rng, fractions=(0.5, 0.25, 1.0))
+    with pytest.raises(ValueError):
+        make_fabolas(one_d_space, rng, fractions=(0.25, 0.5))
+    with pytest.raises(ValueError):
+        make_fabolas(one_d_space, rng, fractions=(-0.1, 1.0))
+
+
+def test_initial_design_uses_two_smallest_fractions(one_d_space, rng):
+    fab = make_fabolas(one_d_space, rng, num_init=3)
+    jobs = [fab.next_job() for _ in range(6)]
+    resources = sorted({j.resource for j in jobs})
+    assert resources == [64.0 / 64, 64.0 / 16]
+
+
+def test_proposals_choose_allowed_fractions(one_d_space, rng, curved_toy_obj):
+    objective = toy_objective(max_resource=64.0, constant=False)
+    fab = make_fabolas(one_d_space, rng, num_init=3)
+    SimulatedCluster(1, seed=0).run(fab, objective, time_limit=3000.0)
+    allowed = {64.0 * f for f in fab.fractions}
+    fractions_used = {t.metadata["fraction"] * 64.0 for t in fab.trials.values()}
+    assert fractions_used <= allowed
+    assert len(fab._y) > 6  # proposals happened beyond the init design
+
+
+def test_incumbent_history_recorded(one_d_space, rng):
+    objective = toy_objective(max_resource=64.0, constant=True)
+    fab = make_fabolas(one_d_space, rng, incumbent_every=2)
+    SimulatedCluster(1, seed=0).run(fab, objective, time_limit=800.0)
+    assert fab.incumbent_history
+    for report_index, config in fab.incumbent_history:
+        assert report_index % 2 == 0
+        assert objective.space.contains(config)
+
+
+def test_incumbent_none_before_data(one_d_space, rng):
+    fab = make_fabolas(one_d_space, rng)
+    assert fab.incumbent() is None
+
+
+def test_incumbent_finds_good_region(rng):
+    """On loss == x (constant in resource), the predicted-best config at the
+    full dataset must land in the low-x region."""
+    objective = toy_objective(max_resource=64.0, constant=True)
+    fab = make_fabolas(objective.space, rng, num_init=6, max_trials=50)
+    SimulatedCluster(1, seed=0).run(fab, objective, time_limit=1e6)
+    incumbent = fab.incumbent()
+    assert incumbent["quality"] < 0.25

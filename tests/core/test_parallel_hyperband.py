@@ -1,0 +1,69 @@
+"""Tests for the concurrent-brackets async Hyperband (Section 3.2 option 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import AsyncHyperband, ParallelAsyncHyperband
+from repro.experiments.toys import toy_objective
+
+
+def make(space, rng, **kwargs):
+    defaults = dict(min_resource=1.0, max_resource=9.0, eta=3)
+    defaults.update(kwargs)
+    return ParallelAsyncHyperband(space, rng, **defaults)
+
+
+def test_bracket_cap_validated(one_d_space, rng):
+    with pytest.raises(ValueError):
+        make(one_d_space, rng, brackets=0)
+    with pytest.raises(ValueError):
+        make(one_d_space, rng, brackets=17)
+
+
+def test_all_brackets_progress_concurrently(one_d_space, rng):
+    objective = toy_objective(max_resource=9.0, constant=False)
+    pah = make(one_d_space, rng)
+    SimulatedCluster(4, seed=0).run(pah, objective, time_limit=200.0)
+    sizes = pah.rung_sizes()
+    assert len(sizes) == 3
+    # Every bracket received base-rung work (concurrent, not sequential).
+    assert all(s[0] > 0 for s in sizes)
+
+
+def test_budget_split_converges_to_shares(one_d_space, rng):
+    objective = toy_objective(max_resource=9.0, constant=False)
+    pah = make(one_d_space, rng)
+    SimulatedCluster(4, seed=0).run(pah, objective, time_limit=500.0)
+    split = pah.budget_split()
+    for observed, share in zip(split, pah._shares):
+        assert observed == pytest.approx(share, abs=0.08)
+
+
+def test_reports_route_by_trial(one_d_space, rng):
+    objective = toy_objective(max_resource=9.0, constant=False)
+    pah = make(one_d_space, rng)
+    jobs = [pah.next_job() for _ in range(6)]
+    for job in jobs:
+        pah.report(job, job.config["quality"])  # must not raise
+    assert pah.num_trials == 6
+
+
+def test_comparable_quality_to_looping_variant(one_d_space, rng):
+    """Both async Hyperband variants find similar-quality incumbents."""
+    objective = toy_objective(max_resource=9.0, constant=False)
+
+    def final_best(scheduler):
+        SimulatedCluster(4, seed=1).run(scheduler, objective, time_limit=400.0)
+        return scheduler.best_trial().last_loss
+
+    looping = AsyncHyperband(
+        one_d_space, np.random.default_rng(0), min_resource=1.0, max_resource=9.0, eta=3
+    )
+    concurrent = ParallelAsyncHyperband(
+        one_d_space, np.random.default_rng(0), min_resource=1.0, max_resource=9.0, eta=3
+    )
+    a, b = final_best(looping), final_best(concurrent)
+    assert abs(a - b) < 0.15

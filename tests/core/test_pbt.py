@@ -1,0 +1,178 @@
+"""Tests for Population Based Training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import PBT, TrialStatus
+from repro.experiments.toys import toy_objective
+from repro.searchspace import Choice, SearchSpace, Uniform
+
+
+def make_pbt(space, rng, **kwargs):
+    defaults = dict(max_resource=16.0, interval=4.0, population_size=4)
+    defaults.update(kwargs)
+    return PBT(space, rng, **defaults)
+
+
+class TestValidation:
+    def test_parameter_checks(self, one_d_space, rng):
+        with pytest.raises(ValueError):
+            make_pbt(one_d_space, rng, interval=0.0)
+        with pytest.raises(ValueError):
+            make_pbt(one_d_space, rng, interval=32.0)
+        with pytest.raises(ValueError):
+            make_pbt(one_d_space, rng, exploit_fraction=0.6)
+        with pytest.raises(ValueError):
+            make_pbt(one_d_space, rng, population_size=1)
+        with pytest.raises(ValueError):
+            make_pbt(one_d_space, rng, max_lag=2.0)
+
+
+class TestDispatch:
+    def test_population_spawned_lazily(self, one_d_space, rng):
+        pbt = make_pbt(one_d_space, rng)
+        job = pbt.next_job()
+        assert job is not None
+        assert len(pbt.populations) == 1
+        assert pbt.num_trials == 4
+
+    def test_lag_bound_blocks_runaway_member(self, one_d_space, rng):
+        pbt = make_pbt(one_d_space, rng, spawn_populations=False)
+        jobs = [pbt.next_job() for _ in range(4)]
+        # Run member 0 ahead: report it, re-dispatch, report, re-dispatch...
+        pbt.report(jobs[0], 0.1)
+        j = pbt.next_job()
+        assert j.trial_id == jobs[0].trial_id and j.resource == 8.0
+        pbt.report(j, 0.1)
+        # Member 0 now at 8; floor is 0; next target 12 > max_lag 8 -> blocked.
+        assert pbt.next_job() is None
+
+    def test_spawns_new_population_when_blocked(self, one_d_space, rng):
+        pbt = make_pbt(one_d_space, rng, spawn_populations=True)
+        for _ in range(4):
+            pbt.next_job()
+        job = pbt.next_job()  # all members busy -> fresh population
+        assert job is not None
+        assert len(pbt.populations) == 2
+
+    def test_completion(self, one_d_space, rng, toy_obj):
+        pbt = make_pbt(one_d_space, rng, spawn_populations=False)
+        SimulatedCluster(2, seed=0).run(pbt, toy_obj, time_limit=1e6)
+        assert pbt.is_done()
+        members = pbt.populations[0].members
+        assert all(pbt.trials[m.trial_id].resource == 16.0 for m in members)
+
+
+class TestExploitExplore:
+    def _drive_rounds(self, pbt, losses_by_member, rounds=3):
+        """Run synchronous rounds with prescribed per-member losses."""
+        for _ in range(rounds):
+            jobs = []
+            while True:
+                job = pbt.next_job()
+                if job is None:
+                    break
+                jobs.append(job)
+            for job in jobs:
+                member = pbt._member_of_trial[job.trial_id]
+                idx = pbt.populations[0].members.index(member)
+                pbt.report(job, losses_by_member[idx])
+
+    def test_bottom_member_cloned_from_top(self, rng):
+        space = SearchSpace({"x": Uniform(0.0, 1.0)})
+        pbt = PBT(
+            space,
+            rng,
+            max_resource=64.0,
+            interval=4.0,
+            population_size=5,
+            exploit_fraction=0.2,
+            spawn_populations=False,
+        )
+        original_ids = {m.trial_id for m in []}
+        jobs = [pbt.next_job() for _ in range(5)]
+        initial_ids = [j.trial_id for j in jobs]
+        losses = [0.1, 0.2, 0.3, 0.4, 0.9]
+        for job, loss in zip(jobs, losses):
+            pbt.report(job, loss)
+        member_ids = [m.trial_id for m in pbt.populations[0].members]
+        # The worst member (loss 0.9) was replaced by a clone.
+        assert member_ids[:4] == initial_ids[:4]
+        clone_id = member_ids[4]
+        assert clone_id not in initial_ids
+        clone = pbt.trials[clone_id]
+        assert clone.metadata["inherit_from"] == initial_ids[0]  # only donor
+        assert pbt.trials[initial_ids[4]].status == TrialStatus.STOPPED
+        # The clone's dispatched job carries the inheritance marker.
+        dispatched = []
+        while True:
+            j = pbt.next_job()
+            if j is None:
+                break
+            dispatched.append(j)
+        clone_jobs = [j for j in dispatched if j.trial_id == clone_id]
+        assert clone_jobs and clone_jobs[0].inherit_from == initial_ids[0]
+
+    def test_no_exploit_before_half_population_measured(self, rng):
+        space = SearchSpace({"x": Uniform(0.0, 1.0)})
+        pbt = PBT(space, rng, max_resource=16.0, interval=4.0, population_size=6)
+        jobs = [pbt.next_job() for _ in range(6)]
+        pbt.report(jobs[0], 0.9)  # only 1 of 6 measured: no ranking possible
+        member = pbt._member_of_trial[jobs[0].trial_id]
+        assert member.trial_id == jobs[0].trial_id  # not replaced
+
+    def test_frozen_keys_survive_explore(self, rng):
+        space = SearchSpace({"arch": Choice([1, 2, 3]), "lr": Uniform(0.0, 1.0)})
+        pbt = PBT(
+            space,
+            rng,
+            max_resource=64.0,
+            interval=4.0,
+            population_size=5,
+            frozen={"arch"},
+            spawn_populations=False,
+        )
+        jobs = [pbt.next_job() for _ in range(5)]
+        for job, loss in zip(jobs, (0.1, 0.2, 0.3, 0.4, 0.9)):
+            pbt.report(job, loss)
+        clone_id = pbt.populations[0].members[4].trial_id
+        donor_id = pbt.trials[clone_id].metadata["inherit_from"]
+        assert pbt.trials[clone_id].config["arch"] == pbt.trials[donor_id].config["arch"]
+
+
+class TestFailures:
+    def test_failed_member_resampled(self, one_d_space, rng):
+        pbt = make_pbt(one_d_space, rng)
+        jobs = [pbt.next_job() for _ in range(4)]
+        pbt.on_job_failed(jobs[0])
+        member = pbt.populations[0].members[0]
+        assert member.trial_id != jobs[0].trial_id
+        assert pbt.trials[jobs[0].trial_id].status == TrialStatus.FAILED
+        # The slot is dispatchable again.
+        replacement_jobs = [pbt.next_job() for _ in range(1)]
+        assert replacement_jobs[0] is not None
+
+
+def test_full_run_improves_population(rng):
+    """End to end on the toy objective: exploitation concentrates quality."""
+    objective = toy_objective(max_resource=64.0, constant=True)
+    pbt = PBT(
+        objective.space,
+        rng,
+        max_resource=64.0,
+        interval=8.0,
+        population_size=8,
+        spawn_populations=False,
+    )
+    SimulatedCluster(4, seed=0).run(pbt, objective, time_limit=1e6)
+    finals = [
+        pbt.trials[m.trial_id].last_loss
+        for m in pbt.populations[0].members
+        if pbt.trials[m.trial_id].last_loss is not None
+    ]
+    # With loss == quality and truncation exploitation, the population mean
+    # must end well below the uniform-sampling mean of 0.5.
+    assert np.mean(finals) < 0.4

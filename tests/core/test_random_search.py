@@ -1,0 +1,37 @@
+"""Tests for the random-search baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import RandomSearch, TrialStatus
+
+
+def test_validation(one_d_space, rng):
+    with pytest.raises(ValueError):
+        RandomSearch(one_d_space, rng, max_resource=0.0)
+
+
+def test_every_job_trains_to_r(one_d_space, rng):
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0)
+    for _ in range(10):
+        job = rs.next_job()
+        assert job.resource == 9.0
+        assert job.rung == 0
+
+
+def test_max_trials_and_done(one_d_space, rng, toy_obj):
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=5)
+    result = SimulatedCluster(2, seed=0).run(rs, toy_obj, time_limit=1e6)
+    assert rs.is_done()
+    assert result.jobs_dispatched == 5
+    assert all(t.status == TrialStatus.COMPLETED for t in rs.trials.values())
+
+
+def test_best_trial_tracks_minimum(one_d_space, rng, toy_obj):
+    rs = RandomSearch(one_d_space, rng, max_resource=9.0, max_trials=20)
+    SimulatedCluster(4, seed=0).run(rs, toy_obj, time_limit=1e6)
+    best = rs.best_trial()
+    losses = [t.last_loss for t in rs.trials.values()]
+    assert best.last_loss == min(losses)

@@ -1,0 +1,179 @@
+"""Tests for the rung leaderboard, including the O(log n) promotion query."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rung import Rung
+
+
+def make_rung(losses: dict[int, float]) -> Rung:
+    rung = Rung(index=0, resource=1.0)
+    for trial_id, loss in losses.items():
+        rung.record(trial_id, loss)
+    return rung
+
+
+class TestTopK:
+    def test_orders_by_loss(self):
+        rung = make_rung({0: 0.5, 1: 0.1, 2: 0.9, 3: 0.3})
+        assert rung.top_k(2) == [1, 3]
+        assert rung.top_k(4) == [1, 3, 0, 2]
+
+    def test_k_clamps(self):
+        rung = make_rung({0: 0.5})
+        assert rung.top_k(0) == []
+        assert rung.top_k(-1) == []
+        assert rung.top_k(10) == [0]
+
+    def test_nan_sorts_last(self):
+        rung = make_rung({0: float("nan"), 1: 0.9, 2: 0.1})
+        assert rung.top_k(3) == [2, 1, 0]
+
+    def test_ties_broken_by_trial_id(self):
+        rung = make_rung({5: 0.5, 2: 0.5, 9: 0.5})
+        assert rung.top_k(3) == [2, 5, 9]
+
+
+class TestPromotion:
+    def test_quota_floor(self):
+        rung = make_rung({i: i / 10 for i in range(7)})
+        assert rung.promotion_quota(3) == 2
+        assert rung.promotion_quota(4) == 1
+
+    def test_first_promotable_best_unpromoted(self):
+        rung = make_rung({0: 0.3, 1: 0.1, 2: 0.2, 3: 0.9, 4: 0.8, 5: 0.7})
+        assert rung.first_promotable(3) == 1
+        rung.mark_promoted(1)
+        assert rung.first_promotable(3) == 2
+        rung.mark_promoted(2)
+        assert rung.first_promotable(3) is None  # quota (2) exhausted
+
+    def test_no_promotion_below_eta_entries(self):
+        rung = make_rung({0: 0.1, 1: 0.2})
+        assert rung.first_promotable(3) is None
+
+    def test_promoting_unknown_trial_raises(self):
+        rung = make_rung({0: 0.1})
+        with pytest.raises(KeyError):
+            rung.mark_promoted(99)
+
+    def test_late_better_entry_becomes_promotable(self):
+        rung = make_rung({i: 0.5 + i / 100 for i in range(4)})
+        rung.mark_promoted(rung.first_promotable(4))
+        assert rung.first_promotable(4) is None
+        # Four more entries arrive, one of them excellent.
+        for i, loss in [(10, 0.9), (11, 0.01), (12, 0.95), (13, 0.99)]:
+            rung.record(i, loss)
+        assert rung.first_promotable(4) == 11
+
+    def test_nan_never_promoted(self):
+        rung = make_rung({0: float("nan"), 1: float("nan"), 2: float("nan"), 3: 0.5})
+        assert rung.first_promotable(4) == 3
+        rung.mark_promoted(3)
+        assert rung.first_promotable(4) is None
+
+    def test_promotable_list_matches_first(self):
+        rung = make_rung({i: (i * 7919) % 100 / 100 for i in range(20)})
+        for _ in range(5):
+            cands = rung.promotable(4)
+            first = rung.first_promotable(4)
+            assert (cands[0] if cands else None) == first
+            if first is None:
+                break
+            rung.mark_promoted(first)
+
+
+class TestRecord:
+    def test_rerecord_overwrites(self):
+        rung = make_rung({0: 0.9, 1: 0.5})
+        rung.record(0, 0.1)
+        assert rung.losses[0] == 0.1
+        assert rung.top_k(1) == [0]
+        assert len(rung) == 2
+
+    def test_rerecord_promoted_entry_keeps_promoted(self):
+        rung = make_rung({0: 0.1, 1: 0.5, 2: 0.6})
+        rung.mark_promoted(0)
+        rung.record(0, 0.05)
+        assert rung.first_promotable(3) is None  # still promoted, quota 1
+
+    def test_best(self):
+        assert Rung(0, 1.0).best() is None
+        rung = make_rung({0: 0.5, 1: 0.2})
+        assert rung.best() == (1, 0.2)
+
+
+class TestUnmarkPromoted:
+    def test_returns_entry_to_pool(self):
+        rung = make_rung({0: 0.1, 1: 0.2, 2: 0.3})
+        rung.mark_promoted(0)
+        assert rung.first_promotable(3) is None
+        rung.unmark_promoted(0)
+        assert rung.first_promotable(3) == 0
+
+    def test_idempotent_on_unpromoted(self):
+        rung = make_rung({0: 0.1, 1: 0.2, 2: 0.3})
+        rung.unmark_promoted(0)  # never promoted: no-op
+        assert rung.first_promotable(3) == 0
+        # And the pool did not gain a duplicate entry.
+        rung.mark_promoted(0)
+        assert rung.first_promotable(3) is None
+
+    def test_mark_unmark_cycle_stable(self):
+        rung = make_rung({i: i / 10 for i in range(9)})
+        for _ in range(5):
+            t = rung.first_promotable(3)
+            rung.mark_promoted(t)
+            rung.unmark_promoted(t)
+            assert rung.first_promotable(3) == t
+        assert len(rung.promoted) == 0
+
+
+# ----------------------------------------------------------------- property
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    losses=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=80),
+    eta=st.sampled_from([2, 3, 4]),
+)
+def test_promotion_invariant_never_exceeds_quota(losses, eta):
+    """Draining promotions promotes exactly quota entries, best-first."""
+    rung = Rung(0, 1.0)
+    for i, loss in enumerate(losses):
+        rung.record(i, loss)
+    promoted = []
+    while True:
+        t = rung.first_promotable(eta)
+        if t is None:
+            break
+        rung.mark_promoted(t)
+        promoted.append(t)
+    quota = len(losses) // eta
+    assert len(promoted) == quota
+    assert set(promoted) == set(rung.top_k(quota))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_incremental_promotions_subset_of_final_top_half(seed):
+    """Any entry promoted during sequential arrival was in the running top
+    1/eta at its promotion time (the ASHA guarantee)."""
+    rng = np.random.default_rng(seed)
+    eta = 2
+    rung = Rung(0, 1.0)
+    for i in range(40):
+        loss = float(rng.random())
+        rung.record(i, loss)
+        t = rung.first_promotable(eta)
+        if t is not None:
+            quota = rung.promotion_quota(eta)
+            assert t in rung.top_k(quota)
+            rung.mark_promoted(t)
+    assert math.isfinite(rung.best()[1])

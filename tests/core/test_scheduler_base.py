@@ -1,0 +1,83 @@
+"""Tests for the Scheduler base-class helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import RandomSearch, TrialStatus
+from repro.core.types import Job
+
+
+@pytest.fixture
+def sched(one_d_space, rng):
+    return RandomSearch(one_d_space, rng, max_resource=9.0)
+
+
+class TestNewTrialAndMakeJob:
+    def test_ids_unique_and_registered(self, sched):
+        trials = [sched.new_trial({"quality": 0.1}) for _ in range(5)]
+        assert [t.trial_id for t in trials] == [0, 1, 2, 3, 4]
+        assert sched.num_trials == 5
+
+    def test_make_job_checkpoint_semantics(self, sched):
+        trial = sched.new_trial({"quality": 0.1})
+        trial.resource = 3.0
+        resumed = sched.make_job(trial, 9.0, from_checkpoint=True)
+        scratch = sched.make_job(trial, 9.0, from_checkpoint=False)
+        assert resumed.checkpoint_resource == 3.0
+        assert scratch.checkpoint_resource == 0.0
+        assert trial.status == TrialStatus.RUNNING
+
+    def test_job_ids_monotone(self, sched):
+        trial = sched.new_trial({"quality": 0.1})
+        a = sched.make_job(trial, 9.0)
+        b = sched.make_job(trial, 9.0)
+        assert b.job_id == a.job_id + 1
+
+
+class TestNoteResult:
+    def test_records_measurement(self, sched):
+        trial = sched.new_trial({"quality": 0.1})
+        job = sched.make_job(trial, 9.0)
+        sched.note_result(job, 0.42)
+        assert trial.last_loss == 0.42
+        assert trial.resource == 9.0
+
+
+class TestBestTrial:
+    def test_none_when_unmeasured(self, sched):
+        assert sched.best_trial() is None
+        sched.new_trial({"quality": 0.1})
+        assert sched.best_trial() is None
+
+    def test_latest_loss_wins(self, sched):
+        for q, loss in ((0.1, 0.5), (0.2, 0.3), (0.3, 0.7)):
+            trial = sched.new_trial({"quality": q})
+            job = sched.make_job(trial, 9.0)
+            sched.note_result(job, loss)
+        assert sched.best_trial().config["quality"] == 0.2
+
+    def test_nan_excluded_while_finite_exists(self, sched):
+        t1 = sched.new_trial({"quality": 0.1})
+        sched.note_result(sched.make_job(t1, 9.0), float("nan"))
+        t2 = sched.new_trial({"quality": 0.2})
+        sched.note_result(sched.make_job(t2, 9.0), 0.9)
+        best = sched.best_trial()
+        assert best.trial_id == t2.trial_id
+
+    def test_all_nan_still_returns_something(self, sched):
+        t1 = sched.new_trial({"quality": 0.1})
+        sched.note_result(sched.make_job(t1, 9.0), float("nan"))
+        best = sched.best_trial()
+        assert best is not None
+        assert math.isnan(best.last_loss)
+
+
+class TestDefaultFailureHandling:
+    def test_marks_failed(self, sched):
+        job = sched.next_job()
+        sched.on_job_failed(job)
+        assert sched.trials[job.trial_id].status == TrialStatus.FAILED

@@ -1,0 +1,92 @@
+"""Cross-scheduler property tests (hypothesis over seeds/shapes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import SimulatedCluster
+from repro.core import ASHA, PBT, SynchronousSHA
+from repro.experiments.toys import toy_objective
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    eta=st.sampled_from([2, 3, 4]),
+    s_max=st.integers(1, 3),
+)
+def test_sha_bracket_job_count_closed_form(seed, eta, s_max):
+    """A completed SHA bracket dispatches exactly sum_i floor(n / eta**i) jobs."""
+    big_r = float(eta**s_max)
+    n = eta**s_max
+    objective = toy_objective(max_resource=big_r, constant=False)
+    rng = np.random.default_rng(seed)
+    sha = SynchronousSHA(
+        objective.space, rng, n=n, min_resource=1.0, max_resource=big_r, eta=eta
+    )
+    result = SimulatedCluster(3, seed=seed).run(sha, objective, time_limit=1e9)
+    expected = sum(n // eta**i for i in range(s_max + 1))
+    assert result.jobs_dispatched == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), workers=st.integers(1, 8))
+def test_asha_never_exceeds_max_resource(seed, workers):
+    objective = toy_objective(max_resource=16.0, constant=False)
+    rng = np.random.default_rng(seed)
+    asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=16.0, eta=4)
+    result = SimulatedCluster(workers, seed=seed, straggler_std=0.4).run(
+        asha, objective, time_limit=400.0
+    )
+    assert all(m.resource <= 16.0 for m in result.measurements)
+    assert all(t.resource <= 16.0 for t in asha.trials.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_pbt_population_invariants(seed):
+    """Populations keep their size; stopped trials match exploit events;
+    no member ever trains past the maximum resource."""
+    objective = toy_objective(max_resource=32.0, constant=False)
+    rng = np.random.default_rng(seed)
+    pbt = PBT(
+        objective.space,
+        rng,
+        max_resource=32.0,
+        interval=8.0,
+        population_size=5,
+        spawn_populations=False,
+    )
+    SimulatedCluster(3, seed=seed).run(pbt, objective, time_limit=1e9)
+    assert pbt.is_done()
+    assert len(pbt.populations) == 1
+    assert len(pbt.populations[0].members) == 5
+    from repro.core import TrialStatus
+
+    stopped = sum(1 for t in pbt.trials.values() if t.status == TrialStatus.STOPPED)
+    clones = sum(1 for t in pbt.trials.values() if t.trial_id >= 5)
+    assert stopped == clones  # every clone replaced exactly one stopped trial
+    assert all(t.resource <= 32.0 for t in pbt.trials.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_simulator_work_conservation(seed):
+    """Measured training time never exceeds workers x elapsed clock."""
+    objective = toy_objective(max_resource=16.0, constant=False)
+    rng = np.random.default_rng(seed)
+    asha = ASHA(objective.space, rng, min_resource=1.0, max_resource=16.0, eta=4)
+    workers = 4
+    cluster = SimulatedCluster(workers, seed=seed)
+    result = cluster.run(asha, objective, time_limit=300.0)
+    completed_work = sum(
+        m.resource - next(
+            (prev.resource for prev in reversed(result.measurements[:i]) if prev.trial_id == m.trial_id),
+            0.0,
+        )
+        for i, m in enumerate(result.measurements)
+    )
+    assert completed_work <= workers * result.elapsed + 1e-6

@@ -1,0 +1,113 @@
+"""Tests for the standalone early-stopping rules and the wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import SimulatedCluster
+from repro.core import (
+    CurveExtrapolationRule,
+    MedianStoppingRule,
+    RandomSearch,
+    StoppingWrapper,
+    TrialStatus,
+)
+from repro.experiments.toys import toy_objective
+
+
+class TestMedianStoppingRule:
+    def test_stops_below_median(self):
+        rule = MedianStoppingRule(min_peers=3)
+        for trial_id, loss in enumerate((0.1, 0.2, 0.3)):
+            rule.observe(trial_id, 1.0, loss)
+        rule.observe(99, 1.0, 0.9)
+        assert rule.should_stop(99)
+        assert not rule.should_stop(0)
+
+    def test_grace_period(self):
+        rule = MedianStoppingRule(grace_resource=5.0, min_peers=1)
+        rule.observe(0, 1.0, 0.1)
+        rule.observe(1, 1.0, 0.9)
+        assert not rule.should_stop(1)  # below grace resource
+        rule.observe(1, 6.0, 0.9)
+        assert rule.should_stop(1)
+
+    def test_needs_min_peers(self):
+        rule = MedianStoppingRule(min_peers=5)
+        rule.observe(0, 1.0, 0.1)
+        rule.observe(1, 1.0, 0.9)
+        assert not rule.should_stop(1)
+
+    def test_running_average_uses_prefix(self):
+        rule = MedianStoppingRule()
+        rule.observe(0, 1.0, 1.0)
+        rule.observe(0, 2.0, 0.0)
+        assert rule.running_average(0, 1.0) == 1.0
+        assert rule.running_average(0, 2.0) == 0.5
+
+    def test_nan_trial_stops(self):
+        rule = MedianStoppingRule(min_peers=2)
+        rule.observe(0, 1.0, 0.1)
+        rule.observe(1, 1.0, 0.2)
+        rule.observe(2, 1.0, float("nan"))
+        assert rule.should_stop(2)
+
+
+class TestCurveExtrapolation:
+    def test_extrapolates_power_law(self):
+        rule = CurveExtrapolationRule(max_resource=100.0, min_points=4)
+        # loss(r) = 0.2 + 0.8 * r^-0.5
+        for r in (1.0, 2.0, 4.0, 8.0, 16.0):
+            rule.observe(0, r, 0.2 + 0.8 * r**-0.5)
+        predicted = rule.extrapolate(0)
+        assert predicted == pytest.approx(0.2 + 0.8 * 100**-0.5, abs=0.05)
+
+    def test_stops_hopeless_trial(self):
+        rule = CurveExtrapolationRule(max_resource=100.0, min_points=4)
+        rule.observe(99, 100.0, 0.10)  # incumbent finished at 0.10
+        for r in (1.0, 2.0, 4.0, 8.0):
+            rule.observe(0, r, 0.5 + 0.1 * r**-0.5)  # asymptote 0.5
+        assert rule.should_stop(0)
+
+    def test_keeps_promising_trial(self):
+        rule = CurveExtrapolationRule(max_resource=100.0, min_points=4)
+        rule.observe(99, 100.0, 0.50)
+        for r in (1.0, 2.0, 4.0, 8.0):
+            rule.observe(0, r, 0.1 + 0.8 * r**-0.5)  # asymptote 0.1
+        assert not rule.should_stop(0)
+
+    def test_no_stop_without_incumbent(self):
+        rule = CurveExtrapolationRule(max_resource=100.0)
+        for r in (1.0, 2.0, 4.0, 8.0):
+            rule.observe(0, r, 0.9)
+        assert not rule.should_stop(0)
+
+    def test_too_few_points_no_prediction(self):
+        rule = CurveExtrapolationRule(max_resource=100.0, min_points=4)
+        rule.observe(0, 1.0, 0.5)
+        assert rule.extrapolate(0) is None
+
+
+class TestStoppingWrapper:
+    def test_wrapper_terminates_bad_trials(self, rng):
+        objective = toy_objective(max_resource=9.0, constant=True)
+        inner = RandomSearch(objective.space, rng, max_resource=9.0, max_trials=30)
+        wrapper = StoppingWrapper(inner, MedianStoppingRule(min_peers=3))
+        SimulatedCluster(2, seed=0).run(wrapper, objective, time_limit=1e6)
+        assert wrapper.is_done()
+        assert wrapper.stopped_early  # some trials were cut
+        for trial_id in wrapper.stopped_early:
+            assert wrapper.trials[trial_id].status == TrialStatus.STOPPED
+
+    def test_wrapper_preserves_best(self, rng):
+        objective = toy_objective(max_resource=9.0, constant=True)
+        inner = RandomSearch(objective.space, rng, max_resource=9.0, max_trials=30)
+        wrapper = StoppingWrapper(inner, MedianStoppingRule(min_peers=3))
+        SimulatedCluster(2, seed=0).run(wrapper, objective, time_limit=1e6)
+        survivors = [
+            t for t in wrapper.trials.values() if t.trial_id not in wrapper.stopped_early
+        ]
+        best_overall = min(t.config["quality"] for t in wrapper.trials.values())
+        best_survivor = min(t.config["quality"] for t in survivors)
+        assert best_survivor == best_overall  # never stops the leader

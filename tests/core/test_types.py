@@ -1,0 +1,60 @@
+"""Tests for the core value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import IdAllocator, Job, Measurement, Trial, TrialStatus
+
+
+class TestTrial:
+    def test_record_advances_resource(self):
+        t = Trial(trial_id=0, config={"x": 1})
+        t.record(Measurement(0, 4.0, 0.5))
+        t.record(Measurement(0, 16.0, 0.3))
+        assert t.resource == 16.0
+        assert t.last_loss == 0.3
+        assert t.best_loss == 0.3
+
+    def test_resource_never_regresses(self):
+        t = Trial(trial_id=0, config={})
+        t.record(Measurement(0, 16.0, 0.3))
+        t.record(Measurement(0, 4.0, 0.5))  # out-of-order delivery
+        assert t.resource == 16.0
+
+    def test_loss_at(self):
+        t = Trial(trial_id=0, config={})
+        t.record(Measurement(0, 4.0, 0.5))
+        assert t.loss_at(4.0) == 0.5
+        assert t.loss_at(8.0) is None
+
+    def test_empty_trial(self):
+        t = Trial(trial_id=0, config={})
+        assert t.last_loss is None
+        assert t.best_loss is None
+
+
+class TestTrialStatus:
+    def test_terminal_states(self):
+        assert TrialStatus.COMPLETED.is_terminal()
+        assert TrialStatus.FAILED.is_terminal()
+        assert TrialStatus.STOPPED.is_terminal()
+        assert not TrialStatus.RUNNING.is_terminal()
+        assert not TrialStatus.PAUSED.is_terminal()
+        assert not TrialStatus.PENDING.is_terminal()
+
+
+class TestJob:
+    def test_delta_resource(self):
+        job = Job(job_id=0, trial_id=0, config={}, resource=16.0, checkpoint_resource=4.0)
+        assert job.delta_resource == 12.0
+
+    def test_frozen(self):
+        job = Job(job_id=0, trial_id=0, config={}, resource=1.0)
+        with pytest.raises(AttributeError):
+            job.resource = 2.0  # type: ignore[misc]
+
+
+def test_id_allocator_monotonic():
+    alloc = IdAllocator()
+    assert [alloc.next() for _ in range(5)] == [0, 1, 2, 3, 4]

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import _QUICK_RUNNERS, main
+
+
+def test_list_prints_registry(capsys):
+    main([])
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "Figure 5" in out
+    assert "benchmarks/bench_fig9_fabolas.py" in out
+
+
+def test_list_subcommand(capsys):
+    main(["list"])
+    assert "Reproduction registry" in capsys.readouterr().out
+
+
+def test_run_fig1(capsys):
+    main(["run", "fig1"])
+    out = capsys.readouterr().out
+    assert "bracket" in out
+    assert "81" in out  # bracket 2's budget
+
+
+def test_run_claim_wallclock(capsys):
+    main(["run", "claim-wallclock"])
+    out = capsys.readouterr().out
+    assert "13.0" in out and "9.0" in out
+
+
+def test_run_fig2(capsys):
+    main(["run", "fig2"])
+    out = capsys.readouterr().out
+    assert "SHA" in out and "ASHA" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_every_quick_runner_has_callable():
+    for runner in _QUICK_RUNNERS.values():
+        assert callable(runner)

@@ -1,0 +1,121 @@
+"""Smoke + shape tests for the per-figure reproduction drivers.
+
+These run heavily scaled-down versions of each driver (the benches run the
+full versions) and assert structural correctness plus the coarsest shape
+facts the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFigure1:
+    def test_exact_table(self):
+        rows = figures.figure1_rows()
+        by_bracket = {}
+        for row in rows:
+            by_bracket.setdefault(row["bracket"], []).append(row)
+        assert [(r["n_i"], r["r_i"]) for r in by_bracket[0]] == [(9, 1.0), (3, 3.0), (1, 9.0)]
+        assert [(r["n_i"], r["r_i"]) for r in by_bracket[1]] == [(9, 3.0), (3, 9.0)]
+        assert [(r["n_i"], r["r_i"]) for r in by_bracket[2]] == [(9, 9.0)]
+        assert all(r["total"] == r["n_i"] * r["r_i"] for r in rows)
+
+
+class TestFigure2:
+    def test_sha_trace(self):
+        traces = figures.figure2_traces()
+        sha = traces["SHA"]
+        # Nine rung-0 jobs, then three rung-1, then one rung-2.
+        assert [rung for _, rung in sha] == [0] * 9 + [1] * 3 + [2]
+        # Configurations 1, 6, 8 promoted; 8 wins (1-indexed labels).
+        assert {label for label, rung in sha if rung == 1} == {1, 6, 8}
+        assert [label for label, rung in sha if rung == 2] == [8]
+
+    def test_asha_trace_interleaves(self):
+        traces = figures.figure2_traces()
+        asha = traces["ASHA"]
+        assert len(asha) == 13
+        rungs = [rung for _, rung in asha]
+        # ASHA promotes *before* the base rung is full: a rung-1 job appears
+        # while rung-0 jobs are still being submitted.
+        first_r1 = rungs.index(1)
+        assert 0 in rungs[first_r1:]
+        assert {label for label, rung in asha if rung == 1} == {1, 6, 8}
+        assert [label for label, rung in asha if rung == 2] == [8]
+
+
+class TestSequentialAndDistributed:
+    def test_figure3_structure(self):
+        curves = figures.figure3(
+            "cifar_convnet",
+            num_trials=1,
+            horizon_multiple=6.0,
+            methods=("Random", "ASHA"),
+            grid_points=8,
+        )
+        assert set(curves) == {"Random", "ASHA"}
+        for curve in curves.values():
+            assert curve.grid.shape == (8,)
+            assert np.isfinite(curve.final_mean)
+        # Early stopping beats random at equal budget.
+        assert curves["ASHA"].final_mean <= curves["Random"].final_mean + 0.02
+
+    def test_figure4_structure(self):
+        curves = figures.figure4(
+            "cifar_smallcnn",
+            num_trials=1,
+            num_workers=5,
+            horizon_multiple=1.5,
+            methods=("ASHA", "SHA"),
+            grid_points=8,
+        )
+        assert set(curves) == {"ASHA", "SHA"}
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            figures.figure3("imagenet")
+
+
+class TestRobustnessFigures:
+    def test_figure7_rows(self):
+        rows = figures.figure7(
+            straggler_stds=(0.1,),
+            drop_probs=(0.0, 0.01),
+            num_sims=2,
+            num_workers=6,
+            time_budget=600.0,
+        )
+        assert len(rows) == 4  # 2 methods x 1 std x 2 drop probs
+        by_key = {(r["method"], r["drop_prob"]): r["mean_completed"] for r in rows}
+        # Drops reduce completions for synchronous SHA.
+        assert by_key[("SHA", 0.01)] <= by_key[("SHA", 0.0)]
+
+    def test_figure8_rows(self):
+        rows = figures.figure8(
+            straggler_stds=(0.0,),
+            drop_probs=(0.0,),
+            num_sims=2,
+            num_workers=6,
+            time_budget=600.0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 < row["mean_first_completion"] <= 600.0
+
+
+class TestClaims:
+    def test_wallclock_claim_exact(self):
+        out = figures.claim_wallclock()
+        # Section 3.2: 13/9 x time(R) from scratch, time(R) with checkpoints.
+        assert out["from_scratch"] == pytest.approx(13.0)
+        assert out["checkpointed"] == pytest.approx(9.0)
+        assert out["time_R"] == 9.0
+
+    def test_mispromotion_claim(self):
+        studies = figures.claim_mispromotion(ns=(64, 256), repeats=5)
+        assert [s.n for s in studies] == [64, 256]
+        assert all(s.ratio < 3.0 for s in studies)

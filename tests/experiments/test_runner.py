@@ -1,0 +1,99 @@
+"""Tests for the experiment runner and method factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ASHA
+from repro.experiments.methods import MethodSettings, standard_methods
+from repro.experiments.runner import aggregate_methods, run_trials
+from repro.experiments.toys import toy_objective
+
+
+def settings_for_toy() -> MethodSettings:
+    return MethodSettings(eta=3, min_resource=1.0, max_resource=9.0, n=9, pbt_interval=3.0)
+
+
+def test_standard_methods_names():
+    factories = standard_methods(settings_for_toy())
+    assert set(factories) == {
+        "Random",
+        "SHA",
+        "Hyperband",
+        "PBT",
+        "ASHA",
+        "Hyperband (async)",
+        "BOHB",
+    }
+
+
+def test_standard_methods_include_filter():
+    factories = standard_methods(settings_for_toy(), include=("ASHA", "Random"))
+    assert list(factories) == ["ASHA", "Random"]
+    with pytest.raises(KeyError):
+        standard_methods(settings_for_toy(), include=("Nope",))
+
+
+def test_factories_build_working_schedulers():
+    factories = standard_methods(settings_for_toy())
+    objective = toy_objective()
+    for name, factory in factories.items():
+        scheduler = factory(objective, np.random.default_rng(0))
+        job = scheduler.next_job()
+        assert job is not None, name
+        scheduler.report(job, 0.5)
+
+
+def test_run_trials_produces_one_record_per_seed():
+    objective_factory = lambda seed: toy_objective(constant=False)
+
+    def make_scheduler(objective, rng):
+        return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+
+    records = run_trials(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        num_workers=2,
+        time_limit=60.0,
+        seeds=range(3),
+    )
+    assert [r.seed for r in records] == [0, 1, 2]
+    assert all(r.method == "ASHA" for r in records)
+    assert all(r.trace.times for r in records)
+    assert all(r.backend is not None for r in records)
+
+
+def test_run_trials_deterministic_per_seed():
+    objective_factory = lambda seed: toy_objective(constant=False)
+
+    def make_scheduler(objective, rng):
+        return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+
+    kwargs = dict(num_workers=2, time_limit=50.0, seeds=[7])
+    a = run_trials("ASHA", make_scheduler, objective_factory, **kwargs)[0]
+    b = run_trials("ASHA", make_scheduler, objective_factory, **kwargs)[0]
+    assert a.trace.times == b.trace.times
+    assert a.trace.values == b.trace.values
+
+
+def test_aggregate_methods_common_grid():
+    objective_factory = lambda seed: toy_objective(constant=False)
+
+    def make_scheduler(objective, rng):
+        return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+
+    records = {
+        "ASHA": run_trials(
+            "ASHA",
+            make_scheduler,
+            objective_factory,
+            num_workers=2,
+            time_limit=40.0,
+            seeds=range(2),
+        )
+    }
+    curves = aggregate_methods(records, time_limit=40.0, grid_points=10)
+    assert curves["ASHA"].grid.shape == (10,)
+    assert np.isfinite(curves["ASHA"].mean[-1])

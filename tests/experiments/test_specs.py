@@ -1,0 +1,34 @@
+"""Tests that the experiment registry stays consistent with the code."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, figures, get_spec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_every_figure_has_a_spec():
+    ids = {spec.experiment_id for spec in EXPERIMENTS}
+    for fig in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+        assert fig in ids
+
+
+def test_drivers_exist():
+    for spec in EXPERIMENTS:
+        assert hasattr(figures, spec.driver), spec.experiment_id
+
+
+def test_bench_files_exist():
+    for spec in EXPERIMENTS:
+        path = os.path.join(REPO_ROOT, spec.bench)
+        assert os.path.exists(path), f"{spec.experiment_id}: missing {spec.bench}"
+
+
+def test_get_spec():
+    assert get_spec("fig5").paper_artifact == "Figure 5"
+    with pytest.raises(KeyError):
+        get_spec("fig99")

@@ -1,0 +1,39 @@
+"""Tests for the scripted toy fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.toys import (
+    FIGURE2_QUALITIES,
+    scripted_sampler,
+    toy_objective,
+)
+
+
+def test_scripted_sampler_in_order(rng):
+    sampler = scripted_sampler([0.1, 0.2])
+    assert sampler(rng) == {"quality": 0.1}
+    assert sampler(rng) == {"quality": 0.2}
+    with pytest.raises(RuntimeError):
+        sampler(rng)
+
+
+def test_figure2_qualities_realise_the_story():
+    """Trials 0, 5, 7 are prefix-of-three minima; 7 is the rung-1 winner."""
+    q = FIGURE2_QUALITIES
+    assert min(q[:3]) == q[0]
+    assert min(q[3:6]) == q[5]
+    assert min(q[6:9]) == q[7]
+    assert min(q[0], q[5], q[7]) == q[7]
+
+
+def test_constant_toy_loss_is_flat():
+    obj = toy_objective(constant=True)
+    assert obj.evaluate({"quality": 0.4}, 1.0) == obj.evaluate({"quality": 0.4}, 9.0)
+
+
+def test_curved_toy_decays():
+    obj = toy_objective(constant=False)
+    assert obj.evaluate({"quality": 0.4}, 9.0) < obj.evaluate({"quality": 0.4}, 1.0)

@@ -1,0 +1,95 @@
+"""Tests for Gaussian-process regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import GaussianProcess, Matern52, RBF
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GaussianProcess(noise=0.0)
+    gp = GaussianProcess()
+    with pytest.raises(ValueError):
+        gp.fit(np.zeros((2, 1)), np.zeros(3))
+    with pytest.raises(ValueError):
+        gp.fit(np.zeros((0, 1)), np.zeros(0))
+    with pytest.raises(RuntimeError):
+        gp.predict(np.zeros((1, 1)))
+
+
+def test_interpolates_training_points():
+    rng = np.random.default_rng(0)
+    x = rng.random((12, 2))
+    y = np.sin(3 * x[:, 0]) + x[:, 1]
+    gp = GaussianProcess(kernel=RBF(length_scale=0.4), noise=1e-6)
+    gp.fit(x, y)
+    mean, std = gp.predict(x)
+    np.testing.assert_allclose(mean, y, atol=1e-2)
+    assert np.all(std < 0.1)
+
+
+def test_uncertainty_grows_away_from_data():
+    x = np.array([[0.5, 0.5]])
+    gp = GaussianProcess(kernel=Matern52(length_scale=0.2)).fit(x, np.array([1.0]))
+    _, std_near = gp.predict(np.array([[0.5, 0.52]]))
+    _, std_far = gp.predict(np.array([[0.0, 0.0]]))
+    assert std_far[0] > std_near[0]
+
+
+def test_normalisation_round_trip():
+    """Constant shift/scale of targets must shift/scale predictions."""
+    rng = np.random.default_rng(1)
+    x = rng.random((15, 2))
+    y = np.cos(4 * x[:, 0])
+    gp1 = GaussianProcess().fit(x, y)
+    gp2 = GaussianProcess().fit(x, 100.0 + 10.0 * y)
+    m1, s1 = gp1.predict(x[:5])
+    m2, s2 = gp2.predict(x[:5])
+    np.testing.assert_allclose(m2, 100.0 + 10.0 * m1, rtol=1e-6)
+    np.testing.assert_allclose(s2, 10.0 * s1, rtol=1e-6)
+
+
+def test_nonfinite_targets_clamped():
+    x = np.random.default_rng(2).random((6, 2))
+    y = np.array([0.1, 0.2, np.inf, 0.3, np.nan, 0.4])
+    gp = GaussianProcess().fit(x, y)
+    mean, _ = gp.predict(x)
+    assert np.all(np.isfinite(mean))
+
+
+def test_all_nonfinite_targets():
+    x = np.random.default_rng(3).random((3, 2))
+    gp = GaussianProcess().fit(x, np.array([np.inf, np.nan, np.inf]))
+    mean, _ = gp.predict(x)
+    assert np.all(np.isfinite(mean))
+
+
+def test_log_marginal_likelihood_prefers_true_scale():
+    """The marginal likelihood should favour a length scale near the truth."""
+    rng = np.random.default_rng(4)
+    x = rng.random((40, 1))
+    truth = Matern52(length_scale=0.2)
+    cov = truth(x, x) + 1e-6 * np.eye(40)
+    y = np.linalg.cholesky(cov) @ rng.normal(size=40)
+    lls = {}
+    for ls in (0.02, 0.2, 2.0):
+        gp = GaussianProcess(kernel=Matern52(length_scale=ls), noise=1e-4)
+        gp.fit(x, y)
+        lls[ls] = gp.log_marginal_likelihood()
+    assert lls[0.2] > lls[2.0]
+    assert lls[0.2] > lls[0.02]
+
+
+def test_fit_tuned_picks_reasonable_kernel():
+    rng = np.random.default_rng(5)
+    x = rng.random((30, 2))
+    y = np.sin(6 * x[:, 0])
+    gp = GaussianProcess(kernel=Matern52(), noise=1e-4)
+    gp.fit_tuned(x, y)
+    mean, _ = gp.predict(x)
+    rmse = np.sqrt(np.mean((mean - y) ** 2))
+    assert rmse < 0.2
+    assert gp.num_observations == 30

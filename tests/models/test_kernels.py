@@ -1,0 +1,70 @@
+"""Tests for the covariance kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.kernels import Matern52, RBF, cdist_sq
+
+
+def test_cdist_sq_matches_direct():
+    rng = np.random.default_rng(0)
+    a, b = rng.random((5, 3)), rng.random((7, 3))
+    direct = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+    np.testing.assert_allclose(cdist_sq(a, b), direct, atol=1e-12)
+
+
+def test_cdist_sq_never_negative():
+    x = np.full((4, 2), 1e8)
+    assert np.all(cdist_sq(x, x) >= 0)
+
+
+@pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+class TestKernelProperties:
+    def test_diagonal_equals_variance(self, kernel_cls):
+        k = kernel_cls(length_scale=0.3, variance=2.5)
+        x = np.random.default_rng(0).random((6, 4))
+        gram = k(x, x)
+        np.testing.assert_allclose(np.diag(gram), 2.5, atol=1e-9)
+
+    def test_symmetry(self, kernel_cls):
+        k = kernel_cls()
+        x = np.random.default_rng(1).random((5, 3))
+        gram = k(x, x)
+        np.testing.assert_allclose(gram, gram.T, atol=1e-12)
+
+    def test_positive_semidefinite(self, kernel_cls):
+        k = kernel_cls(length_scale=0.5)
+        x = np.random.default_rng(2).random((20, 3))
+        eigs = np.linalg.eigvalsh(k(x, x))
+        assert eigs.min() > -1e-8
+
+    def test_decays_with_distance(self, kernel_cls):
+        k = kernel_cls(length_scale=0.2)
+        x0 = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[0.9, 0.0]])
+        assert k(x0, near)[0, 0] > k(x0, far)[0, 0]
+
+    def test_with_params(self, kernel_cls):
+        k = kernel_cls().with_params(0.7, 3.0)
+        assert k.length_scale == 0.7
+        assert k.variance == 3.0
+
+    def test_validation(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(length_scale=0.0)
+        with pytest.raises(ValueError):
+            kernel_cls(variance=-1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 15))
+def test_matern_gram_psd_property(seed, n):
+    x = np.random.default_rng(seed).random((n, 3))
+    gram = Matern52(length_scale=0.4)(x, x)
+    eigs = np.linalg.eigvalsh(gram)
+    assert eigs.min() > -1e-7

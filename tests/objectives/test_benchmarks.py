@@ -1,0 +1,170 @@
+"""Calibration tests for the paper-benchmark surrogates.
+
+These lock in the *distributional* facts each figure depends on — if a
+refactor breaks a response surface, these fail before any figure bench does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.objectives import (
+    cifar_convnet,
+    cifar_smallcnn,
+    ptb_awd_lstm,
+    ptb_lstm,
+    sim_workload,
+    svhn_smallcnn,
+)
+
+
+def sample_losses(module, n=2000, seed=0, resource=None):
+    obj = module.make_objective()
+    rng = np.random.default_rng(seed)
+    configs = obj.space.sample_batch(n, rng)
+    r = resource if resource is not None else module.R
+    return obj, configs, np.array([obj.clean_loss_at(c, r) for c in configs])
+
+
+class TestCifarConvnet:
+    def test_space_matches_li2017(self):
+        names = cifar_convnet.space().names
+        assert "learning_rate" in names
+        assert len(names) == 7
+
+    def test_error_distribution(self):
+        _, _, losses = sample_losses(cifar_convnet)
+        assert losses.min() >= cifar_convnet.BEST_ERROR - 1e-6
+        assert losses.min() < 0.22  # good configs exist
+        good = (losses < 0.21).mean()
+        assert 0.001 < good < 0.05  # rare but findable, per Section 4.2
+        assert (losses > 0.8).mean() > 0.02  # divergent tail exists
+
+    def test_uniform_cost(self):
+        obj, configs, _ = sample_losses(cifar_convnet, n=50)
+        assert all(obj.cost_multiplier(c) == 1.0 for c in configs)
+
+    def test_high_lr_diverges(self):
+        obj = cifar_convnet.make_objective()
+        config = obj.space.sample(np.random.default_rng(0))
+        config["learning_rate"] = 5.0
+        assert obj.clean_loss_at(config, cifar_convnet.R) > 0.8
+
+
+class TestCifarSmallCNN:
+    def test_space_matches_table1(self):
+        space = cifar_smallcnn.space()
+        assert space.names == [
+            "batch_size",
+            "num_layers",
+            "num_filters",
+            "weight_init_std1",
+            "weight_init_std2",
+            "weight_init_std3",
+            "l2_penalty1",
+            "l2_penalty2",
+            "l2_penalty3",
+            "learning_rate",
+        ]
+        assert space["batch_size"].values == (64, 128, 256, 512)
+        assert space["num_layers"].values == (2, 3, 4)
+        assert space["num_filters"].values == (16, 32, 48, 64)
+
+    def test_cost_variance_matches_section42(self):
+        """Mean time-to-R ~ 30 min with std ~ 27 min: CV in [0.7, 1.3]."""
+        obj, configs, _ = sample_losses(cifar_smallcnn, n=3000)
+        costs = np.array([obj.cost_multiplier(c) for c in configs])
+        assert costs.mean() == pytest.approx(1.0, abs=0.25)
+        cv = costs.std() / costs.mean()
+        assert 0.7 < cv < 1.3
+
+    def test_error_distribution(self):
+        _, _, losses = sample_losses(cifar_smallcnn, n=4000)
+        assert losses.min() < 0.235
+        assert 0.0005 < (losses < 0.23).mean() < 0.03
+
+    def test_bigger_architectures_better(self):
+        obj = cifar_smallcnn.make_objective()
+        rng = np.random.default_rng(0)
+        base = obj.space.sample(rng)
+        base["learning_rate"] = 0.08
+        small = dict(base, num_layers=2, num_filters=16)
+        big = dict(base, num_layers=4, num_filters=64)
+        assert obj.clean_loss_at(big, cifar_smallcnn.R) < obj.clean_loss_at(
+            small, cifar_smallcnn.R
+        )
+        assert obj.cost_multiplier(big) > obj.cost_multiplier(small)
+
+
+class TestSVHN:
+    def test_shares_table1_space(self):
+        assert svhn_smallcnn.space().names == cifar_smallcnn.space().names
+
+    def test_error_levels_lower_than_cifar(self):
+        _, _, losses = sample_losses(svhn_smallcnn, n=2000)
+        assert losses.min() < 0.06  # Figure 9: methods converge to ~0.03-0.05
+
+
+class TestPTBLSTM:
+    def test_space_matches_table2(self):
+        space = ptb_lstm.space()
+        assert space.names == [
+            "batch_size",
+            "time_steps",
+            "hidden_nodes",
+            "learning_rate",
+            "decay_rate",
+            "decay_epochs",
+            "clip_gradients",
+            "dropout",
+            "weight_init_range",
+        ]
+
+    def test_heavy_tail_exists(self):
+        """'certain configurations induce perplexities orders of magnitude
+        larger than the average case' (Section 4.3)."""
+        _, _, losses = sample_losses(ptb_lstm, n=3000)
+        assert (losses > 1000).mean() > 0.01
+        assert losses.max() > 1e4
+        assert np.median(losses) < 200
+
+    def test_good_region_near_paper_result(self):
+        _, _, losses = sample_losses(ptb_lstm, n=5000)
+        assert losses.min() < 83.0  # best found by ASHA: 76.6 (test ppl)
+
+    def test_divergence_driven_by_lr_and_clip(self):
+        obj = ptb_lstm.make_objective()
+        rng = np.random.default_rng(0)
+        diverged = 0
+        for _ in range(200):
+            config = obj.space.sample(rng)
+            config["learning_rate"] = 90.0
+            config["clip_gradients"] = 10.0
+            if obj.clean_loss_at(config, ptb_lstm.R) > 1000:
+                diverged += 1
+        assert diverged > 30
+
+
+class TestAWDLSTM:
+    def test_space_matches_table3(self):
+        space = ptb_awd_lstm.space()
+        assert space["batch_size"].values == (15, 20, 25)
+        assert space["time_steps"].values == (65, 70, 75)
+        assert space.dim == 9
+
+    def test_perplexity_range_matches_figure6(self):
+        _, _, losses = sample_losses(ptb_awd_lstm, n=2000)
+        finite = losses[losses < 500]
+        assert 59.0 < finite.min() < 62.5
+        assert np.median(finite) < 72.0  # Figure 6's y-range
+
+
+class TestSimWorkload:
+    def test_unit_cost(self):
+        obj = sim_workload.make_objective()
+        assert obj.cost({"x": 0.5}, 0.0, 7.0) == 7.0
+
+    def test_quality_equals_hyperparameter(self):
+        obj = sim_workload.make_objective()
+        assert obj.clean_loss_at({"x": 0.37}, 1e9) == pytest.approx(0.37, abs=1e-6)

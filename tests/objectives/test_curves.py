@@ -1,0 +1,115 @@
+"""Tests for the learning-curve family."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objectives.curves import CurveProfile, advance_loss, curve_loss, invert_curve
+
+
+def profile(**kwargs):
+    defaults = dict(asymptote=0.2, initial_loss=1.0, gamma=0.8, half_resource=4.0)
+    defaults.update(kwargs)
+    return CurveProfile(**defaults)
+
+
+class TestValidation:
+    def test_initial_below_asymptote_rejected(self):
+        with pytest.raises(ValueError):
+            CurveProfile(asymptote=1.0, initial_loss=0.5)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            profile(gamma=0.0)
+        with pytest.raises(ValueError):
+            profile(half_resource=-1.0)
+        with pytest.raises(ValueError):
+            profile(cost_multiplier=0.0)
+        with pytest.raises(ValueError):
+            profile(noise_mode="weird")
+
+
+class TestCurveLoss:
+    def test_boundary_values(self):
+        p = profile()
+        assert curve_loss(p, 0.0) == pytest.approx(1.0)
+        assert curve_loss(p, 1e12) == pytest.approx(0.2, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        p = profile()
+        losses = [curve_loss(p, r) for r in (0, 1, 2, 4, 8, 16, 64)]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ValueError):
+            curve_loss(profile(), -1.0)
+
+
+class TestInvert:
+    def test_round_trip(self):
+        p = profile()
+        for r in (0.0, 0.5, 3.0, 17.0):
+            assert invert_curve(p, curve_loss(p, r)) == pytest.approx(r, rel=1e-9, abs=1e-9)
+
+    def test_edges(self):
+        p = profile()
+        assert invert_curve(p, 2.0) == 0.0  # above initial loss
+        assert invert_curve(p, 0.2) == math.inf  # at the asymptote
+        assert invert_curve(p, 0.1) == math.inf  # below it
+
+
+class TestAdvance:
+    def test_matches_from_scratch_on_own_curve(self):
+        p = profile()
+        l1 = advance_loss(p, p.initial_loss, 3.0)
+        l2 = advance_loss(p, l1, 5.0)
+        assert l2 == pytest.approx(curve_loss(p, 8.0), rel=1e-9)
+
+    def test_zero_delta_is_identity(self):
+        p = profile()
+        assert advance_loss(p, 0.7, 0.0) == 0.7
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            advance_loss(profile(), 0.7, -1.0)
+
+    def test_inherited_better_state_relaxes_toward_asymptote(self):
+        """A loss below the asymptote (PBT clone) drifts up, never jumps."""
+        p = profile(asymptote=0.5)
+        inherited = 0.2
+        one = advance_loss(p, inherited, 1.0)
+        many = advance_loss(p, inherited, 100.0)
+        assert inherited < one < many <= 0.5
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    asym=st.floats(0.01, 1.0),
+    gap=st.floats(0.01, 10.0),
+    gamma=st.floats(0.2, 2.0),
+    half=st.floats(0.1, 100.0),
+    r1=st.floats(0.0, 1000.0),
+    r2=st.floats(0.0, 1000.0),
+)
+def test_advance_path_independence(asym, gap, gamma, half, r1, r2):
+    """Training (r1 then r2) equals training (r1 + r2) in one shot."""
+    p = CurveProfile(asymptote=asym, initial_loss=asym + gap, gamma=gamma, half_resource=half)
+    stepped = advance_loss(p, advance_loss(p, p.initial_loss, r1), r2)
+    direct = advance_loss(p, p.initial_loss, r1 + r2)
+    assert stepped == pytest.approx(direct, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    loss=st.floats(0.21, 0.99),
+    delta=st.floats(0.0, 100.0),
+)
+def test_advance_never_below_asymptote(loss, delta):
+    p = profile()
+    out = advance_loss(p, loss, delta)
+    assert out >= p.asymptote - 1e-12
+    assert out <= loss + 1e-12  # training never hurts on-curve states

@@ -1,0 +1,76 @@
+"""Tests for the response-surface primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objectives.response import band, log_band, log_ramp, ramp
+
+
+class TestLogBand:
+    def test_zero_at_optimum(self):
+        assert log_band(0.1, 0.1, 1.0, 5.0) == 0.0
+
+    def test_symmetric_in_decades(self):
+        assert log_band(1.0, 0.1, 1.0, 5.0) == pytest.approx(log_band(0.01, 0.1, 1.0, 5.0))
+
+    def test_caps(self):
+        assert log_band(1e9, 0.1, 1.0, 5.0) == 5.0 * 4.0
+        assert log_band(1e9, 0.1, 1.0, 5.0, cap=2.0) == 10.0
+
+    def test_nonpositive_value_max_penalty(self):
+        assert log_band(0.0, 0.1, 1.0, 5.0) == 20.0
+        assert log_band(-1.0, 0.1, 1.0, 5.0) == 20.0
+
+
+class TestBand:
+    def test_zero_at_optimum(self):
+        assert band(0.5, 0.5, 0.1, 3.0) == 0.0
+
+    def test_quadratic_growth(self):
+        one = band(0.6, 0.5, 0.1, 3.0)
+        two = band(0.7, 0.5, 0.1, 3.0)
+        assert two == pytest.approx(4 * one)
+
+    def test_cap(self):
+        assert band(100.0, 0.5, 0.1, 3.0) == 12.0
+
+
+class TestRamp:
+    def test_endpoints(self):
+        assert ramp(2, 2, 4, 10.0) == 10.0
+        assert ramp(4, 2, 4, 10.0) == 0.0
+        assert ramp(3, 2, 4, 10.0) == pytest.approx(5.0)
+
+    def test_clamps_outside_range(self):
+        assert ramp(0, 2, 4, 10.0) == 10.0
+        assert ramp(99, 2, 4, 10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ramp(1, 5, 5, 1.0)
+
+
+class TestLogRamp:
+    def test_endpoints(self):
+        assert log_ramp(1.0, 1.0, 100.0, 6.0) == 6.0
+        assert log_ramp(100.0, 1.0, 100.0, 6.0) == 0.0
+        assert log_ramp(10.0, 1.0, 100.0, 6.0) == pytest.approx(3.0)
+
+    def test_degenerate_inputs(self):
+        assert log_ramp(0.0, 1.0, 100.0, 6.0) == 6.0
+        assert log_ramp(5.0, 100.0, 1.0, 6.0) == 6.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    value=st.floats(1e-8, 1e8),
+    optimum=st.floats(1e-6, 1e6),
+    width=st.floats(0.1, 3.0),
+    strength=st.floats(0.0, 10.0),
+)
+def test_log_band_bounded_and_nonnegative(value, optimum, width, strength):
+    p = log_band(value, optimum, width, strength)
+    assert 0.0 <= p <= strength * 4.0 + 1e-12

@@ -1,0 +1,58 @@
+"""Tests for the real (genuinely trained) SVM objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.objectives.svm import SVMObjective, make_objective
+
+
+@pytest.fixture(scope="module")
+def objective():
+    return make_objective("vehicle", max_train=1024, num_val=512)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        make_objective("imagenet")
+
+
+def test_deterministic(objective):
+    config = {"C": 1.0, "gamma": 0.1}
+    assert objective.evaluate(config, 512.0) == objective.evaluate(config, 512.0)
+
+
+def test_more_data_reduces_error(objective):
+    """Diminishing-returns structure: the hook Fabolas exploits."""
+    config = {"C": 100.0, "gamma": 0.1}
+    small = objective.evaluate(config, 64.0)
+    large = objective.evaluate(config, 1024.0)
+    assert large < small
+
+
+def test_hyperparameters_matter(objective):
+    rng = np.random.default_rng(0)
+    errors = [objective.evaluate(c, 1024.0) for c in objective.space.sample_batch(30, rng)]
+    assert max(errors) - min(errors) > 0.05
+    assert min(errors) < 0.45  # some configs genuinely learn
+
+
+def test_mnist_easier_than_vehicle():
+    easy = make_objective("mnist", max_train=1024, num_val=512)
+    hard = make_objective("vehicle", max_train=1024, num_val=512)
+    config = {"C": 1.0, "gamma": 0.05}
+    assert easy.evaluate(config, 1024.0) < hard.evaluate(config, 1024.0)
+
+
+def test_cost_follows_target_size(objective):
+    assert objective.cost({"C": 1.0, "gamma": 0.1}, 0.0, 512.0) == 512.0
+    # Subset training is not incremental: resuming still pays the target.
+    assert objective.cost({"C": 1.0, "gamma": 0.1}, 256.0, 512.0) == 512.0
+
+
+def test_seeds_give_different_datasets():
+    a = make_objective("vehicle", seed=0, max_train=512, num_val=256)
+    b = make_objective("vehicle", seed=1, max_train=512, num_val=256)
+    config = {"C": 1.0, "gamma": 0.05}
+    assert a.evaluate(config, 512.0) != b.evaluate(config, 512.0)

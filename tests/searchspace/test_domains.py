@@ -1,0 +1,199 @@
+"""Unit and property tests for hyperparameter domains."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchspace import Choice, IntUniform, LogUniform, QUniform, Uniform
+
+RNG = np.random.default_rng(1234)
+
+
+class TestUniform:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+    def test_sample_within_bounds(self, rng):
+        dom = Uniform(-2.0, 5.0)
+        samples = [dom.sample(rng) for _ in range(200)]
+        assert all(-2.0 <= s <= 5.0 for s in samples)
+
+    def test_clip(self):
+        dom = Uniform(0.0, 1.0)
+        assert dom.clip(-3.0) == 0.0
+        assert dom.clip(7.0) == 1.0
+        assert dom.clip(0.4) == 0.4
+
+    def test_unit_round_trip(self):
+        dom = Uniform(2.0, 10.0)
+        assert dom.from_unit(dom.to_unit(6.0)) == pytest.approx(6.0)
+        assert dom.to_unit(2.0) == 0.0
+        assert dom.to_unit(10.0) == 1.0
+
+    def test_perturb_stays_in_bounds(self, rng):
+        dom = Uniform(0.0, 1.0)
+        value = 0.9
+        for _ in range(50):
+            value = dom.perturb(value, rng)
+            assert 0.0 <= value <= 1.0
+
+    def test_perturb_uses_given_factors(self, rng):
+        dom = Uniform(0.0, 100.0)
+        seen = {dom.perturb(10.0, rng) for _ in range(100)}
+        assert seen == {8.0, 12.0}
+
+
+class TestLogUniform:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform(2.0, 1.0)
+
+    def test_sampling_is_log_scaled(self, rng):
+        dom = LogUniform(1e-4, 1.0)
+        samples = np.array([dom.sample(rng) for _ in range(4000)])
+        # Median of a log-uniform sits at the geometric mean of the bounds.
+        geometric_mid = math.sqrt(1e-4 * 1.0)
+        assert np.median(samples) == pytest.approx(geometric_mid, rel=0.5)
+
+    def test_unit_round_trip(self):
+        dom = LogUniform(1e-3, 1e3)
+        assert dom.to_unit(1.0) == pytest.approx(0.5)
+        assert dom.from_unit(0.5) == pytest.approx(1.0)
+
+    def test_perturb_clips(self, rng):
+        dom = LogUniform(1.0, 2.0)
+        assert dom.perturb(2.0, rng, factors=(1.5, 1.5)) == 2.0
+
+
+class TestIntUniform:
+    def test_sample_bounds_inclusive(self, rng):
+        dom = IntUniform(1, 3)
+        seen = {dom.sample(rng) for _ in range(200)}
+        assert seen == {1, 2, 3}
+
+    def test_clip_rounds(self):
+        dom = IntUniform(0, 10)
+        assert dom.clip(4.6) == 5
+        assert dom.clip(-3) == 0
+        assert dom.clip(99) == 10
+
+    def test_perturb_always_moves_or_stays_valid(self, rng):
+        dom = IntUniform(1, 4)
+        for value in (1, 2, 3, 4):
+            out = dom.perturb(value, rng)
+            assert 1 <= out <= 4
+
+    def test_perturb_moves_small_values(self, rng):
+        dom = IntUniform(1, 100)
+        # 2 * 0.8 = 1.6 -> rounds to 2: the fallback must still move it.
+        outs = {dom.perturb(2, rng) for _ in range(100)}
+        assert 2 not in outs or len(outs) > 1
+
+
+class TestQUniform:
+    def test_quantisation(self, rng):
+        dom = QUniform(0.0, 1.0, 0.25)
+        samples = {dom.sample(rng) for _ in range(100)}
+        assert samples <= {0.0, 0.25, 0.5, 0.75, 1.0}
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            QUniform(0.0, 1.0, 0.0)
+
+    def test_unit_round_trip_quantises(self):
+        dom = QUniform(0.0, 10.0, 2.0)
+        assert dom.from_unit(0.33) in (2.0, 4.0)
+
+
+class TestChoice:
+    def test_requires_two_distinct(self):
+        with pytest.raises(ValueError):
+            Choice([1])
+        with pytest.raises(ValueError):
+            Choice([1, 1])
+
+    def test_sample_coverage(self, rng):
+        dom = Choice(["a", "b", "c"])
+        assert {dom.sample(rng) for _ in range(200)} == {"a", "b", "c"}
+
+    def test_clip_snaps_numeric(self):
+        dom = Choice([16, 32, 64])
+        assert dom.clip(40) == 32
+        assert dom.clip(64) == 64
+
+    def test_perturb_adjacent_only(self, rng):
+        dom = Choice([1, 2, 3, 4])
+        assert {dom.perturb(1, rng) for _ in range(50)} == {2}
+        assert {dom.perturb(3, rng) for _ in range(100)} == {2, 4}
+
+    def test_unit_round_trip(self):
+        dom = Choice([10, 20, 30])
+        for v in (10, 20, 30):
+            assert dom.from_unit(dom.to_unit(v)) == v
+
+    def test_contains(self):
+        dom = Choice([1, 2])
+        assert dom.contains(1)
+        assert not dom.contains(3)
+
+
+# ----------------------------------------------------------------- property
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    low=st.floats(-1e6, 1e6, allow_nan=False),
+    span=st.floats(1e-3, 1e6, allow_nan=False),
+    u=st.floats(0.0, 1.0),
+)
+def test_uniform_from_unit_always_in_bounds(low, span, u):
+    dom = Uniform(low, low + span)
+    value = dom.from_unit(u)
+    assert dom.low <= value <= dom.high
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    exp_low=st.integers(-8, 2),
+    decades=st.integers(1, 8),
+    u=st.floats(0.0, 1.0),
+)
+def test_loguniform_round_trip(exp_low, decades, u):
+    dom = LogUniform(10.0**exp_low, 10.0 ** (exp_low + decades))
+    value = dom.from_unit(u)
+    assert dom.low <= value <= dom.high
+    assert dom.to_unit(value) == pytest.approx(u, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=10, unique=True))
+def test_choice_round_trip_identity(values):
+    dom = Choice(values)
+    for v in values:
+        assert dom.from_unit(dom.to_unit(v)) == v
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    low=st.integers(-50, 50),
+    span=st.integers(1, 100),
+    data=st.data(),
+)
+def test_intuniform_perturb_in_bounds(low, span, data):
+    dom = IntUniform(low, low + span)
+    value = data.draw(st.integers(low, low + span))
+    out = dom.perturb(value, RNG)
+    assert dom.low <= out <= dom.high
+    assert isinstance(out, int)

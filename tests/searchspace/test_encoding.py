@@ -1,0 +1,76 @@
+"""Tests for the unit-cube encoder used by model-based searchers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchspace import UnitCubeEncoder
+
+
+def test_encode_shape_and_range(mixed_space, rng):
+    enc = UnitCubeEncoder(mixed_space)
+    x = enc.encode(mixed_space.sample(rng))
+    assert x.shape == (4,)
+    assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+
+def test_encode_many(mixed_space, rng):
+    enc = UnitCubeEncoder(mixed_space)
+    configs = mixed_space.sample_batch(7, rng)
+    x = enc.encode_many(configs)
+    assert x.shape == (7, 4)
+    assert enc.encode_many([]).shape == (0, 4)
+
+
+def test_decode_shape_check(mixed_space):
+    enc = UnitCubeEncoder(mixed_space)
+    with pytest.raises(ValueError):
+        enc.decode(np.zeros(3))
+
+
+def test_round_trip_continuous_exact(mixed_space, rng):
+    enc = UnitCubeEncoder(mixed_space)
+    config = mixed_space.sample(rng)
+    out = enc.decode(enc.encode(config))
+    assert out["lr"] == pytest.approx(config["lr"], rel=1e-9)
+    assert out["momentum"] == pytest.approx(config["momentum"], abs=1e-12)
+
+
+def test_round_trip_discrete_exact(mixed_space, rng):
+    enc = UnitCubeEncoder(mixed_space)
+    for _ in range(50):
+        config = mixed_space.sample(rng)
+        out = enc.decode(enc.encode(config))
+        assert out["width"] == config["width"]
+        assert out["batch"] == config["batch"]
+
+
+def test_sample_unit_shape(mixed_space, rng):
+    enc = UnitCubeEncoder(mixed_space)
+    x = enc.sample_unit(10, rng)
+    assert x.shape == (10, 4)
+    assert np.all((0 <= x) & (x <= 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_round_trip_is_projection(seed):
+    """decode(encode(.)) is idempotent: a second round trip changes nothing."""
+    from repro.searchspace import Choice, IntUniform, LogUniform, SearchSpace, Uniform
+
+    mixed_space = SearchSpace(
+        {
+            "lr": LogUniform(1e-5, 1.0),
+            "width": IntUniform(4, 64),
+            "momentum": Uniform(0.0, 1.0),
+            "batch": Choice([16, 32, 64, 128]),
+        }
+    )
+    enc = UnitCubeEncoder(mixed_space)
+    config = mixed_space.sample(np.random.default_rng(seed))
+    once = enc.decode(enc.encode(config))
+    twice = enc.decode(enc.encode(once))
+    assert once == twice

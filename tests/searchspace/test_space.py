@@ -1,0 +1,106 @@
+"""Tests for SearchSpace: sampling, clipping, perturbation, grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchspace import Choice, LogUniform, SearchSpace, Uniform
+
+
+def test_empty_space_rejected():
+    with pytest.raises(ValueError):
+        SearchSpace({})
+
+
+def test_names_preserve_order(mixed_space):
+    assert mixed_space.names == ["lr", "width", "momentum", "batch"]
+    assert mixed_space.dim == 4
+    assert len(mixed_space) == 4
+    assert "lr" in mixed_space
+
+
+def test_sample_contains(mixed_space, rng):
+    for _ in range(100):
+        config = mixed_space.sample(rng)
+        assert mixed_space.contains(config)
+
+
+def test_sample_batch_matches_algorithm1_subroutine(mixed_space, rng):
+    configs = mixed_space.sample_batch(17, rng)
+    assert len(configs) == 17
+    assert all(mixed_space.contains(c) for c in configs)
+
+
+def test_clip_projects_out_of_range(mixed_space):
+    config = {"lr": 100.0, "width": 1000, "momentum": -1.0, "batch": 50}
+    clipped = mixed_space.clip(config)
+    assert mixed_space.contains(clipped)
+    assert clipped["lr"] == 1.0
+    assert clipped["width"] == 64
+    assert clipped["momentum"] == 0.0
+    assert clipped["batch"] in (32, 64)
+
+
+def test_clip_missing_key_raises(mixed_space):
+    with pytest.raises(KeyError):
+        mixed_space.clip({"lr": 0.1})
+
+
+def test_contains_rejects_extra_and_missing_keys(mixed_space, rng):
+    config = mixed_space.sample(rng)
+    assert not mixed_space.contains({**config, "extra": 1})
+    del config["lr"]
+    assert not mixed_space.contains(config)
+
+
+class TestPerturb:
+    def test_stays_in_space(self, mixed_space, rng):
+        config = mixed_space.sample(rng)
+        for _ in range(50):
+            config = mixed_space.perturb(config, rng)
+            assert mixed_space.contains(config)
+
+    def test_frozen_keys_unchanged(self, mixed_space, rng):
+        config = mixed_space.sample(rng)
+        for _ in range(20):
+            out = mixed_space.perturb(config, rng, frozen={"batch", "width"})
+            assert out["batch"] == config["batch"]
+            assert out["width"] == config["width"]
+
+    def test_zero_resample_prob_only_perturbs(self, rng):
+        space = SearchSpace({"x": Uniform(0.0, 100.0)})
+        out = space.perturb({"x": 10.0}, rng, resample_probability=0.0)
+        assert out["x"] in (8.0, 12.0)
+
+    def test_full_resample_prob_draws_fresh(self, rng):
+        space = SearchSpace({"x": Uniform(0.0, 1.0)})
+        outs = {space.perturb({"x": 0.5}, rng, resample_probability=1.0)["x"] for _ in range(50)}
+        assert len(outs) > 10  # fresh uniform draws, not the two factors
+
+
+def test_grid_includes_all_choices(rng):
+    space = SearchSpace({"a": Choice([1, 2, 3]), "b": Uniform(0.0, 1.0)})
+    grid = space.grid(points_per_dim=2)
+    assert len(grid) == 3 * 2
+    assert {g["a"] for g in grid} == {1, 2, 3}
+    assert {g["b"] for g in grid} == {0.0, 1.0}
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_sampling_deterministic_given_rng(seed):
+    space = SearchSpace({"lr": LogUniform(1e-5, 1.0), "batch": Choice([16, 32, 64])})
+    a = space.sample(np.random.default_rng(seed))
+    b = space.sample(np.random.default_rng(seed))
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_log_domain_sampling_in_bounds(seed):
+    space = SearchSpace({"lr": LogUniform(1e-8, 1e2)})
+    config = space.sample(np.random.default_rng(seed))
+    assert 1e-8 <= config["lr"] <= 1e2

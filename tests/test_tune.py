@@ -1,0 +1,99 @@
+"""Tests for the high-level tune() facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FunctionObjective, tune
+from repro.searchspace import SearchSpace, Uniform
+
+SPACE = SearchSpace({"x": Uniform(0.0, 1.0)})
+
+
+def quadratic_train(config, state, from_resource, to_resource):
+    """Resumable toy: loss approaches (x - 0.3)^2 as resource grows."""
+    target = (config["x"] - 0.3) ** 2
+    progress = min(to_resource / 16.0, 1.0)
+    return None, 1.0 * (1 - progress) + target * progress
+
+
+class TestFunctionObjective:
+    def test_wraps_callable(self):
+        obj = FunctionObjective(quadratic_train, SPACE, 16.0)
+        assert obj.evaluate({"x": 0.3}, 16.0) == pytest.approx(0.0)
+        assert obj.cost({"x": 0.3}, 0.0, 8.0) == 8.0
+
+    def test_custom_cost(self):
+        obj = FunctionObjective(
+            quadratic_train, SPACE, 16.0, cost_fn=lambda c, a, b: 3.0 * (b - a)
+        )
+        assert obj.cost({"x": 0.1}, 2.0, 4.0) == 6.0
+
+
+@pytest.mark.parametrize(
+    "scheduler",
+    ["asha", "sha", "hyperband", "async_hyperband", "bohb", "random", "pbt", "gp"],
+)
+def test_every_scheduler_name_runs(scheduler):
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler=scheduler,
+        num_workers=2,
+        time_limit=2000.0,
+        seed=1,
+    )
+    assert result.best_config is not None
+    assert result.best_loss is not None
+    assert result.num_trials > 0
+
+
+def test_asha_finds_the_optimum():
+    result = tune(
+        quadratic_train, SPACE, max_resource=16.0, num_workers=4, time_limit=5000.0
+    )
+    assert abs(result.best_config["x"] - 0.3) < 0.1
+    assert result.best_loss < 0.02
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(KeyError):
+        tune(quadratic_train, SPACE, max_resource=16.0, scheduler="magic")
+    with pytest.raises(KeyError):
+        tune(quadratic_train, SPACE, max_resource=16.0, backend="quantum")
+
+
+def test_threads_backend():
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        backend="threads",
+        num_workers=2,
+        time_limit=5.0,
+        scheduler_kwargs={"max_trials": 30},
+    )
+    assert result.best_loss is not None
+    assert result.best_loss < 0.3
+
+
+def test_scheduler_kwargs_passed_through():
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="random",
+        scheduler_kwargs={"max_trials": 5},
+        time_limit=1e6,
+    )
+    assert result.num_trials == 5
+
+
+def test_deterministic_given_seed():
+    kwargs = dict(max_resource=16.0, num_workers=3, time_limit=1000.0, seed=42)
+    a = tune(quadratic_train, SPACE, **kwargs)
+    b = tune(quadratic_train, SPACE, **kwargs)
+    assert a.best_config == b.best_config
+    assert a.best_loss == b.best_loss
