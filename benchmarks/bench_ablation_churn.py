@@ -56,7 +56,12 @@ def run_grid():
                 counts[name].append(result.num_completions())
         for name in ("SHA", "ASHA"):
             rows.append(
-                [name, rate, round(float(np.mean(counts[name])), 2), round(float(np.std(counts[name])), 2)]
+                [
+                    name,
+                    rate,
+                    round(float(np.mean(counts[name])), 2),
+                    round(float(np.std(counts[name])), 2),
+                ]
             )
     return rows
 
@@ -68,7 +73,10 @@ def test_ablation_churn(benchmark):
         render_table(
             ["method", "churn rate", "mean # trained to R", "std"],
             rows,
-            title=f"Worker churn: completions in {BUDGET:.0f} units ({WORKERS} workers, downtime {DOWNTIME:.0f})",
+            title=(
+                f"Worker churn: completions in {BUDGET:.0f} units "
+                f"({WORKERS} workers, downtime {DOWNTIME:.0f})"
+            ),
         ),
     )
     table = {(r[0], r[1]): r[2] for r in rows}

@@ -54,7 +54,6 @@ def test_fig4_distributed25(benchmark, benchmark_name):
         + "\n\n"
         + chart(curves, y_label="test error"),
     )
-    final = {name: c.final_mean for name, c in curves.items()}
     reach = {name: c.time_to_reach(good) for name, c in curves.items()}
     time_r = spec.settings.max_resource
     # ASHA reaches a good configuration within a small multiple of time(R).

@@ -27,7 +27,13 @@ def test_fig7_stragglers(benchmark):
         render_table(
             ["method", "train std", "drop prob", "mean # trained to R", "std"],
             [
-                [r["method"], r["train_std"], r["drop_prob"], round(r["mean_completed"], 2), round(r["std_completed"], 2)]
+                [
+                    r["method"],
+                    r["train_std"],
+                    r["drop_prob"],
+                    round(r["mean_completed"], 2),
+                    round(r["std_completed"], 2),
+                ]
                 for r in rows
             ],
             title=f"Figure 7: configurations trained to R in 2000 time units ({SIMS} sims)",

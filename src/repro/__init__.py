@@ -16,7 +16,7 @@ Quick start::
     print(scheduler.best_trial().config)
 """
 
-from . import analysis, backend, core, experiments, models, objectives, searchspace
+from . import analysis, backend, core, experiments, models, objectives, searchspace, telemetry
 from .backend import SimulatedCluster, ThreadPoolBackend
 from .core import (
     ASHA,
@@ -35,6 +35,7 @@ from .core import (
 )
 from .core import GridSearch
 from .searchspace import Choice, IntUniform, LogUniform, QUniform, SearchSpace, Uniform
+from .telemetry import TelemetryHub
 from .tune import FunctionObjective, TuneResult, tune
 
 __version__ = "1.0.0"
@@ -60,6 +61,7 @@ __all__ = [
     "SearchSpace",
     "SimulatedCluster",
     "SynchronousSHA",
+    "TelemetryHub",
     "ThreadPoolBackend",
     "TuneResult",
     "Uniform",
@@ -72,4 +74,5 @@ __all__ = [
     "models",
     "objectives",
     "searchspace",
+    "telemetry",
 ]

@@ -27,7 +27,9 @@ def format_value(value: Any, precision: int = 4) -> str:
     return str(value)
 
 
-def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
     """Render an aligned ASCII table."""
     text_rows = [[format_value(v) for v in row] for row in rows]
     widths = [len(h) for h in headers]

@@ -16,8 +16,9 @@ from __future__ import annotations
 import copy
 from typing import Any
 
-from ..core.types import Config, Job
+from ..core.types import Job
 from ..objectives.base import Objective
+from ..telemetry import NULL_HUB, EventKind
 
 __all__ = ["CheckpointStore"]
 
@@ -31,6 +32,9 @@ class CheckpointStore:
         # copies weights when the exploit job launches, and the donor may
         # train further before the clone's job completes.
         self._snapshots: dict[int, tuple[float, Any]] = {}
+        #: Lifecycle-event hub; backends attach theirs so checkpoint resumes
+        #: are observable (``checkpoint_restored`` events).
+        self.telemetry = NULL_HUB
 
     def __contains__(self, trial_id: int) -> bool:
         return trial_id in self._store
@@ -60,18 +64,31 @@ class CheckpointStore:
         self._snapshots[job.job_id] = (resource, copy.deepcopy(state))
 
     def starting_state(self, job: Job, objective: Objective) -> tuple[float, Any]:
-        """Resolve the (resource, state) a job should begin training from."""
+        """Resolve the (resource, state) a job should begin training from.
+
+        Emits a ``checkpoint_restored`` telemetry event whenever the job
+        resumes existing state (its own checkpoint or an inherited one)
+        rather than initialising from scratch.
+        """
         if job.inherit_from is not None:
             snapshot = self._snapshots.pop(job.job_id, None)
-            if snapshot is not None:
-                return snapshot
-            if job.inherit_from not in self._store:
-                raise KeyError(
-                    f"job {job.job_id} inherits from trial {job.inherit_from}, "
-                    "which has no checkpoint"
+            if snapshot is None:
+                if job.inherit_from not in self._store:
+                    raise KeyError(
+                        f"job {job.job_id} inherits from trial {job.inherit_from}, "
+                        "which has no checkpoint"
+                    )
+                resource, state = self._store[job.inherit_from]
+                snapshot = (resource, copy.deepcopy(state))
+            if self.telemetry:
+                self.telemetry.emit(
+                    EventKind.CHECKPOINT_RESTORED,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    resource=snapshot[0],
+                    inherited_from=job.inherit_from,
                 )
-            resource, state = self._store[job.inherit_from]
-            return resource, copy.deepcopy(state)
+            return snapshot
         if job.checkpoint_resource > 0:
             if job.trial_id not in self._store:
                 raise KeyError(
@@ -79,8 +96,25 @@ class CheckpointStore:
                     f"{job.checkpoint_resource}, but no checkpoint exists"
                 )
             resource, state = self._store[job.trial_id]
+            if self.telemetry:
+                self.telemetry.emit(
+                    EventKind.CHECKPOINT_RESTORED,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    resource=resource,
+                )
             return resource, state
         return 0.0, objective.initial_state(job.config)
+
+    def put(self, trial_id: int, resource: float, state: Any) -> None:
+        """Persist ``trial_id``'s checkpoint: trained to ``resource``, ``state``.
+
+        The public write path — backends that train outside the store (the
+        thread pool) use this instead of reaching into the internal dict.
+        """
+        if resource < 0:
+            raise ValueError(f"checkpoint resource must be >= 0, got {resource}")
+        self._store[trial_id] = (resource, state)
 
     def run_job(self, job: Job, objective: Objective) -> float:
         """Execute a job's training increment and persist the new checkpoint.
@@ -89,7 +123,7 @@ class CheckpointStore:
         """
         from_resource, state = self.starting_state(job, objective)
         state, loss = objective.train(state, job.config, from_resource, job.resource)
-        self._store[job.trial_id] = (job.resource, state)
+        self.put(job.trial_id, job.resource, state)
         return loss
 
     def job_cost(self, job: Job, objective: Objective) -> float:

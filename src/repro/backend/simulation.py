@@ -22,6 +22,7 @@ rung barriers imply, with no simulation artefacts.
 
 from __future__ import annotations
 
+import heapq
 import math
 
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from ..core.scheduler import Scheduler
 from ..core.types import Job
 from ..objectives.base import Objective
+from ..telemetry import EventKind, TelemetryHub
 from .checkpoint import CheckpointStore
 from .events import EventQueue
 from .trial_runner import BackendResult, record_report
@@ -97,6 +99,7 @@ class SimulatedCluster:
         max_resource: float | None = None,
         max_measurements: int | None = None,
         stop_on_first_completion: bool = False,
+        telemetry: TelemetryHub | None = None,
     ) -> BackendResult:
         """Drive ``scheduler`` against ``objective`` until the clock runs out.
 
@@ -113,6 +116,13 @@ class SimulatedCluster:
         stop_on_first_completion:
             End the simulation at the first max-resource completion (the
             Figure 8 "time until first configuration trained for R" metric).
+        telemetry:
+            Optional :class:`~repro.telemetry.TelemetryHub`; when given it is
+            attached to the scheduler and checkpoint store, every lifecycle
+            event is emitted with the simulated clock, and the run's
+            :class:`~repro.telemetry.MetricsReport` lands on
+            :attr:`BackendResult.telemetry`.  Event timestamps are purely
+            simulation-driven, so seeded runs emit identical streams.
         """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
@@ -120,7 +130,17 @@ class SimulatedCluster:
         queue = EventQueue()
         store = CheckpointStore()
         result = BackendResult()
-        free_workers = self.num_workers
+        hub = telemetry if telemetry is not None else scheduler.telemetry
+        if telemetry is not None:
+            scheduler.attach_telemetry(hub)
+        store.telemetry = hub
+        # Workers have stable identities so telemetry can attribute busy time;
+        # the lowest-numbered free worker always takes the next job, which
+        # keeps the assignment deterministic.  Churned workers retire their
+        # id; rejoining workers get a fresh one.
+        free_ids: list[int] = list(range(self.num_workers))
+        next_worker_id = self.num_workers
+        worker_of_job: dict[int, int] = {}
         busy_time = 0.0
         # In-flight jobs (for churn victims) and jobs whose scheduled
         # completion/drop event must be ignored because churn killed them.
@@ -133,27 +153,46 @@ class SimulatedCluster:
                 queue.push(queue.clock + gap, "churn", None)
 
         def try_fill() -> int:
-            nonlocal free_workers, busy_time
+            nonlocal busy_time
             filled = 0
-            while free_workers > 0 and not scheduler.is_done():
+            starved = False
+            while free_ids and not scheduler.is_done():
                 job = scheduler.next_job()
                 if job is None:
+                    starved = True
                     break
-                free_workers -= 1
+                worker = heapq.heappop(free_ids)
                 filled += 1
                 result.jobs_dispatched += 1
                 in_flight[job.job_id] = job
+                worker_of_job[job.job_id] = worker
                 store.prepare(job)  # snapshot donor state for inheriting jobs
                 duration = self._duration(store.job_cost(job, objective))
                 drop_at = self._drop_time(duration)
+                credit = min(drop_at if drop_at is not None else duration,
+                             max(time_limit - queue.clock, 0.0))
+                busy_time += credit
                 if drop_at is not None:
                     queue.push(queue.clock + drop_at, "drop", job)
-                    busy_time += min(drop_at, max(time_limit - queue.clock, 0.0))
                 else:
                     queue.push(queue.clock + duration, "complete", job)
-                    busy_time += min(duration, max(time_limit - queue.clock, 0.0))
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_STARTED,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        resource=job.resource,
+                        checkpoint_resource=job.checkpoint_resource,
+                        busy_credit=credit,
+                    )
+            if hub and starved and free_ids:
+                hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
             return filled
 
+        hub.set_time(0.0)
         try_fill()
         schedule_churn()
         while queue:
@@ -161,23 +200,36 @@ class SimulatedCluster:
             if next_time is None or next_time > time_limit:
                 break
             event = queue.pop()
+            hub.set_time(queue.clock)
             if event.kind == "churn":
                 if in_flight:
                     # Kill a random busy worker: its job fails.
                     victim_id = list(in_flight)[self.rng.integers(len(in_flight))]
                     victim = in_flight.pop(victim_id)
                     cancelled.add(victim_id)
+                    worker = worker_of_job.pop(victim_id, None)  # id retires with the worker
                     store.discard(victim)
                     scheduler.on_job_failed(victim)
                     result.failures.append((queue.clock, victim.trial_id))
-                elif free_workers > 0:
-                    free_workers -= 1  # an idle worker goes away instead
+                    if hub:
+                        hub.emit(
+                            EventKind.JOB_FAILED,
+                            trial_id=victim.trial_id,
+                            job_id=victim.job_id,
+                            worker_id=worker,
+                            rung=victim.rung,
+                            bracket=victim.bracket,
+                            reason="churn",
+                        )
+                elif free_ids:
+                    heapq.heappop(free_ids)  # an idle worker goes away instead
                 queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
                 schedule_churn()
                 try_fill()
                 continue
             if event.kind == "rejoin":
-                free_workers += 1
+                heapq.heappush(free_ids, next_worker_id)
+                next_worker_id += 1
                 try_fill()
                 continue
             job: Job = event.payload
@@ -185,14 +237,37 @@ class SimulatedCluster:
                 cancelled.discard(job.job_id)
                 continue  # the worker already churned away; no worker frees
             in_flight.pop(job.job_id, None)
-            free_workers += 1
+            worker = worker_of_job.pop(job.job_id, None)
+            if worker is not None:
+                heapq.heappush(free_ids, worker)
             if event.kind == "complete":
                 loss = store.run_job(job, objective)
                 record_report(result, scheduler, job, loss, queue.clock, done_resource)
+                if hub:
+                    hub.emit(
+                        EventKind.REPORT,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        loss=loss,
+                        resource=job.resource,
+                    )
             else:  # drop
                 store.discard(job)
                 scheduler.on_job_failed(job)
                 result.failures.append((queue.clock, job.trial_id))
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_FAILED,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        reason="dropped",
+                    )
             if max_measurements is not None and len(result.measurements) >= max_measurements:
                 break
             if stop_on_first_completion and result.completions:
@@ -204,6 +279,11 @@ class SimulatedCluster:
         result.elapsed = time_limit if queue else min(queue.clock, time_limit)
         horizon = max(result.elapsed, 1e-12)
         result.utilization = min(busy_time / (self.num_workers * horizon), 1.0)
+        if hub:
+            hub.set_time(result.elapsed)
+            result.telemetry = hub.finalize(
+                elapsed=result.elapsed, num_workers=self.num_workers
+            )
         return result
 
     # ------------------------------------------------------------ physics

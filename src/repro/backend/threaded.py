@@ -20,6 +20,7 @@ import time as _time
 
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
+from ..telemetry import EventKind, TelemetryHub
 from .checkpoint import CheckpointStore
 from .trial_runner import BackendResult, record_report
 
@@ -52,8 +53,16 @@ class ThreadPoolBackend:
         time_limit: float,
         max_resource: float | None = None,
         max_measurements: int | None = None,
+        telemetry: TelemetryHub | None = None,
     ) -> BackendResult:
-        """Drive ``scheduler`` with real threads until ``time_limit`` seconds."""
+        """Drive ``scheduler`` with real threads until ``time_limit`` seconds.
+
+        With a ``telemetry`` hub attached, every dispatch/report/failure is
+        emitted with the backend's wall clock (seconds since run start) and
+        the worker thread's index, so the collector can reconstruct the
+        per-worker utilisation series the paper's Section 3.2 claims are
+        stated in.
+        """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
         done_resource = max_resource if max_resource is not None else objective.max_resource
@@ -63,11 +72,16 @@ class ThreadPoolBackend:
         stop = threading.Event()
         start = _time.monotonic()
         busy_time = [0.0]
+        hub = telemetry if telemetry is not None else scheduler.telemetry
+        if telemetry is not None:
+            scheduler.attach_telemetry(hub)
+        store.telemetry = hub
 
         def clock() -> float:
             return _time.monotonic() - start
 
-        def worker() -> None:
+        def worker(worker_id: int) -> None:
+            was_idle = False
             while not stop.is_set() and clock() < time_limit:
                 with lock:
                     if scheduler.is_done():
@@ -78,14 +92,36 @@ class ThreadPoolBackend:
                     ):
                         stop.set()
                         return
+                    if hub:
+                        # The scheduler emits under the backend lock, so its
+                        # decision events interleave in dispatch order.
+                        hub.set_time(clock())
                     job = scheduler.next_job()
                     if job is not None:
                         result.jobs_dispatched += 1
                         store.prepare(job)  # donor snapshot under the lock
                 if job is None:
+                    if hub and not was_idle:
+                        # Emit only on the busy -> idle transition, not every
+                        # poll, so a rung barrier doesn't flood the stream.
+                        hub.emit(EventKind.WORKER_IDLE, time=clock(), worker_id=worker_id)
+                    was_idle = True
                     _time.sleep(self.poll_interval)
                     continue
+                was_idle = False
                 t0 = clock()
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_STARTED,
+                        time=t0,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        resource=job.resource,
+                        checkpoint_resource=job.checkpoint_resource,
+                    )
                 try:
                     # Real training happens outside the lock; the store method
                     # both trains and persists the checkpoint, so serialise the
@@ -96,17 +132,46 @@ class ThreadPoolBackend:
                     failed = False
                 except Exception:
                     failed = True
+                t1 = clock()
                 with lock:
-                    busy_time[0] += clock() - t0
+                    busy_time[0] += t1 - t0
                     if failed:
                         store.discard(job)
                         scheduler.on_job_failed(job)
-                        result.failures.append((clock(), job.trial_id))
+                        result.failures.append((t1, job.trial_id))
+                        if hub:
+                            hub.emit(
+                                EventKind.JOB_FAILED,
+                                time=t1,
+                                trial_id=job.trial_id,
+                                job_id=job.job_id,
+                                worker_id=worker_id,
+                                rung=job.rung,
+                                bracket=job.bracket,
+                                reason="exception",
+                                busy=t1 - t0,
+                            )
                     else:
-                        store._store[job.trial_id] = (job.resource, state)
-                        record_report(result, scheduler, job, loss, clock(), done_resource)
+                        store.put(job.trial_id, job.resource, state)
+                        record_report(result, scheduler, job, loss, t1, done_resource)
+                        if hub:
+                            hub.emit(
+                                EventKind.REPORT,
+                                time=t1,
+                                trial_id=job.trial_id,
+                                job_id=job.job_id,
+                                worker_id=worker_id,
+                                rung=job.rung,
+                                bracket=job.bracket,
+                                loss=loss,
+                                resource=job.resource,
+                                busy=t1 - t0,
+                            )
 
-        threads = [threading.Thread(target=worker, daemon=True) for _ in range(self.num_workers)]
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.num_workers)
+        ]
         for t in threads:
             t.start()
         for t in threads:
@@ -114,4 +179,8 @@ class ThreadPoolBackend:
         stop.set()
         result.elapsed = clock()
         result.utilization = min(busy_time[0] / (self.num_workers * max(result.elapsed, 1e-9)), 1.0)
+        if hub:
+            result.telemetry = hub.finalize(
+                elapsed=max(result.elapsed, 1e-9), num_workers=self.num_workers
+            )
         return result

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..core.scheduler import Scheduler
 from ..core.types import Job, Measurement
+from ..telemetry import MetricsReport
 
 __all__ = ["BackendResult", "record_report"]
 
@@ -34,6 +35,9 @@ class BackendResult:
     utilization: float = 0.0
     #: Jobs dispatched (including dropped ones).
     jobs_dispatched: int = 0
+    #: End-of-run metrics snapshot when the run had a telemetry hub with a
+    #: :class:`~repro.telemetry.MetricsCollector` attached; ``None`` otherwise.
+    telemetry: MetricsReport | None = None
 
     def first_completion_time(self) -> float | None:
         """Clock time of the first job finishing at the max resource."""

@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from ..searchspace import SearchSpace
+from ..telemetry import EventKind
 from .bracket import Bracket
 from .scheduler import Scheduler
 from .types import Config, Job, TrialStatus
@@ -89,6 +90,13 @@ class ASHA(Scheduler):
             self.bracket.promote(trial_id, target_rung - 1)
             trial = self.trials[trial_id]
             trial.rung = target_rung
+            if self.telemetry:
+                self.telemetry.emit(
+                    EventKind.PROMOTION,
+                    trial_id=trial_id,
+                    rung=target_rung,
+                    from_rung=target_rung - 1,
+                )
             return self.make_job(
                 trial,
                 self.bracket.rung_resource(target_rung),

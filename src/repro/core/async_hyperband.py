@@ -90,6 +90,13 @@ class AsyncHyperband(Scheduler):
 
     # ----------------------------------------------------------------- API
 
+    def attach_telemetry(self, hub):
+        """Propagate the hub to every inner ASHA ladder (shared trial table)."""
+        super().attach_telemetry(hub)
+        for asha in self._ashas:
+            asha.telemetry = hub
+        return self
+
     def next_job(self) -> Job | None:
         job = self._ashas[self._current].next_job()
         if job is None:  # only possible for trial-capped ASHA; not used here

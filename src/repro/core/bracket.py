@@ -107,7 +107,8 @@ class Bracket:
         if self.max_resource is not None and i >= self.num_rungs:
             raise IndexError(f"rung {i} out of range for {self.num_rungs}-rung bracket")
         while len(self._rungs) <= i:
-            self._rungs.append(Rung(index=len(self._rungs), resource=self.rung_resource(len(self._rungs))))
+            index = len(self._rungs)
+            self._rungs.append(Rung(index=index, resource=self.rung_resource(index)))
         return self._rungs[i]
 
     @property
@@ -169,7 +170,9 @@ class Bracket:
         )
 
 
-def sha_rung_schedule(n: int, min_resource: float, max_resource: float, eta: int, s: int = 0) -> list[dict]:
+def sha_rung_schedule(
+    n: int, min_resource: float, max_resource: float, eta: int, s: int = 0
+) -> list[dict]:
     """The promotion-scheme table of Figure 1 (right) for one bracket.
 
     Returns one row per rung with keys ``rung``, ``n_i``, ``r_i`` and

@@ -33,10 +33,17 @@ class ContractChecker(Scheduler):
         self.space = inner.space
         self.rng = inner.rng
         self.trials = inner.trials
+        self.telemetry = inner.telemetry
         self._outstanding: dict[int, Job] = {}
         self._in_flight_trials: set[int] = set()
         self._was_done = False
         self.jobs_seen = 0
+
+    def attach_telemetry(self, hub):
+        """Forward the hub to the wrapped scheduler (events come from it)."""
+        self.telemetry = hub
+        self.inner.attach_telemetry(hub)
+        return self
 
     # ----------------------------------------------------------------- API
 

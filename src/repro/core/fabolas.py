@@ -150,7 +150,8 @@ class Fabolas(Scheduler):
         # the lowest-loss observations plus the most recent ones.
         if len(observed) > 512:
             order = np.argsort(np.asarray(self._y))
-            keep = np.unique(np.concatenate([order[:256], np.arange(len(observed) - 256, len(observed))]))
+            tail = np.arange(len(observed) - 256, len(observed))
+            keep = np.unique(np.concatenate([order[:256], tail]))
             observed = observed[keep]
         at_full = observed.copy()
         at_full[:, -1] = 1.0

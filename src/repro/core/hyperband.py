@@ -133,7 +133,14 @@ class Hyperband(Scheduler):
         sha.trials = self.trials
         sha._trial_ids = self._trial_ids
         sha._job_ids = self._job_ids
+        sha.telemetry = self.telemetry
         return sha
+
+    def attach_telemetry(self, hub):
+        super().attach_telemetry(hub)
+        if self._current is not None:
+            self._current.telemetry = hub
+        return self
 
     def _advance_bracket(self) -> None:
         if self._current is not None and self._current.is_done():

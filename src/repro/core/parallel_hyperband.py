@@ -85,6 +85,13 @@ class ParallelAsyncHyperband(Scheduler):
 
     # ----------------------------------------------------------------- API
 
+    def attach_telemetry(self, hub):
+        """Propagate the hub to every concurrent ASHA bracket."""
+        super().attach_telemetry(hub)
+        for asha in self._ashas:
+            asha.telemetry = hub
+        return self
+
     def next_job(self) -> Job | None:
         # Route to the bracket furthest behind its budget share.
         deficits = [

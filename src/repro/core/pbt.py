@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..searchspace import SearchSpace
+from ..telemetry import EventKind
 from .scheduler import Scheduler
 from .types import Job, Measurement, Trial, TrialStatus
 
@@ -135,7 +136,10 @@ class PBT(Scheduler):
             return job
         if not self.populations or (
             self.spawn_populations
-            and all(p.done(self.trials, self.max_resource) or self._fully_busy_or_blocked(p) for p in self.populations)
+            and all(
+                p.done(self.trials, self.max_resource) or self._fully_busy_or_blocked(p)
+                for p in self.populations
+            )
         ):
             if self.populations and not self.spawn_populations:
                 return None
@@ -216,6 +220,16 @@ class PBT(Scheduler):
         if donor_trial.measurements:
             last = donor_trial.measurements[-1]
             clone.record(Measurement(clone.trial_id, last.resource, last.loss))
+        if self.telemetry:
+            # PBT's exploit is its promotion analogue: the slot advances by
+            # adopting a top member's weights and (explored) hyperparameters.
+            self.telemetry.emit(
+                EventKind.PROMOTION,
+                trial_id=clone.trial_id,
+                mechanism="exploit",
+                donor=donor.trial_id,
+                replaced=member.trial_id,
+            )
         self.trials[member.trial_id].status = TrialStatus.STOPPED
         self._rebind(member, population, clone.trial_id)
 

@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..searchspace import SearchSpace
+from ..telemetry import NULL_HUB, EventKind
 from .types import Config, IdAllocator, Job, Measurement, Trial, TrialStatus
 
 __all__ = ["Scheduler"]
@@ -42,6 +43,18 @@ class Scheduler(ABC):
         self.trials: dict[int, Trial] = {}
         self._trial_ids = IdAllocator()
         self._job_ids = IdAllocator()
+        #: Lifecycle-event hub; the falsy ``NULL_HUB`` by default, so every
+        #: emission site costs one branch when telemetry is off.
+        self.telemetry = NULL_HUB
+
+    def attach_telemetry(self, hub) -> "Scheduler":
+        """Attach a :class:`~repro.telemetry.TelemetryHub` and return ``self``.
+
+        Composite schedulers (Hyperband's inner SHA brackets, AsyncHyperband's
+        inner ASHA ladders) override this to propagate the hub to their parts.
+        """
+        self.telemetry = hub
+        return self
 
     # ------------------------------------------------------------------ API
 
@@ -93,6 +106,10 @@ class Scheduler(ABC):
         """Register a new trial for ``config`` and return it."""
         trial = Trial(trial_id=self._trial_ids.next(), config=config)
         self.trials[trial.trial_id] = trial
+        if self.telemetry:
+            self.telemetry.emit(
+                EventKind.TRIAL_STARTED, trial_id=trial.trial_id, config=dict(config)
+            )
         return trial
 
     def make_job(

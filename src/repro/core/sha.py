@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from ..searchspace import SearchSpace
+from ..telemetry import EventKind
 from .bracket import Bracket
 from .scheduler import Scheduler
 from .types import Config, Job, TrialStatus
@@ -36,9 +37,11 @@ __all__ = ["SynchronousSHA"]
 class _BracketRun:
     """One in-flight synchronous bracket: rung-by-rung elimination state."""
 
-    def __init__(self, n: int, bracket: Bracket):
+    def __init__(self, n: int, bracket: Bracket, owner: "SynchronousSHA", index: int):
         self.n = n
         self.bracket = bracket
+        self.owner = owner  # for telemetry; rung barriers are events too
+        self.index = index
         self.rung_index = 0
         # Trials not yet dispatched at the current rung.  Rung 0 entries are
         # placeholders (None) that the scheduler replaces with fresh samples.
@@ -60,17 +63,42 @@ class _BracketRun:
         if self.pending or self.outstanding or self.done:
             return
         rung = self.bracket.rung(self.rung_index)
+        telemetry = self.owner.telemetry
         if self.rung_index == self.bracket.top_rung_index:
             self.done = True
+            if telemetry:
+                telemetry.emit(
+                    EventKind.RUNG_COMPLETED,
+                    rung=self.rung_index,
+                    bracket=self.index,
+                    size=len(rung),
+                    promoted=0,
+                )
             return
         k = min(self.survivors_target(), len(rung))
         survivors = rung.top_k(k)
+        if telemetry:
+            telemetry.emit(
+                EventKind.RUNG_COMPLETED,
+                rung=self.rung_index,
+                bracket=self.index,
+                size=len(rung),
+                promoted=len(survivors),
+            )
         if not survivors:
             # Every job in the rung was dropped; nothing can advance.
             self.done = True
             return
         for trial_id in survivors:
             rung.mark_promoted(trial_id)
+            if telemetry:
+                telemetry.emit(
+                    EventKind.PROMOTION,
+                    trial_id=trial_id,
+                    rung=self.rung_index + 1,
+                    bracket=self.index,
+                    from_rung=self.rung_index,
+                )
         self.rung_index += 1
         self.pending.extend(survivors)
 
@@ -177,7 +205,7 @@ class SynchronousSHA(Scheduler):
 
     def _start_run(self) -> None:
         bracket = Bracket(self.min_resource, self.max_resource, self.eta, self.early_stopping_rate)
-        self.runs.append(_BracketRun(self.n, bracket))
+        self.runs.append(_BracketRun(self.n, bracket, self, len(self.runs)))
 
     def _dispatch_from_existing(self) -> Job | None:
         for run_index, run in enumerate(self.runs):

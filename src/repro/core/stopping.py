@@ -61,8 +61,8 @@ class MedianStoppingRule(StoppingRule):
         self._history[trial_id].append((resource, loss))
 
     def running_average(self, trial_id: int, up_to: float) -> float | None:
-        points = [l for r, l in self._history[trial_id] if r <= up_to]
-        finite = [l for l in points if np.isfinite(l)]
+        points = [loss for r, loss in self._history[trial_id] if r <= up_to]
+        finite = [loss for loss in points if np.isfinite(loss)]
         if not points:
             return None
         if not finite:
@@ -114,17 +114,21 @@ class CurveExtrapolationRule(StoppingRule):
 
     def extrapolate(self, trial_id: int) -> float | None:
         """Predicted loss at ``max_resource``, or ``None`` if unfittable."""
-        points = [(r, l) for r, l in self._history.get(trial_id, []) if np.isfinite(l) and r > 0]
+        points = [
+            (r, loss) for r, loss in self._history.get(trial_id, []) if np.isfinite(loss) and r > 0
+        ]
         if len(points) < self.min_points:
             return None
         r = np.array([p[0] for p in points])
-        l = np.array([p[1] for p in points])
+        losses = np.array([p[1] for p in points])
 
         def residuals(theta):
             a, b, c = theta
-            return a + b * r ** (-np.exp(c)) - l
+            return a + b * r ** (-np.exp(c)) - losses
 
-        start = np.array([l.min(), max(l[0] - l.min(), 1e-3), np.log(0.5)])
+        start = np.array(
+            [losses.min(), max(losses[0] - losses.min(), 1e-3), np.log(0.5)]
+        )
         try:
             sol = least_squares(residuals, start, loss="soft_l1", max_nfev=200)
         except Exception:
@@ -159,7 +163,14 @@ class StoppingWrapper(Scheduler):
         self.space = inner.space
         self.rng = inner.rng
         self.trials = inner.trials
+        self.telemetry = inner.telemetry
         self.stopped_early: set[int] = set()
+
+    def attach_telemetry(self, hub):
+        """Forward the hub to the wrapped scheduler (events come from it)."""
+        self.telemetry = hub
+        self.inner.attach_telemetry(hub)
+        return self
 
     def next_job(self) -> Job | None:
         return self.inner.next_job()

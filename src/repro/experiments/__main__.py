@@ -54,7 +54,13 @@ _QUICK_RUNNERS = {
         render_table(
             ["method", "std", "drop p", "mean done", "std"],
             [
-                [r["method"], r["train_std"], r["drop_prob"], round(r["mean_completed"], 2), round(r["std_completed"], 2)]
+                [
+                    r["method"],
+                    r["train_std"],
+                    r["drop_prob"],
+                    round(r["mean_completed"], 2),
+                    round(r["std_completed"], 2),
+                ]
                 for r in figures.figure7(num_sims=4)
             ],
         )

@@ -24,7 +24,16 @@ from ..analysis.mispromotion import MispromotionStudy, mispromotion_curve
 from ..analysis.results import AggregateCurve, RunRecord, aggregate
 from ..analysis.tracker import IncumbentTrace, trace_incumbent
 from ..backend.simulation import SimulatedCluster
-from ..core import ASHA, PBT, AsyncHyperband, Fabolas, Hyperband, RandomSearch, SynchronousSHA, VizierGP
+from ..core import (
+    ASHA,
+    PBT,
+    AsyncHyperband,
+    Fabolas,
+    Hyperband,
+    RandomSearch,
+    SynchronousSHA,
+    VizierGP,
+)
 from ..core.bracket import Bracket, sha_rung_schedule
 from ..objectives import (
     cifar_convnet,

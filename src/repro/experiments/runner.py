@@ -19,11 +19,13 @@ from ..backend.simulation import SimulatedCluster
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
 from ..objectives.surrogate import SurrogateObjective
+from ..telemetry import TelemetryHub
 
 __all__ = ["run_trials", "aggregate_methods", "SchedulerFactory", "ObjectiveFactory"]
 
 SchedulerFactory = Callable[[Objective, np.random.Generator], Scheduler]
 ObjectiveFactory = Callable[[int], Objective]
+TelemetryFactory = Callable[[int], TelemetryHub | None]
 
 
 def run_trials(
@@ -39,6 +41,7 @@ def run_trials(
     accounting: str = "by_rung",
     offline_validation: bool = False,
     max_measurements: int | None = None,
+    telemetry: TelemetryFactory | None = None,
 ) -> list[RunRecord]:
     """Run one tuning method across several experiment trials.
 
@@ -54,6 +57,11 @@ def run_trials(
         observation.  Off by default: it misvalues trials whose state was
         inherited (PBT clones), and the paper's curves track the best
         observed validation loss anyway.
+    telemetry:
+        Optional ``seed -> TelemetryHub | None`` factory — one hub per
+        experiment trial (e.g. one JSONL file per seed).  Each run's
+        metrics report is reachable via its record's
+        ``backend.telemetry``.
     """
     records = []
     for seed in seeds:
@@ -71,6 +79,7 @@ def run_trials(
             objective,
             time_limit=time_limit,
             max_measurements=max_measurements,
+            telemetry=telemetry(seed) if telemetry is not None else None,
         )
         evaluate = None
         if offline_validation and isinstance(objective, SurrogateObjective):

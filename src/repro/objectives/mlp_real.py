@@ -114,7 +114,8 @@ class RealMLPObjective(Objective):
 
     def cost_multiplier(self, config: Config) -> float:
         """Wider nets and smaller batches cost more per epoch."""
-        return (int(config["hidden_units"]) / 32.0) ** 0.5 * (32.0 / int(config["batch_size"])) ** 0.2
+        width = (int(config["hidden_units"]) / 32.0) ** 0.5
+        return width * (32.0 / int(config["batch_size"])) ** 0.2
 
     # ------------------------------------------------------------- model
 

@@ -19,8 +19,6 @@ BPTT length move per-epoch time slightly.
 
 from __future__ import annotations
 
-import math
-
 from ..searchspace import Choice, Config, LogUniform, SearchSpace, Uniform
 from .curves import CurveProfile
 from .response import band, log_band

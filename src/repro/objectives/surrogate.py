@@ -22,8 +22,6 @@ from dataclasses import dataclass
 from statistics import NormalDist
 from typing import Callable
 
-import numpy as np
-
 from ..searchspace import Config, SearchSpace
 from .base import Objective, config_seed
 from .curves import CurveProfile, advance_loss, curve_loss

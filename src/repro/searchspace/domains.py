@@ -55,7 +55,9 @@ class Domain(ABC):
         """Inverse of :meth:`to_unit` (up to discretisation)."""
 
     @abstractmethod
-    def perturb(self, value: Any, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> Any:
+    def perturb(
+        self, value: Any, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> Any:
         """PBT explore step: nudge ``value`` by one of ``factors``.
 
         Continuous domains multiply by a randomly chosen factor and clip;
@@ -92,7 +94,9 @@ class Uniform(Domain):
     def from_unit(self, u: float) -> float:
         return float(self.low + (self.high - self.low) * min(max(u, 0.0), 1.0))
 
-    def perturb(self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> float:
+    def perturb(
+        self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> float:
         return self.clip(value * factors[rng.integers(len(factors))])
 
 
@@ -122,7 +126,9 @@ class LogUniform(Domain):
         # Clip: exp(log(low)) can undershoot low by one ulp.
         return self.clip(math.exp(lo + (hi - lo) * min(max(u, 0.0), 1.0)))
 
-    def perturb(self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> float:
+    def perturb(
+        self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> float:
         return self.clip(value * factors[rng.integers(len(factors))])
 
 
@@ -149,7 +155,9 @@ class IntUniform(Domain):
     def from_unit(self, u: float) -> int:
         return self.clip(self.low + (self.high - self.low) * min(max(u, 0.0), 1.0))
 
-    def perturb(self, value: int, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> int:
+    def perturb(
+        self, value: int, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> int:
         scaled = self.clip(value * factors[rng.integers(len(factors))])
         if scaled == value:
             # Guarantee movement for small integers where *0.8/1.2 rounds back.
@@ -187,7 +195,9 @@ class QUniform(Domain):
     def from_unit(self, u: float) -> float:
         return self.clip(self.low + (self.high - self.low) * min(max(u, 0.0), 1.0))
 
-    def perturb(self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> float:
+    def perturb(
+        self, value: float, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> float:
         scaled = self.clip(value * factors[rng.integers(len(factors))])
         if scaled == value:
             step = self.q if rng.random() < 0.5 else -self.q
@@ -238,7 +248,9 @@ class Choice(Domain):
         idx = int(round(min(max(u, 0.0), 1.0) * (len(self.values) - 1)))
         return self.values[idx]
 
-    def perturb(self, value: Any, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)) -> Any:
+    def perturb(
+        self, value: Any, rng: np.random.Generator, factors: tuple[float, float] = (0.8, 1.2)
+    ) -> Any:
         idx = self.index(value)
         candidates = [i for i in (idx - 1, idx + 1) if 0 <= i < len(self.values)]
         return self.values[candidates[rng.integers(len(candidates))]]

@@ -34,7 +34,9 @@ class UnitCubeEncoder:
 
     def encode(self, config: Mapping[str, Any]) -> np.ndarray:
         """Encode one configuration as a vector in the unit cube."""
-        return np.array([self.space[name].to_unit(config[name]) for name in self.names], dtype=float)
+        return np.array(
+            [self.space[name].to_unit(config[name]) for name in self.names], dtype=float
+        )
 
     def encode_many(self, configs: list[Config]) -> np.ndarray:
         """Encode a list of configurations as an ``(n, d)`` array."""

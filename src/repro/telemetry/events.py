@@ -1,0 +1,87 @@
+"""Typed trial-lifecycle events.
+
+The paper's systems claims — linear speedups, straggler robustness, high
+worker utilisation (Sections 4-5) — are claims about *when things happen*
+inside a running search.  Each :class:`TelemetryEvent` is one timestamped
+fact about the scheduler/backend interaction; the stream of them is the raw
+material every telemetry metric is computed from.
+
+Two clocks appear on every event:
+
+* ``time`` — the **backend clock**: simulated time units under
+  :class:`~repro.backend.simulation.SimulatedCluster`, wall-clock seconds
+  since run start under :class:`~repro.backend.threaded.ThreadPoolBackend`.
+  Deterministic for seeded simulation runs.
+* ``wall_time`` — an absolute wall-clock stamp (``time.time()``), for
+  correlating with logs from outside the process.  Excluded from the JSONL
+  export by default so that seeded runs serialise byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "TelemetryEvent"]
+
+
+class EventKind(enum.Enum):
+    """Every lifecycle event the telemetry layer knows about."""
+
+    #: A scheduler registered a brand-new trial (configuration sampled).
+    TRIAL_STARTED = "trial_started"
+    #: A backend handed a job to a worker.
+    JOB_STARTED = "job_started"
+    #: A job completed and its loss was reported to the scheduler.
+    REPORT = "report"
+    #: A scheduler moved a trial up a rung (or PBT exploited into a clone).
+    PROMOTION = "promotion"
+    #: A synchronous rung barrier closed (SHA / Hyperband brackets only).
+    RUNG_COMPLETED = "rung_completed"
+    #: A job was dropped, crashed, or its worker churned away.
+    JOB_FAILED = "job_failed"
+    #: A job resumed training from an existing checkpoint.
+    CHECKPOINT_RESTORED = "checkpoint_restored"
+    #: A free worker asked for work and the scheduler had none (idling).
+    WORKER_IDLE = "worker_idle"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One timestamped lifecycle fact.
+
+    ``trial_id`` / ``job_id`` / ``worker_id`` / ``rung`` / ``bracket`` are
+    ``None`` when the event kind has no such notion (e.g. ``worker_idle``
+    has no trial).  ``data`` carries kind-specific payload — losses,
+    resources, failure reasons — documented per kind in
+    ``docs/telemetry.md``.
+    """
+
+    seq: int
+    kind: EventKind
+    time: float
+    wall_time: float
+    trial_id: int | None = None
+    job_id: int | None = None
+    worker_id: int | None = None
+    rung: int | None = None
+    bracket: int | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self, *, include_wall_time: bool = False) -> dict[str, Any]:
+        """Plain-dict form used by the JSONL sink.
+
+        ``None`` fields are omitted so lines stay compact; ``wall_time`` is
+        opt-in to keep seeded simulation exports byte-identical.
+        """
+        out: dict[str, Any] = {"seq": self.seq, "kind": self.kind.value, "time": self.time}
+        if include_wall_time:
+            out["wall_time"] = self.wall_time
+        for key in ("trial_id", "job_id", "worker_id", "rung", "bracket"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.data:
+            out["data"] = self.data
+        return out

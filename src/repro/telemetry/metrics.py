@@ -1,0 +1,349 @@
+"""Metrics registry + the collector that derives metrics from events.
+
+The registry half is deliberately boring — named counters, gauges and
+histograms, in the Prometheus mould but in-process and allocation-light.
+The interesting half is :class:`MetricsCollector`, a telemetry sink that
+folds the event stream into the scheduler-level quantities the paper's
+systems claims are stated in:
+
+* **rung occupancy** — how many trials have filed a result in each rung,
+  over time (the shape of the ASHA ladder, Section 3.2);
+* **promotion latency** — how long a trial sits between finishing rung
+  ``k-1`` and a worker picking up its rung-``k`` job (the asynchrony win:
+  near-zero for ASHA, rung-barrier-sized for synchronous SHA);
+* **queue wait** — how long each worker idles between finishing one job
+  and starting the next (the utilisation loss stragglers cause);
+* **failure rate** — failed jobs over dispatched jobs;
+* **per-worker utilisation** — busy time per worker; its mean over workers
+  reproduces the scalar ``BackendResult.utilization``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .events import EventKind, TelemetryEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "MetricsReport",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value, with an optional timestamped history."""
+
+    __slots__ = ("name", "value", "series")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        #: (time, value) pairs, appended by :meth:`set` when a time is given.
+        self.series: list[tuple[float, float]] = []
+
+    def set(self, value: float, *, time: float | None = None) -> None:
+        self.value = value
+        if time is not None:
+            self.series.append((time, value))
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max + samples).
+
+    Telemetry volumes here are small enough (thousands of events) that we
+    keep the raw samples, which makes exact percentiles and hand-computed
+    test assertions possible; swap for fixed buckets if that ever changes.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), ``q`` in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        rank = min(int(math.ceil(q / 100.0 * len(ordered))), len(ordered)) - 1
+        return ordered[max(rank, 0)]
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics (one namespace per run)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        return self._counters
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        return self._gauges
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return self._histograms
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every metric (for serialisation / display)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(self._histograms.items())},
+        }
+
+
+@dataclass
+class MetricsReport:
+    """Frozen end-of-run snapshot attached to ``BackendResult.telemetry``."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: rung index -> number of trials that filed a result there.
+    rung_occupancy: dict[int, int] = field(default_factory=dict)
+    #: (time, rung, occupancy-after) triples, in event order.
+    rung_occupancy_series: list[tuple[float, int, int]] = field(default_factory=list)
+    #: worker id -> busy_time / elapsed.
+    worker_utilization: dict[int, float] = field(default_factory=dict)
+    #: (time, cluster busy fraction so far) pairs, in event order.
+    utilization_series: list[tuple[float, float]] = field(default_factory=list)
+    failure_rate: float = 0.0
+    elapsed: float = 0.0
+    num_workers: int = 0
+
+    def mean_utilization(self) -> float:
+        """Mean per-worker utilisation == the scalar ``BackendResult.utilization``."""
+        if self.num_workers == 0:
+            return 0.0
+        return sum(self.worker_utilization.values()) / self.num_workers
+
+
+class MetricsCollector:
+    """Telemetry sink folding events into the registry + derived series.
+
+    All bookkeeping is keyed off event payloads only, so the collector can
+    be replayed over a recorded stream (e.g. the in-memory sink's events)
+    and produce the identical report.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        # Trials seen per rung (occupancy counts distinct trials, so a
+        # re-reported trial does not inflate its rung).
+        self._rung_members: dict[int, set[int]] = {}
+        self._rung_series: list[tuple[float, int, int]] = []
+        # Promotion latency: last report time per trial.
+        self._last_report: dict[int, float] = {}
+        # Queue wait + utilisation: per-worker bookkeeping.
+        self._worker_free_at: dict[int, float] = {}
+        self._worker_busy: dict[int, float] = {}
+        self._utilization_series: list[tuple[float, float]] = []
+        self._elapsed: float | None = None
+        self._num_workers: int | None = None
+
+    # ---------------------------------------------------------------- sink
+
+    def write(self, event: TelemetryEvent) -> None:
+        reg = self.registry
+        reg.counter("events_total").inc()
+        reg.counter(f"events.{event.kind.value}").inc()
+        handler = self._HANDLERS.get(event.kind)
+        if handler is not None:
+            handler(self, event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------ handlers
+
+    def _on_job_started(self, event: TelemetryEvent) -> None:
+        self.registry.counter("jobs_started").inc()
+        worker = event.worker_id
+        if worker is not None:
+            freed = self._worker_free_at.pop(worker, None)
+            if freed is not None:
+                self.registry.histogram("queue_wait").observe(max(event.time - freed, 0.0))
+            # The simulator credits a job's busy time at dispatch (it knows
+            # the duration up front); real backends credit at completion.
+            credit = event.data.get("busy_credit")
+            if credit is not None:
+                self._credit_busy(worker, float(credit), event.time)
+
+    def _on_report(self, event: TelemetryEvent) -> None:
+        if event.trial_id is not None:
+            self._last_report[event.trial_id] = event.time
+        if event.rung is not None and event.trial_id is not None:
+            members = self._rung_members.setdefault(event.rung, set())
+            if event.trial_id not in members:
+                members.add(event.trial_id)
+                occupancy = len(members)
+                self.registry.gauge(f"rung_occupancy.{event.rung}").set(
+                    occupancy, time=event.time
+                )
+                self._rung_series.append((event.time, event.rung, occupancy))
+        self._on_job_end(event)
+
+    def _on_job_failed(self, event: TelemetryEvent) -> None:
+        self.registry.counter("jobs_failed").inc()
+        self._on_job_end(event)
+
+    def _on_job_end(self, event: TelemetryEvent) -> None:
+        worker = event.worker_id
+        if worker is None:
+            return
+        self._worker_free_at[worker] = event.time
+        busy = event.data.get("busy")
+        if busy is not None:
+            self._credit_busy(worker, float(busy), event.time)
+
+    def _on_promotion(self, event: TelemetryEvent) -> None:
+        self.registry.counter("promotions").inc()
+        if event.trial_id is not None:
+            last = self._last_report.get(event.trial_id)
+            if last is not None:
+                latency = max(event.time - last, 0.0)
+                self.registry.histogram("promotion_latency").observe(latency)
+
+    def _on_rung_completed(self, event: TelemetryEvent) -> None:
+        self.registry.counter("rung_completions").inc()
+
+    def _on_trial_started(self, event: TelemetryEvent) -> None:
+        self.registry.counter("trials_started").inc()
+
+    def _on_checkpoint_restored(self, event: TelemetryEvent) -> None:
+        self.registry.counter("checkpoint_restores").inc()
+
+    def _on_worker_idle(self, event: TelemetryEvent) -> None:
+        self.registry.counter("worker_idle_polls").inc()
+
+    _HANDLERS = {
+        EventKind.JOB_STARTED: _on_job_started,
+        EventKind.REPORT: _on_report,
+        EventKind.JOB_FAILED: _on_job_failed,
+        EventKind.PROMOTION: _on_promotion,
+        EventKind.RUNG_COMPLETED: _on_rung_completed,
+        EventKind.TRIAL_STARTED: _on_trial_started,
+        EventKind.CHECKPOINT_RESTORED: _on_checkpoint_restored,
+        EventKind.WORKER_IDLE: _on_worker_idle,
+    }
+
+    def _credit_busy(self, worker: int, amount: float, time: float) -> None:
+        self._worker_busy[worker] = self._worker_busy.get(worker, 0.0) + amount
+        total = sum(self._worker_busy.values())
+        self._utilization_series.append((time, total))
+
+    # ------------------------------------------------------------- results
+
+    def finalize(self, *, elapsed: float, num_workers: int) -> None:
+        """Record run extent so utilisation fractions are well-defined."""
+        self._elapsed = elapsed
+        self._num_workers = num_workers
+
+    def rung_occupancy(self) -> dict[int, int]:
+        return {rung: len(members) for rung, members in sorted(self._rung_members.items())}
+
+    def worker_utilization(self, elapsed: float | None = None) -> dict[int, float]:
+        """Busy fraction per worker (requires ``finalize`` or ``elapsed``)."""
+        horizon = elapsed if elapsed is not None else self._elapsed
+        if horizon is None or horizon <= 0:
+            return {w: 0.0 for w in self._worker_busy}
+        return {
+            w: min(busy / horizon, 1.0) for w, busy in sorted(self._worker_busy.items())
+        }
+
+    def report(self) -> MetricsReport:
+        """Snapshot everything into a :class:`MetricsReport`."""
+        elapsed = self._elapsed if self._elapsed is not None else 0.0
+        num_workers = self._num_workers if self._num_workers is not None else len(
+            self._worker_busy
+        )
+        snap = self.registry.snapshot()
+        started = snap["counters"].get("jobs_started", 0.0)
+        failed = snap["counters"].get("jobs_failed", 0.0)
+        horizon = max(elapsed, 1e-12)
+        cluster_denominator = max(num_workers, 1) * horizon
+        return MetricsReport(
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+            rung_occupancy=self.rung_occupancy(),
+            rung_occupancy_series=list(self._rung_series),
+            worker_utilization=self.worker_utilization(elapsed),
+            utilization_series=[
+                (t, min(total / cluster_denominator, 1.0))
+                for t, total in self._utilization_series
+            ],
+            failure_rate=failed / started if started else 0.0,
+            elapsed=elapsed,
+            num_workers=num_workers,
+        )

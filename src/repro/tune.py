@@ -45,6 +45,7 @@ from .core import (
 )
 from .objectives.base import Objective
 from .searchspace import Config, SearchSpace
+from .telemetry import TelemetryHub
 
 __all__ = ["tune", "TuneResult", "FunctionObjective", "SCHEDULERS"]
 
@@ -89,6 +90,12 @@ class FunctionObjective(Objective):
         return super().cost(config, from_resource, to_resource)
 
 
+def _default_bracket_size(min_resource: float, max_resource: float, eta: int) -> int:
+    """Smallest ``n`` filling a full SHA bracket (one config reaching ``R``)."""
+    rungs = np.floor(np.log(max_resource / min_resource) / np.log(eta))
+    return max(int(eta**rungs), eta)
+
+
 def _build_scheduler(
     name: str,
     space: SearchSpace,
@@ -104,7 +111,7 @@ def _build_scheduler(
             space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
         )
     if name == "sha":
-        kwargs.setdefault("n", max(int(eta ** np.floor(np.log(max_resource / min_resource) / np.log(eta))), eta))
+        kwargs.setdefault("n", _default_bracket_size(min_resource, max_resource, eta))
         return SynchronousSHA(
             space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
         )
@@ -117,7 +124,7 @@ def _build_scheduler(
             space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
         )
     if name == "bohb":
-        kwargs.setdefault("n", max(int(eta ** np.floor(np.log(max_resource / min_resource) / np.log(eta))), eta))
+        kwargs.setdefault("n", _default_bracket_size(min_resource, max_resource, eta))
         return BOHB(
             space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
         )
@@ -145,6 +152,9 @@ class TuneResult:
     backend_result: BackendResult
     num_trials: int = 0
     extras: dict = field(default_factory=dict)
+    #: The hub used for the run (``None`` when telemetry was off); its sinks
+    #: hold the raw event stream, ``backend_result.telemetry`` the metrics.
+    telemetry: TelemetryHub | None = None
 
 
 def tune(
@@ -161,6 +171,7 @@ def tune(
     backend: str = "simulated",
     cost_fn: Callable[[Config, float, float], float] | None = None,
     seed: int = 0,
+    telemetry: TelemetryHub | bool | None = None,
 ) -> TuneResult:
     """Tune ``train_fn`` over ``space`` and return the best configuration.
 
@@ -175,6 +186,10 @@ def tune(
     time_limit:
         Backend time budget; defaults to ``50 * max_resource`` simulated
         units (or 60 s for the thread backend).
+    telemetry:
+        ``True`` builds a :class:`~repro.telemetry.TelemetryHub` with a
+        metrics collector; or pass your own hub (e.g. with a JSONL sink).
+        The metrics report lands on ``result.backend_result.telemetry``.
     """
     objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
     rng = np.random.default_rng(seed)
@@ -187,14 +202,23 @@ def tune(
         eta=eta,
         kwargs=dict(scheduler_kwargs or {}),
     )
+    hub: TelemetryHub | None
+    if telemetry is True:
+        hub = TelemetryHub.with_metrics()
+    elif telemetry is False:
+        hub = None
+    else:
+        hub = telemetry
     if backend == "simulated":
         limit = time_limit if time_limit is not None else 50.0 * max_resource
         result = SimulatedCluster(num_workers, seed=seed).run(
-            sched, objective, time_limit=limit
+            sched, objective, time_limit=limit, telemetry=hub
         )
     elif backend == "threads":
         limit = time_limit if time_limit is not None else 60.0
-        result = ThreadPoolBackend(num_workers).run(sched, objective, time_limit=limit)
+        result = ThreadPoolBackend(num_workers).run(
+            sched, objective, time_limit=limit, telemetry=hub
+        )
     else:
         raise KeyError(f"unknown backend {backend!r}; options: simulated, threads")
     best = sched.best_trial()
@@ -204,4 +228,5 @@ def tune(
         scheduler=sched,
         backend_result=result,
         num_trials=sched.num_trials,
+        telemetry=hub,
     )

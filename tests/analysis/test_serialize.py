@@ -3,10 +3,8 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
-    AggregateCurve,
     IncumbentTrace,
     RunRecord,
     aggregate,

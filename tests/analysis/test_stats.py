@@ -8,7 +8,6 @@ import pytest
 from repro.analysis import IncumbentTrace, RunRecord
 from repro.analysis.stats import (
     bootstrap_ci,
-    final_values,
     summarize,
     time_to_target,
     times_to_target,

@@ -10,7 +10,6 @@ from repro.backend import SimulatedCluster
 from repro.backend.trial_runner import BackendResult
 from repro.core import Hyperband, RandomSearch
 from repro.core.types import Measurement
-from repro.experiments.toys import toy_objective
 
 
 class TestIncumbentTrace:

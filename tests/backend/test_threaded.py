@@ -7,7 +7,6 @@ import pytest
 
 from repro.backend import ThreadPoolBackend
 from repro.core import ASHA, RandomSearch
-from repro.experiments.toys import toy_objective
 from repro.objectives import mlp_real
 
 

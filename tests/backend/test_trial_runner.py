@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.backend.trial_runner import BackendResult, record_report
 from repro.core import RandomSearch

@@ -2,11 +2,67 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.experiments.toys import toy_objective, toy_space
 from repro.searchspace import Choice, IntUniform, LogUniform, SearchSpace, Uniform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories whose churn is not a test's fault.
+_SNAPSHOT_IGNORED_DIRS = {".git", "__pycache__", ".pytest_cache", ".ruff_cache", ".claude"}
+
+
+def _repo_snapshot() -> dict[str, tuple[int, int]]:
+    """(mtime_ns, size) of every repo file, so stray writes are attributable."""
+    snapshot: dict[str, tuple[int, int]] = {}
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in _SNAPSHOT_IGNORED_DIRS]
+        for name in filenames:
+            if name.endswith(".pyc"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            snapshot[path] = (stat.st_mtime_ns, stat.st_size)
+    return snapshot
+
+
+@pytest.fixture(autouse=True)
+def _no_stray_repo_writes(request):
+    """Fail any test that writes inside the repository (CI hygiene gate).
+
+    Active only when ``REPRO_ENFORCE_CLEAN`` is set (the CI workflow sets
+    it); tests with a legitimate need mark themselves
+    ``@pytest.mark.allow_repo_writes``.  Everything else belongs in
+    ``tmp_path``.
+    """
+    if not os.environ.get("REPRO_ENFORCE_CLEAN"):
+        yield
+        return
+    if request.node.get_closest_marker("allow_repo_writes"):
+        yield
+        return
+    before = _repo_snapshot()
+    yield
+    after = _repo_snapshot()
+    created = sorted(set(after) - set(before))
+    modified = sorted(p for p in set(after) & set(before) if after[p] != before[p])
+    if created or modified:
+        details = [f"  created:  {p}" for p in created] + [
+            f"  modified: {p}" for p in modified
+        ]
+        pytest.fail(
+            "test wrote inside the repository (use tmp_path, or mark the test "
+            "with @pytest.mark.allow_repo_writes):\n" + "\n".join(details),
+            pytrace=False,
+        )
 
 
 @pytest.fixture

@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend import SimulatedCluster
 from repro.core import ASHA, TrialStatus
-from repro.core.types import Job
 from repro.experiments.toys import scripted_sampler, toy_objective
 
 

@@ -7,7 +7,6 @@ import numpy as np
 from repro.backend import SimulatedCluster
 from repro.core import BOHB, AsyncBOHB
 from repro.experiments.toys import toy_objective
-from repro.searchspace import SearchSpace, Uniform
 
 
 def quality_objective():
@@ -47,7 +46,7 @@ def test_bohb_sampling_concentrates_once_model_ready(rng):
         grow_brackets=True,
         random_fraction=0.1,
     )
-    result = SimulatedCluster(4, seed=0).run(bohb, objective, time_limit=400.0)
+    SimulatedCluster(4, seed=0).run(bohb, objective, time_limit=400.0)
     configs = [t.config["quality"] for t in bohb.trials.values()]
     # Loss == quality, so the KDE model must pull sampling far below the
     # uniform mean of 0.5 (the first few samples are random, then TPE bites).
@@ -58,9 +57,7 @@ def test_bohb_sampling_concentrates_once_model_ready(rng):
 def test_async_bohb_runs_asha_promotions(rng):
     objective = toy_objective(max_resource=9.0)
     abohb = AsyncBOHB(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
-    result = SimulatedCluster(2, seed=0).run(
-        abohb, objective, time_limit=80.0
-    )
+    SimulatedCluster(2, seed=0).run(abohb, objective, time_limit=80.0)
     rungs = abohb.rung_sizes()
     assert rungs[0] > 0 and len(rungs) == 3
     assert abohb._models.models[0].num_observations == rungs[0]

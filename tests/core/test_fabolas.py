@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.backend import SimulatedCluster
 from repro.core import Fabolas
 from repro.experiments.toys import toy_objective
-from repro.searchspace import SearchSpace, Uniform
 
 
 def make_fabolas(space, rng, **kwargs):

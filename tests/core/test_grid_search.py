@@ -7,7 +7,6 @@ import pytest
 
 from repro.backend import SimulatedCluster
 from repro.core import GridSearch
-from repro.experiments.toys import toy_objective
 from repro.searchspace import Choice, SearchSpace, Uniform
 
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.backend import SimulatedCluster
 from repro.core import Hyperband, hyperband_bracket_sizes

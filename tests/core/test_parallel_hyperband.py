@@ -43,7 +43,6 @@ def test_budget_split_converges_to_shares(one_d_space, rng):
 
 
 def test_reports_route_by_trial(one_d_space, rng):
-    objective = toy_objective(max_resource=9.0, constant=False)
     pah = make(one_d_space, rng)
     jobs = [pah.next_job() for _ in range(6)]
     for job in jobs:

@@ -92,7 +92,6 @@ class TestExploitExplore:
             exploit_fraction=0.2,
             spawn_populations=False,
         )
-        original_ids = {m.trial_id for m in []}
         jobs = [pbt.next_job() for _ in range(5)]
         initial_ids = [j.trial_id for j in jobs]
         losses = [0.1, 0.2, 0.3, 0.4, 0.9]

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import RandomSearch, TrialStatus
-from repro.core.types import Job
 
 
 @pytest.fixture

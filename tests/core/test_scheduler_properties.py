@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -84,7 +83,11 @@ def test_simulator_work_conservation(seed):
     result = cluster.run(asha, objective, time_limit=300.0)
     completed_work = sum(
         m.resource - next(
-            (prev.resource for prev in reversed(result.measurements[:i]) if prev.trial_id == m.trial_id),
+            (
+                prev.resource
+                for prev in reversed(result.measurements[:i])
+                if prev.trial_id == m.trial_id
+            ),
             0.0,
         )
         for i, m in enumerate(result.measurements)

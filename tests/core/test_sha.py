@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.backend import SimulatedCluster
 from repro.core import SynchronousSHA, TrialStatus
-from repro.experiments.toys import FIGURE2_QUALITIES, scripted_sampler, toy_objective
+from repro.experiments.toys import FIGURE2_QUALITIES, scripted_sampler
 
 
 def make_sha(space, rng, **kwargs):

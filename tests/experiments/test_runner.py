@@ -46,7 +46,8 @@ def test_factories_build_working_schedulers():
 
 
 def test_run_trials_produces_one_record_per_seed():
-    objective_factory = lambda seed: toy_objective(constant=False)
+    def objective_factory(seed):
+        return toy_objective(constant=False)
 
     def make_scheduler(objective, rng):
         return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
@@ -66,7 +67,8 @@ def test_run_trials_produces_one_record_per_seed():
 
 
 def test_run_trials_deterministic_per_seed():
-    objective_factory = lambda seed: toy_objective(constant=False)
+    def objective_factory(seed):
+        return toy_objective(constant=False)
 
     def make_scheduler(objective, rng):
         return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
@@ -79,7 +81,8 @@ def test_run_trials_deterministic_per_seed():
 
 
 def test_aggregate_methods_common_grid():
-    objective_factory = lambda seed: toy_objective(constant=False)
+    def objective_factory(seed):
+        return toy_objective(constant=False)
 
     def make_scheduler(objective, rng):
         return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)

@@ -57,7 +57,6 @@ def test_cluster_seed_changes_timing_only():
     # The very first dispatched job is identical (nothing has diverged yet),
     # even though its completion time differs.
     first_a = min(a, key=lambda m: m[3])
-    first_b = min(b, key=lambda m: m[3])
     assert first_a[2] in {m[2] for m in b}  # its loss shows up in both runs
 
 

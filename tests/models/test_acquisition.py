@@ -60,7 +60,6 @@ class TestConstantLiar:
     def test_liar_spreads_batch(self):
         """Without the liar, all picks would sit at the same argmin region;
         with it, successive picks explore."""
-        rng = np.random.default_rng(2)
         x = np.linspace(0, 1, 8)[:, None]
         y = (x[:, 0] - 0.3) ** 2
         candidates = np.linspace(0, 1, 41)[:, None]

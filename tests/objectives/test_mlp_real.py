@@ -7,7 +7,7 @@ import copy
 import numpy as np
 import pytest
 
-from repro.objectives.mlp_real import RealMLPObjective, make_objective
+from repro.objectives.mlp_real import make_objective
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.objectives.svm import SVMObjective, make_objective
+from repro.objectives.svm import make_objective
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,67 @@
+"""TelemetryEvent / EventKind basics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.telemetry import EventKind, TelemetryEvent
+
+
+class TestEventKind:
+    def test_values_are_snake_case_strings(self):
+        for kind in EventKind:
+            assert kind.value == kind.name.lower()
+
+    def test_all_lifecycle_kinds_exist(self):
+        expected = {
+            "trial_started",
+            "job_started",
+            "report",
+            "promotion",
+            "rung_completed",
+            "job_failed",
+            "checkpoint_restored",
+            "worker_idle",
+        }
+        assert {k.value for k in EventKind} == expected
+
+
+class TestTelemetryEvent:
+    def test_frozen(self):
+        event = TelemetryEvent(seq=0, kind=EventKind.REPORT, time=1.0, wall_time=2.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.seq = 1  # type: ignore[misc]
+
+    def test_to_dict_omits_none_fields(self):
+        event = TelemetryEvent(
+            seq=3, kind=EventKind.REPORT, time=1.5, wall_time=99.0, trial_id=7, rung=1
+        )
+        assert event.to_dict() == {
+            "seq": 3,
+            "kind": "report",
+            "time": 1.5,
+            "trial_id": 7,
+            "rung": 1,
+        }
+
+    def test_to_dict_excludes_wall_time_by_default(self):
+        event = TelemetryEvent(seq=0, kind=EventKind.WORKER_IDLE, time=0.0, wall_time=123.0)
+        assert "wall_time" not in event.to_dict()
+        assert event.to_dict(include_wall_time=True)["wall_time"] == 123.0
+
+    def test_to_dict_carries_data_payload(self):
+        event = TelemetryEvent(
+            seq=0,
+            kind=EventKind.JOB_FAILED,
+            time=4.0,
+            wall_time=0.0,
+            trial_id=2,
+            data={"reason": "dropped"},
+        )
+        assert event.to_dict()["data"] == {"reason": "dropped"}
+
+    def test_empty_data_omitted(self):
+        event = TelemetryEvent(seq=0, kind=EventKind.REPORT, time=0.0, wall_time=0.0)
+        assert "data" not in event.to_dict()

@@ -1,0 +1,115 @@
+"""TelemetryHub emission semantics and the falsy NullHub."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.random_search import RandomSearch
+from repro.experiments.toys import toy_space
+from repro.telemetry import (
+    NULL_HUB,
+    EventKind,
+    InMemorySink,
+    MetricsCollector,
+    MetricsReport,
+    NullHub,
+    TelemetryHub,
+)
+
+
+class TestTelemetryHub:
+    def test_truthy(self):
+        assert bool(TelemetryHub()) is True
+
+    def test_seq_is_monotonic_from_zero(self):
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        for _ in range(5):
+            hub.emit(EventKind.REPORT)
+        assert [e.seq for e in sink.events] == [0, 1, 2, 3, 4]
+
+    def test_set_time_stamps_subsequent_events(self):
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        hub.emit(EventKind.REPORT)
+        hub.set_time(4.5)
+        hub.emit(EventKind.REPORT)
+        hub.emit(EventKind.REPORT, time=9.0)  # explicit time wins
+        assert [e.time for e in sink.events] == [0.0, 4.5, 9.0]
+
+    def test_wall_clock_injectable(self):
+        sink = InMemorySink()
+        hub = TelemetryHub([sink], wall_clock=lambda: 42.0)
+        event = hub.emit(EventKind.REPORT)
+        assert event.wall_time == 42.0
+        assert sink.events[0] is event
+
+    def test_emit_fans_out_to_every_sink(self):
+        a, b = InMemorySink(), InMemorySink()
+        hub = TelemetryHub([a])
+        hub.add_sink(b)
+        hub.emit(EventKind.REPORT, trial_id=1)
+        assert len(a) == len(b) == 1
+
+    def test_with_metrics_prepends_collector(self):
+        hub = TelemetryHub.with_metrics(InMemorySink())
+        assert isinstance(hub.sinks[0], MetricsCollector)
+        assert isinstance(hub.sinks[1], InMemorySink)
+        assert hub.metrics is hub.sinks[0]
+
+    def test_metrics_none_without_collector(self):
+        assert TelemetryHub([InMemorySink()]).metrics is None
+
+    def test_finalize_returns_report(self):
+        hub = TelemetryHub.with_metrics()
+        hub.emit(EventKind.TRIAL_STARTED, trial_id=0)
+        report = hub.finalize(elapsed=10.0, num_workers=2)
+        assert isinstance(report, MetricsReport)
+        assert report.elapsed == 10.0
+        assert report.num_workers == 2
+        assert report.counters["trials_started"] == 1
+
+    def test_finalize_without_collector_returns_none(self):
+        assert TelemetryHub([InMemorySink()]).finalize(elapsed=1.0, num_workers=1) is None
+
+    def test_context_manager_closes_sinks(self):
+        closed = []
+
+        class Sink:
+            def write(self, event):
+                pass
+
+            def flush(self):
+                pass
+
+            def close(self):
+                closed.append(True)
+
+        with TelemetryHub([Sink()]) as hub:
+            hub.emit(EventKind.REPORT)
+        assert closed == [True]
+
+
+class TestNullHub:
+    def test_falsy(self):
+        assert bool(NULL_HUB) is False
+        assert not NullHub()
+
+    def test_noop_api(self):
+        hub = NullHub()
+        hub.set_time(3.0)
+        assert hub.emit(EventKind.REPORT, trial_id=1, loss=0.5) is None
+        assert hub.finalize(elapsed=1.0, num_workers=1) is None
+        assert hub.metrics is None
+        hub.close()
+
+    def test_schedulers_default_to_null_hub(self):
+        sched = RandomSearch(toy_space(), np.random.default_rng(0), max_resource=1)
+        assert sched.telemetry is NULL_HUB
+        assert not sched.telemetry
+
+    def test_attach_telemetry_returns_scheduler(self):
+        sched = RandomSearch(toy_space(), np.random.default_rng(0), max_resource=1)
+        hub = TelemetryHub()
+        assert sched.attach_telemetry(hub) is sched
+        assert sched.telemetry is hub
