@@ -16,7 +16,17 @@ Quick start::
     print(scheduler.best_trial().config)
 """
 
-from . import analysis, backend, core, experiments, models, objectives, searchspace, telemetry
+from . import (
+    analysis,
+    backend,
+    core,
+    experiments,
+    models,
+    objectives,
+    searchers,
+    searchspace,
+    telemetry,
+)
 from .backend import SimulatedCluster, ThreadPoolBackend
 from .core import (
     ASHA,
@@ -34,6 +44,15 @@ from .core import (
     VizierGP,
 )
 from .core import GridSearch
+from .searchers import (
+    SEARCHERS,
+    GPEISearcher,
+    GridSearcher,
+    KDESearcher,
+    RandomSearcher,
+    Searcher,
+    build_searcher,
+)
 from .searchspace import Choice, IntUniform, LogUniform, QUniform, SearchSpace, Uniform
 from .telemetry import TelemetryHub
 from .tune import FunctionObjective, TuneResult, tune
@@ -49,16 +68,23 @@ __all__ = [
     "DoublingSHA",
     "Fabolas",
     "FunctionObjective",
+    "GPEISearcher",
     "GridSearch",
+    "GridSearcher",
     "Hyperband",
     "IntUniform",
+    "KDESearcher",
     "LogUniform",
     "PBT",
     "ParallelAsyncHyperband",
     "QUniform",
     "RandomSearch",
+    "RandomSearcher",
+    "SEARCHERS",
     "Scheduler",
     "SearchSpace",
+    "Searcher",
+    "build_searcher",
     "SimulatedCluster",
     "SynchronousSHA",
     "TelemetryHub",
@@ -73,6 +99,7 @@ __all__ = [
     "experiments",
     "models",
     "objectives",
+    "searchers",
     "searchspace",
     "telemetry",
 ]

@@ -22,6 +22,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..searchers.base import Searcher
+from ..searchers.random import FunctionSearcher
 from ..searchspace import SearchSpace
 from ..telemetry import EventKind
 from .bracket import Bracket
@@ -55,10 +57,15 @@ class ASHA(Scheduler):
         Optional cap on the number of configurations sampled into the base
         rung; ``None`` (the default) matches the paper, where ASHA keeps
         growing the bottom rung for as long as it runs.
+    searcher:
+        Optional :class:`~repro.searchers.base.Searcher` proposing base-rung
+        configurations and receiving every reported loss — ``KDESearcher``
+        yields asynchronous BOHB, ``GPEISearcher`` a MOBSTER-family tuner.
+        Default ``None``: uniform random sampling (the paper's ASHA).
     sampler:
-        Optional replacement for uniform random sampling of new
-        configurations.  Called as ``sampler(rng)``; used by the adaptive
-        (BOHB-style) variant in :mod:`repro.core.bohb`.
+        Legacy escape hatch: a bare ``sampler(rng) -> config`` callable,
+        wrapped in a feedback-less :class:`~repro.searchers.random.FunctionSearcher`.
+        Mutually exclusive with ``searcher``.
     """
 
     def __init__(
@@ -72,13 +79,17 @@ class ASHA(Scheduler):
         early_stopping_rate: int = 0,
         from_checkpoint: bool = True,
         max_trials: int | None = None,
+        searcher: Searcher | None = None,
         sampler: Callable[[np.random.Generator], Config] | None = None,
     ):
-        super().__init__(space, rng)
+        if sampler is not None:
+            if searcher is not None:
+                raise ValueError("pass either searcher= or the legacy sampler=, not both")
+            searcher = FunctionSearcher(sampler)
+        super().__init__(space, rng, searcher=searcher)
         self.bracket = Bracket(min_resource, max_resource, eta, early_stopping_rate)
         self.from_checkpoint = from_checkpoint
         self.max_trials = max_trials
-        self._sampler = sampler or (lambda rng: self.space.sample(rng))
 
     # ----------------------------------------------------------------- API
 
@@ -105,17 +116,24 @@ class ASHA(Scheduler):
             )
         if self.max_trials is not None and self.num_trials >= self.max_trials:
             return None
-        trial = self.new_trial(self._sampler(self.rng))
+        if self.searcher_exhausted():
+            return None
+        config, origin = self.propose_config()
+        trial = self.new_trial(config, origin=origin)
         return self.make_job(trial, self.bracket.rung_resource(0), rung=0)
 
     def report(self, job: Job, loss: float) -> None:
         """File the result into the job's rung and pause/complete the trial."""
         self.note_result(job, loss)
         trial = self.trials[job.trial_id]
+        if self.searcher is not None:
+            self.searcher.on_result(trial, job.resource, loss, rung=job.rung)
         self.bracket.record(job.rung, job.trial_id, loss)
         top = self.bracket.top_rung_index
         if top is not None and job.rung >= top:
             trial.status = TrialStatus.COMPLETED
+            if self.searcher is not None:
+                self.searcher.on_trial_complete(trial, loss)
         else:
             trial.status = TrialStatus.PAUSED
 
@@ -136,10 +154,13 @@ class ASHA(Scheduler):
             trial.rung = job.rung - 1
         else:
             super().on_job_failed(job)
+            if self.searcher is not None:
+                self.searcher.on_trial_error(self.trials[job.trial_id])
 
     def is_done(self) -> bool:
-        """Only a trial-capped ASHA ever finishes on its own."""
-        if self.max_trials is None or self.num_trials < self.max_trials:
+        """Only a trial-capped (or searcher-exhausted) ASHA finishes on its own."""
+        capped = self.max_trials is not None and self.num_trials >= self.max_trials
+        if not capped and not self.searcher_exhausted():
             return False
         if self.bracket.find_promotion() is not None:
             return False

@@ -20,6 +20,7 @@ import dataclasses
 
 import numpy as np
 
+from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from .asha import ASHA
 from .bracket import Bracket
@@ -43,6 +44,10 @@ class AsyncHyperband(Scheduler):
         ``s = 0, 1, 2, 3``.
     from_checkpoint:
         Whether promotions resume from checkpoints.
+    searcher:
+        Optional shared :class:`~repro.searchers.base.Searcher`: every ASHA
+        ladder proposes through it and feeds it every result, so the model
+        pools observations across early-stopping rates.
     """
 
     def __init__(
@@ -55,8 +60,9 @@ class AsyncHyperband(Scheduler):
         eta: int = 4,
         brackets: int | None = None,
         from_checkpoint: bool = True,
+        searcher: Searcher | None = None,
     ):
-        super().__init__(space, rng)
+        super().__init__(space, rng, searcher=searcher)
         if max_resource is None:
             raise ValueError("AsyncHyperband requires a finite max_resource")
         sizes = hyperband_bracket_sizes(min_resource, max_resource, eta)
@@ -76,6 +82,7 @@ class AsyncHyperband(Scheduler):
                 eta=eta,
                 early_stopping_rate=s,
                 from_checkpoint=from_checkpoint,
+                searcher=searcher,
             )
             # Share the trial table / id allocators for globally unique ids.
             asha.trials = self.trials

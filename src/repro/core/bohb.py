@@ -3,10 +3,12 @@
 "BOHB uses SHA to perform early-stopping and differs only in how
 configurations are sampled; while SHA uses random sampling, BOHB uses
 Bayesian optimization to adaptively sample new configurations"
-(Section 4.1).  Following the original, one TPE-style KDE model is kept per
-rung ("budget") and proposals come from the model of the *highest* rung that
-has enough observations; a fixed fraction of proposals stays uniformly
-random.
+(Section 4.1).  That sentence is now literally the implementation: BOHB is
+:class:`~repro.core.sha.SynchronousSHA` driving a
+:class:`~repro.searchers.kde.KDESearcher` (one TPE-style KDE per rung,
+proposals from the highest rung with enough observations, a fixed fraction
+kept uniformly random).  There is no sampling code in this module — only
+the composition.
 
 Two variants are provided:
 
@@ -22,47 +24,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..models.kde import TPESampler
-from ..searchspace import SearchSpace, UnitCubeEncoder
+from ..searchers.kde import KDESearcher
+from ..searchspace import SearchSpace
 from .asha import ASHA
 from .sha import SynchronousSHA
-from .types import Config, Job
 
 __all__ = ["BOHB", "AsyncBOHB"]
-
-
-class _RungModels:
-    """Per-rung TPE models + highest-ready-rung proposal rule (shared logic)."""
-
-    def __init__(
-        self,
-        space: SearchSpace,
-        gamma: float,
-        num_candidates: int,
-        random_fraction: float,
-    ):
-        self.encoder = UnitCubeEncoder(space)
-        self.gamma = gamma
-        self.num_candidates = num_candidates
-        self.random_fraction = random_fraction
-        self.models: dict[int, TPESampler] = {}
-
-    def observe(self, rung: int, config: Config, loss: float) -> None:
-        model = self.models.get(rung)
-        if model is None:
-            model = self.models[rung] = TPESampler(
-                self.encoder.dim,
-                gamma=self.gamma,
-                num_candidates=self.num_candidates,
-                random_fraction=self.random_fraction,
-            )
-        model.observe(self.encoder.encode(config), loss)
-
-    def propose(self, rng: np.random.Generator) -> Config:
-        for rung in sorted(self.models, reverse=True):
-            if self.models[rung].model_ready():
-                return self.encoder.decode(self.models[rung].propose(rng))
-        return self.encoder.decode(rng.random(self.encoder.dim))
 
 
 class BOHB(SynchronousSHA):
@@ -88,12 +55,17 @@ class BOHB(SynchronousSHA):
         random_fraction: float = 1.0 / 3.0,
         **sha_kwargs,
     ):
-        self._models = _RungModels(space, gamma, num_candidates, random_fraction)
-        super().__init__(space, rng, sampler=self._models.propose, **sha_kwargs)
-
-    def report(self, job: Job, loss: float) -> None:
-        self._models.observe(job.rung, job.config, loss)
-        super().report(job, loss)
+        super().__init__(
+            space,
+            rng,
+            searcher=KDESearcher(
+                gamma=gamma,
+                num_candidates=num_candidates,
+                random_fraction=random_fraction,
+                record_origin=False,
+            ),
+            **sha_kwargs,
+        )
 
 
 class AsyncBOHB(ASHA):
@@ -109,9 +81,14 @@ class AsyncBOHB(ASHA):
         random_fraction: float = 1.0 / 3.0,
         **asha_kwargs,
     ):
-        self._models = _RungModels(space, gamma, num_candidates, random_fraction)
-        super().__init__(space, rng, sampler=self._models.propose, **asha_kwargs)
-
-    def report(self, job: Job, loss: float) -> None:
-        self._models.observe(job.rung, job.config, loss)
-        super().report(job, loss)
+        super().__init__(
+            space,
+            rng,
+            searcher=KDESearcher(
+                gamma=gamma,
+                num_candidates=num_candidates,
+                random_fraction=random_fraction,
+                record_origin=False,
+            ),
+            **asha_kwargs,
+        )

@@ -9,11 +9,18 @@ scheduler/backend protocol invariants on every interaction:
   double-books a configuration);
 * ``is_done()`` never flips back to ``False`` once ``True``.
 
+When the wrapped scheduler has a :class:`~repro.searchers.base.Searcher`
+attached, the searcher protocol is audited too:
+
+* every reported loss is forwarded to ``on_result`` exactly once;
+* ``suggest`` is never called after the searcher reports ``is_done()``.
+
 Used by the integration suite, and handy when developing new schedulers.
 """
 
 from __future__ import annotations
 
+from ..searchers.base import Searcher
 from .scheduler import Scheduler
 from .types import Job
 
@@ -47,8 +54,22 @@ class ContractChecker(Scheduler):
 
     # ----------------------------------------------------------------- API
 
+    @property
+    def searcher(self) -> Searcher | None:
+        return self.inner.searcher
+
     def next_job(self) -> Job | None:
+        searcher = self.inner.searcher
+        if searcher is not None:
+            was_exhausted = searcher.is_done()
+            suggestions_before = searcher.num_suggestions
         job = self.inner.next_job()
+        if searcher is not None and was_exhausted:
+            if searcher.num_suggestions != suggestions_before:
+                raise ContractViolation(
+                    f"{type(self.inner).__name__} called suggest() on an "
+                    f"exhausted {type(searcher).__name__} (is_done() was True)"
+                )
         if job is None:
             return None
         self.jobs_seen += 1
@@ -71,7 +92,17 @@ class ContractChecker(Scheduler):
 
     def report(self, job: Job, loss: float) -> None:
         self._resolve(job)
+        searcher = self.inner.searcher
+        if searcher is not None:
+            results_before = searcher.num_results
         self.inner.report(job, loss)
+        if searcher is not None:
+            forwarded = searcher.num_results - results_before
+            if forwarded != 1:
+                raise ContractViolation(
+                    f"{type(self.inner).__name__} forwarded the loss of job "
+                    f"{job.job_id} to on_result {forwarded} times (must be exactly 1)"
+                )
 
     def on_job_failed(self, job: Job) -> None:
         self._resolve(job)

@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from .bracket import Bracket
 from .scheduler import Scheduler
@@ -56,6 +57,10 @@ class Hyperband(Scheduler):
     max_loops:
         Optional number of full passes over all brackets; ``None`` loops
         forever (the backend's time budget terminates the search).
+    searcher:
+        Optional shared :class:`~repro.searchers.base.Searcher`: every SHA
+        bracket proposes through it and feeds it every result, so the model
+        accumulates observations across brackets.
     """
 
     def __init__(
@@ -68,8 +73,9 @@ class Hyperband(Scheduler):
         eta: int = 4,
         from_checkpoint: bool = True,
         max_loops: int | None = None,
+        searcher: Searcher | None = None,
     ):
-        super().__init__(space, rng)
+        super().__init__(space, rng, searcher=searcher)
         self.min_resource = min_resource
         self.max_resource = max_resource
         self.eta = eta
@@ -127,6 +133,7 @@ class Hyperband(Scheduler):
             early_stopping_rate=s,
             grow_brackets=False,
             from_checkpoint=self.from_checkpoint,
+            searcher=self.searcher,
         )
         # Share the trial table and id allocators so ids are globally unique
         # and the analysis layer sees one coherent history.

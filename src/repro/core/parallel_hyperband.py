@@ -19,6 +19,7 @@ import dataclasses
 
 import numpy as np
 
+from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from .asha import ASHA
 from .bracket import Bracket
@@ -39,6 +40,9 @@ class ParallelAsyncHyperband(Scheduler):
     brackets:
         How many early-stopping rates to run, starting at ``s = 0``;
         defaults to all of them.
+    searcher:
+        Optional shared :class:`~repro.searchers.base.Searcher` driving every
+        concurrent ASHA bracket.
     """
 
     def __init__(
@@ -51,8 +55,9 @@ class ParallelAsyncHyperband(Scheduler):
         eta: int = 4,
         brackets: int | None = None,
         from_checkpoint: bool = True,
+        searcher: Searcher | None = None,
     ):
-        super().__init__(space, rng)
+        super().__init__(space, rng, searcher=searcher)
         if max_resource is None:
             raise ValueError("ParallelAsyncHyperband requires a finite max_resource")
         sizes = hyperband_bracket_sizes(min_resource, max_resource, eta)
@@ -72,6 +77,7 @@ class ParallelAsyncHyperband(Scheduler):
                 eta=eta,
                 early_stopping_rate=s,
                 from_checkpoint=from_checkpoint,
+                searcher=searcher,
             )
             asha.trials = self.trials
             asha._trial_ids = self._trial_ids

@@ -12,9 +12,11 @@ bottleneck Section 3.1 analyses.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
+from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from ..telemetry import NULL_HUB, EventKind
 from .types import Config, IdAllocator, Job, Measurement, Trial, TrialStatus
@@ -35,17 +37,33 @@ class Scheduler(ABC):
         The search space configurations are drawn from.
     rng:
         Source of randomness; every stochastic decision flows through it.
+    searcher:
+        Optional :class:`~repro.searchers.base.Searcher` owning config
+        proposal.  ``None`` (the default) means uniform random sampling
+        straight from the space — byte-identical to the pre-searcher
+        behaviour.  Schedulers that support a searcher route every proposal
+        through :meth:`propose_config` and every reported loss into
+        :meth:`~repro.searchers.base.Searcher.on_result`.
     """
 
-    def __init__(self, space: SearchSpace, rng: np.random.Generator):
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng: np.random.Generator,
+        *,
+        searcher: Searcher | None = None,
+    ):
         self.space = space
         self.rng = rng
+        self.searcher = searcher
+        if searcher is not None:
+            searcher.setup(space)
         self.trials: dict[int, Trial] = {}
         self._trial_ids = IdAllocator()
         self._job_ids = IdAllocator()
         #: Lifecycle-event hub; the falsy ``NULL_HUB`` by default, so every
         #: emission site costs one branch when telemetry is off.
-        self.telemetry = NULL_HUB
+        self.telemetry: Any = NULL_HUB
 
     def attach_telemetry(self, hub) -> "Scheduler":
         """Attach a :class:`~repro.telemetry.TelemetryHub` and return ``self``.
@@ -102,13 +120,38 @@ class Scheduler(ABC):
         trial = self.trials[job.trial_id]
         trial.record(Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss))
 
-    def new_trial(self, config: Config) -> Trial:
-        """Register a new trial for ``config`` and return it."""
+    def propose_config(self) -> tuple[Config, str | None]:
+        """Draw the next configuration and its proposal origin.
+
+        Routes through the attached searcher when one is set, falling back
+        to uniform sampling from the space (the pre-searcher default, kept
+        rng-identical).  The origin is ``None`` unless the searcher records
+        one; pass it to :meth:`new_trial` so telemetry can attribute the
+        proposal.
+        """
+        if self.searcher is not None:
+            config = self.searcher.suggest(self.rng)
+            return config, self.searcher.origin
+        return self.space.sample(self.rng), None
+
+    def searcher_exhausted(self) -> bool:
+        """Whether the attached searcher has nothing further to propose."""
+        return self.searcher is not None and self.searcher.is_done()
+
+    def new_trial(self, config: Config, *, origin: str | None = None) -> Trial:
+        """Register a new trial for ``config`` and return it.
+
+        ``origin`` (``"model_based"`` / ``"random_fallback"`` / ``"grid"``)
+        is stamped onto the ``trial_started`` event when provided, so the
+        metrics layer can report model-hit rates; omitted otherwise to keep
+        legacy streams byte-identical.
+        """
         trial = Trial(trial_id=self._trial_ids.next(), config=config)
         self.trials[trial.trial_id] = trial
         if self.telemetry:
+            extra = {"origin": origin} if origin is not None else {}
             self.telemetry.emit(
-                EventKind.TRIAL_STARTED, trial_id=trial.trial_id, config=dict(config)
+                EventKind.TRIAL_STARTED, trial_id=trial.trial_id, config=dict(config), **extra
             )
         return trial
 

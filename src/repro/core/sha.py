@@ -25,6 +25,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..searchers.base import Searcher
+from ..searchers.random import FunctionSearcher
 from ..searchspace import SearchSpace
 from ..telemetry import EventKind
 from .bracket import Bracket
@@ -121,8 +123,14 @@ class SynchronousSHA(Scheduler):
     from_checkpoint:
         Whether promoted configurations resume from their checkpoint (pay the
         resource increment) or retrain from scratch.
+    searcher:
+        Optional :class:`~repro.searchers.base.Searcher` proposing base-rung
+        configurations and receiving every rung result — ``KDESearcher``
+        here *is* BOHB.  Default ``None``: uniform random sampling.
     sampler:
-        Optional adaptive sampler, ``sampler(rng) -> config``; used by BOHB.
+        Legacy escape hatch: a bare ``sampler(rng) -> config`` callable,
+        wrapped in a feedback-less searcher.  Mutually exclusive with
+        ``searcher``.
     """
 
     def __init__(
@@ -137,9 +145,14 @@ class SynchronousSHA(Scheduler):
         early_stopping_rate: int = 0,
         grow_brackets: bool = False,
         from_checkpoint: bool = True,
+        searcher: Searcher | None = None,
         sampler: Callable[[np.random.Generator], Config] | None = None,
     ):
-        super().__init__(space, rng)
+        if sampler is not None:
+            if searcher is not None:
+                raise ValueError("pass either searcher= or the legacy sampler=, not both")
+            searcher = FunctionSearcher(sampler)
+        super().__init__(space, rng, searcher=searcher)
         if max_resource is None:
             raise ValueError("synchronous SHA requires a finite max_resource")
         probe = Bracket(min_resource, max_resource, eta, early_stopping_rate)
@@ -156,7 +169,6 @@ class SynchronousSHA(Scheduler):
         self.early_stopping_rate = early_stopping_rate
         self.grow_brackets = grow_brackets
         self.from_checkpoint = from_checkpoint
-        self._sampler = sampler or (lambda rng: self.space.sample(rng))
         self.runs: list[_BracketRun] = []
         self._run_of_trial: dict[int, _BracketRun] = {}
 
@@ -166,6 +178,8 @@ class SynchronousSHA(Scheduler):
         job = self._dispatch_from_existing()
         if job is not None:
             return job
+        if self.searcher_exhausted():
+            return None
         if not self.runs or (self.grow_brackets and all(r.blocked or r.done for r in self.runs)):
             if self.runs and all(r.done for r in self.runs) and not self.grow_brackets:
                 return None
@@ -176,12 +190,17 @@ class SynchronousSHA(Scheduler):
     def report(self, job: Job, loss: float) -> None:
         self.note_result(job, loss)
         trial = self.trials[job.trial_id]
+        if self.searcher is not None:
+            self.searcher.on_result(trial, job.resource, loss, rung=job.rung)
         run = self._run_of_trial[job.trial_id]
         run.outstanding.discard(job.trial_id)
         run.bracket.record(job.rung, job.trial_id, loss)
-        trial.status = (
-            TrialStatus.COMPLETED if job.rung == run.bracket.top_rung_index else TrialStatus.PAUSED
-        )
+        if job.rung == run.bracket.top_rung_index:
+            trial.status = TrialStatus.COMPLETED
+            if self.searcher is not None:
+                self.searcher.on_trial_complete(trial, loss)
+        else:
+            trial.status = TrialStatus.PAUSED
         run.maybe_advance()
 
     def on_job_failed(self, job: Job) -> None:
@@ -194,12 +213,18 @@ class SynchronousSHA(Scheduler):
         and rung completion is delayed by the remaining stragglers.
         """
         super().on_job_failed(job)
+        if self.searcher is not None:
+            self.searcher.on_trial_error(self.trials[job.trial_id])
         run = self._run_of_trial[job.trial_id]
         run.outstanding.discard(job.trial_id)
         run.maybe_advance()
 
     def is_done(self) -> bool:
-        return bool(self.runs) and not self.grow_brackets and all(r.done for r in self.runs)
+        if not self.runs:
+            return self.searcher_exhausted()
+        if not all(r.done for r in self.runs):
+            return False
+        return not self.grow_brackets or self.searcher_exhausted()
 
     # ------------------------------------------------------------- helpers
 
@@ -213,7 +238,14 @@ class SynchronousSHA(Scheduler):
                 continue
             entry = run.pending.popleft()
             if entry is None:
-                trial = self.new_trial(self._sampler(self.rng))
+                if self.searcher_exhausted():
+                    # No more proposals: drop this bracket's unfilled base-rung
+                    # slots and let the rung barrier close over what exists.
+                    run.pending = deque(e for e in run.pending if e is not None)
+                    run.maybe_advance()
+                    continue
+                config, origin = self.propose_config()
+                trial = self.new_trial(config, origin=origin)
                 self._run_of_trial[trial.trial_id] = run
             else:
                 trial = self.trials[entry]

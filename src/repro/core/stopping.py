@@ -172,6 +172,11 @@ class StoppingWrapper(Scheduler):
         self.inner.attach_telemetry(hub)
         return self
 
+    @property
+    def searcher(self):
+        """The wrapped scheduler's searcher (contract-checker visibility)."""
+        return self.inner.searcher
+
     def next_job(self) -> Job | None:
         return self.inner.next_job()
 

@@ -3,31 +3,22 @@
 Golovin et al. [2017] describe Vizier's default tuner as a Gaussian-process
 bandit using expected improvement; Section 4.3 compares against it "without
 the performance curve early-stopping rule", i.e. every proposed
-configuration trains to the full resource ``R``.  We reproduce that:
-
-* a Matern-5/2 GP over unit-cube-encoded configurations, fit to final
-  validation losses;
-* expected improvement maximised over a fresh uniform candidate pool;
-* constant-liar imputation of pending evaluations so hundreds of parallel
-  workers receive de-duplicated proposals [Ginsbourger et al., 2010];
-* optional loss capping (``loss_cap=1000`` reproduces the paper's attempted
-  mitigation of PTB's heavy-tailed perplexities — which "still significantly
-  hampered the performance of Vizier").
-
-Engineering concessions for simulation speed (documented, behaviour-
-preserving): the GP is refit every ``refit_every`` dispatches rather than on
-every proposal, and is conditioned on a subsample of the observation history
-once it exceeds ``max_fit_points`` (best points always kept).
+configuration trains to the full resource ``R``.  The scheduler side of
+that is trivial — dispatch every proposal at ``R`` — so this module is now
+exactly that: a full-budget scheduler whose proposals come from a
+:class:`~repro.searchers.gp.GPEISearcher` (Matern-5/2 GP, expected
+improvement over a uniform candidate pool, constant-liar imputation of
+pending evaluations, optional loss capping).  Seeded trial streams match
+the pre-refactor monolithic implementation byte for byte.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..models.acquisition import expected_improvement
-from ..models.gp import GaussianProcess
-from ..models.kernels import Matern52
-from ..searchspace import SearchSpace, UnitCubeEncoder
+from ..searchers.base import Searcher
+from ..searchers.gp import GPEISearcher
+from ..searchspace import SearchSpace
 from .scheduler import Scheduler
 from .types import Job, TrialStatus
 
@@ -51,6 +42,11 @@ class VizierGP(Scheduler):
         Refit cadence and observation-subsample cap (speed knobs).
     max_trials:
         Optional cap on total proposals.
+    searcher:
+        Override the proposal strategy entirely (any
+        :class:`~repro.searchers.base.Searcher`); the GP knobs above are
+        then ignored.  Default: a :class:`~repro.searchers.gp.GPEISearcher`
+        built from them.
     """
 
     def __init__(
@@ -65,101 +61,49 @@ class VizierGP(Scheduler):
         refit_every: int = 10,
         max_fit_points: int = 400,
         max_trials: int | None = None,
+        searcher: Searcher | None = None,
     ):
-        super().__init__(space, rng)
         if max_resource <= 0:
             raise ValueError(f"max_resource must be positive, got {max_resource}")
+        if searcher is None:
+            searcher = GPEISearcher(
+                num_init=num_init,
+                num_candidates=num_candidates,
+                loss_cap=loss_cap,
+                refit_every=refit_every,
+                max_fit_points=max_fit_points,
+                record_origin=False,
+            )
+        super().__init__(space, rng, searcher=searcher)
         self.max_resource = max_resource
-        self.num_init = num_init
-        self.num_candidates = num_candidates
-        self.loss_cap = loss_cap
-        self.refit_every = refit_every
-        self.max_fit_points = max_fit_points
         self.max_trials = max_trials
-        self.encoder = UnitCubeEncoder(space)
-        self._x: list[np.ndarray] = []
-        self._y: list[float] = []
-        self._pending: dict[int, np.ndarray] = {}
-        self._gp: GaussianProcess | None = None
-        self._dispatches_since_fit = 0
 
     # ----------------------------------------------------------------- API
 
     def next_job(self) -> Job | None:
         if self.max_trials is not None and self.num_trials >= self.max_trials:
             return None
-        if len(self._x) < self.num_init:
-            config = self.space.sample(self.rng)
-        else:
-            config = self._propose()
-        trial = self.new_trial(config)
-        self._pending[trial.trial_id] = self.encoder.encode(config)
+        if self.searcher_exhausted():
+            return None
+        config, origin = self.propose_config()
+        trial = self.new_trial(config, origin=origin)
         return self.make_job(trial, self.max_resource)
 
     def report(self, job: Job, loss: float) -> None:
         self.note_result(job, loss)
-        self.trials[job.trial_id].status = TrialStatus.COMPLETED
-        x = self._pending.pop(job.trial_id, None)
-        if x is None:
-            x = self.encoder.encode(job.config)
-        self._x.append(x)
-        self._y.append(self._clean(loss))
-        self._gp = None  # force refit at next proposal window
+        trial = self.trials[job.trial_id]
+        trial.status = TrialStatus.COMPLETED
+        if self.searcher is not None:
+            self.searcher.on_result(trial, job.resource, loss)
+            self.searcher.on_trial_complete(trial, loss)
 
     def on_job_failed(self, job: Job) -> None:
         super().on_job_failed(job)
-        self._pending.pop(job.trial_id, None)
+        if self.searcher is not None:
+            self.searcher.on_trial_error(self.trials[job.trial_id])
 
     def is_done(self) -> bool:
-        if self.max_trials is None or self.num_trials < self.max_trials:
+        capped = self.max_trials is not None and self.num_trials >= self.max_trials
+        if not capped and not self.searcher_exhausted():
             return False
         return not any(t.status == TrialStatus.RUNNING for t in self.trials.values())
-
-    # ------------------------------------------------------------- model
-
-    def _clean(self, loss: float) -> float:
-        if not np.isfinite(loss):
-            loss = self.loss_cap if self.loss_cap is not None else 1e12
-        if self.loss_cap is not None:
-            loss = min(loss, self.loss_cap)
-        return float(loss)
-
-    def _propose(self):
-        gp = self._fit_if_needed()
-        candidates = self.encoder.sample_unit(self.num_candidates, self.rng)
-        mean, std = gp.predict(candidates)
-        finite = [y for y in self._y if np.isfinite(y)]
-        best = min(finite) if finite else 0.0
-        scores = expected_improvement(mean, std, best)
-        return self.encoder.decode(candidates[int(np.argmax(scores))])
-
-    def _fit_if_needed(self) -> GaussianProcess:
-        self._dispatches_since_fit += 1
-        if self._gp is not None and self._dispatches_since_fit < self.refit_every:
-            return self._gp
-        self._dispatches_since_fit = 0
-        x = np.stack(self._x)
-        y = np.asarray(self._y)
-        if len(y) > self.max_fit_points:
-            # Uniform subsample plus the current best observation.  Keeping a
-            # *best-biased* subsample here would quietly filter out the
-            # heavy-tailed losses Section 4.3 shows degrading model-based
-            # methods, changing the algorithm under study.
-            keep = self.rng.choice(len(y), size=self.max_fit_points - 1, replace=False)
-            keep = np.append(keep, int(np.argmin(y)))
-            x, y = x[keep], y[keep]
-        # Constant-liar imputation of pending points (batch parallelism).
-        if self._pending:
-            pend = list(self._pending.values())
-            if len(pend) > 100:
-                idx = self.rng.choice(len(pend), size=100, replace=False)
-                pend = [pend[i] for i in idx]
-            lie = float(np.min(y)) if len(y) else 0.0
-            x = np.vstack([x, np.stack(pend)])
-            y = np.concatenate([y, np.full(len(pend), lie)])
-        gp = GaussianProcess(kernel=Matern52(), noise=1e-3)
-        # Small marginal-likelihood grid: the fit happens inside a 500-worker
-        # dispatch loop, and three length scales cover the unit cube well.
-        gp.fit_tuned(x, y, length_scales=(0.15, 0.3, 0.6), variances=(1.0,))
-        self._gp = gp
-        return gp

@@ -25,6 +25,7 @@ from ..core import (
     SynchronousSHA,
 )
 from ..objectives.base import Objective
+from ..searchers import GPEISearcher, KDESearcher
 from .runner import SchedulerFactory
 
 __all__ = ["standard_methods", "MethodSettings"]
@@ -65,7 +66,9 @@ def standard_methods(
     """The paper's method suite as a name -> factory mapping.
 
     Names follow the figure legends: ``Random``, ``SHA``, ``Hyperband``,
-    ``PBT``, ``ASHA``, ``Hyperband (async)``, ``BOHB``.
+    ``PBT``, ``ASHA``, ``Hyperband (async)``, ``BOHB`` — plus the
+    scheduler x searcher combinations the conclusion gestures at:
+    ``ASHA (KDE)`` (asynchronous BOHB) and ``ASHA (GP)`` (MOBSTER-family).
     """
     s = settings
 
@@ -125,6 +128,28 @@ def standard_methods(
             grow_brackets=s.grow_brackets,
         )
 
+    def asha_kde_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return ASHA(
+            objective.space,
+            rng,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            early_stopping_rate=s.early_stopping_rate,
+            searcher=KDESearcher(),
+        )
+
+    def asha_gp_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
+        return ASHA(
+            objective.space,
+            rng,
+            min_resource=s.min_resource,
+            max_resource=s.max_resource,
+            eta=s.eta,
+            early_stopping_rate=s.early_stopping_rate,
+            searcher=GPEISearcher(),
+        )
+
     def pbt_factory(objective: Objective, rng: np.random.Generator) -> Scheduler:
         return PBT(
             objective.space,
@@ -141,6 +166,8 @@ def standard_methods(
         "Hyperband": hyperband_factory,
         "PBT": pbt_factory,
         "ASHA": asha_factory,
+        "ASHA (KDE)": asha_kde_factory,
+        "ASHA (GP)": asha_gp_factory,
         "Hyperband (async)": async_hb_factory,
         "BOHB": bohb_factory,
     }

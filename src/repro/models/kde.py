@@ -87,6 +87,9 @@ class TPESampler:
         self.min_points = min_points if min_points is not None else dim + 1
         self._x: list[np.ndarray] = []
         self._y: list[float] = []
+        #: Whether the most recent :meth:`propose` used the KDE ratio (True)
+        #: or fell back to a uniform draw (False) — the proposal-origin tag.
+        self.last_proposal_was_model = False
 
     def observe(self, x: np.ndarray, loss: float) -> None:
         """Record one (encoded config, loss) observation."""
@@ -106,6 +109,7 @@ class TPESampler:
     def propose(self, rng: np.random.Generator) -> np.ndarray:
         """Propose one point in the unit cube."""
         if not self.model_ready() or rng.random() < self.random_fraction:
+            self.last_proposal_was_model = False
             return rng.random(self.dim)
         y = np.asarray(self._y)
         x = np.stack(self._x)
@@ -123,6 +127,7 @@ class TPESampler:
         bad = DensityEstimate(x[bad_idx])
         candidates = good.sample(self.num_candidates, rng)
         ratio = good.pdf(candidates) / np.maximum(bad.pdf(candidates), 1e-32)
+        self.last_proposal_was_model = True
         return candidates[int(np.argmax(ratio))]
 
 

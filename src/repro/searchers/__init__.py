@@ -1,0 +1,31 @@
+"""Searchers: *how configurations are proposed*, decoupled from scheduling.
+
+Schedulers (:mod:`repro.core`) decide promotion and resource allocation;
+searchers decide which configuration to try next and learn from every
+reported loss.  Any scheduler accepting ``searcher=`` can drive any
+searcher — ``ASHA + KDESearcher`` is asynchronous BOHB, ``ASHA +
+GPEISearcher`` is a MOBSTER-family tuner, ``SynchronousSHA + KDESearcher``
+*is* BOHB.
+"""
+
+from .base import ORIGIN_GRID, ORIGIN_MODEL, ORIGIN_RANDOM, Searcher, SearcherError
+from .gp import GPEISearcher
+from .grid import GridSearcher
+from .kde import KDESearcher
+from .random import FunctionSearcher, RandomSearcher
+from .registry import SEARCHERS, build_searcher
+
+__all__ = [
+    "ORIGIN_GRID",
+    "ORIGIN_MODEL",
+    "ORIGIN_RANDOM",
+    "SEARCHERS",
+    "FunctionSearcher",
+    "GPEISearcher",
+    "GridSearcher",
+    "KDESearcher",
+    "RandomSearcher",
+    "Searcher",
+    "SearcherError",
+    "build_searcher",
+]

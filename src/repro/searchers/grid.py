@@ -1,0 +1,63 @@
+"""Grid proposal: walk a precomputed axis-aligned lattice, then stop.
+
+The classical non-adaptive baseline as a :class:`Searcher`, so the grid can
+now be paired with *any* scheduler — including early-stopping ones, which
+the standalone :class:`~repro.core.grid_search.GridSearch` scheduler never
+allowed.  A finite searcher: :meth:`is_done` flips once the lattice is
+exhausted and schedulers stop growing new trials while promotions continue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..searchspace import Config, SearchSpace
+from .base import ORIGIN_GRID, Searcher, SearcherError
+
+__all__ = ["GridSearcher"]
+
+
+class GridSearcher(Searcher):
+    """Propose every point of an axis-aligned grid exactly once.
+
+    Parameters
+    ----------
+    points_per_dim:
+        Quantiles per continuous dimension (categoricals use all values).
+    shuffle:
+        Visit the grid in random order (recommended: axis order biases
+        early incumbents otherwise).  The permutation is drawn from the
+        scheduler's rng on the first proposal, keeping construction
+        rng-free.
+    """
+
+    def __init__(self, *, points_per_dim: int = 3, shuffle: bool = True, record_origin: bool = True):
+        super().__init__(record_origin=record_origin)
+        if points_per_dim < 2:
+            raise ValueError(f"points_per_dim must be >= 2, got {points_per_dim}")
+        self.points_per_dim = points_per_dim
+        self.shuffle = shuffle
+        self._queue: list[Config] = []
+        self._shuffled = False
+        self._cursor = 0
+
+    def _setup(self, space: SearchSpace) -> None:
+        self._queue = space.grid(self.points_per_dim)
+
+    @property
+    def grid_size(self) -> int:
+        return len(self._queue)
+
+    def is_done(self) -> bool:
+        return self.space is not None and self._cursor >= len(self._queue)
+
+    def _propose(self, rng: np.random.Generator) -> tuple[Config, str]:
+        if self.shuffle and not self._shuffled:
+            order = rng.permutation(len(self._queue))
+            self._queue = [self._queue[i] for i in order]
+            self._shuffled = True
+        if self._cursor >= len(self._queue):
+            raise SearcherError("grid exhausted: suggest() called after is_done()")
+        config = self._queue[self._cursor]
+        self._cursor += 1
+        return config, ORIGIN_GRID

@@ -184,6 +184,21 @@ class MetricsReport:
             return 0.0
         return sum(self.worker_utilization.values()) / self.num_workers
 
+    def model_hit_rate(self) -> float:
+        """Fraction of origin-tagged proposals that came out of a model.
+
+        Derived from the ``proposals.*`` counters a searcher-aware scheduler
+        stamps onto ``trial_started`` events (``model_based`` vs
+        ``random_fallback``/``grid``).  ``nan`` when no proposal carried an
+        origin — e.g. under default random sampling or legacy composites.
+        """
+        tagged = sum(
+            value for name, value in self.counters.items() if name.startswith("proposals.")
+        )
+        if tagged == 0:
+            return math.nan
+        return self.counters.get("proposals.model_based", 0.0) / tagged
+
 
 class MetricsCollector:
     """Telemetry sink folding events into the registry + derived series.
@@ -279,6 +294,9 @@ class MetricsCollector:
 
     def _on_trial_started(self, event: TelemetryEvent) -> None:
         self.registry.counter("trials_started").inc()
+        origin = event.data.get("origin")
+        if origin is not None:
+            self.registry.counter(f"proposals.{origin}").inc()
 
     def _on_checkpoint_restored(self, event: TelemetryEvent) -> None:
         self.registry.counter("checkpoint_restores").inc()

@@ -44,6 +44,7 @@ from .core import (
     VizierGP,
 )
 from .objectives.base import Objective
+from .searchers import SEARCHERS, Searcher, build_searcher
 from .searchspace import Config, SearchSpace
 from .telemetry import TelemetryHub
 
@@ -105,7 +106,18 @@ def _build_scheduler(
     max_resource: float,
     eta: int,
     kwargs: dict,
+    searcher: Searcher | None = None,
 ) -> Scheduler:
+    if name == "vizier":
+        name = "gp"
+    if searcher is not None:
+        if name in ("bohb", "pbt"):
+            raise ValueError(
+                f"scheduler {name!r} owns its own sampling and does not accept a "
+                "searcher; use scheduler='sha' or 'asha' with searcher='kde' for "
+                "the BOHB family"
+            )
+        kwargs.setdefault("searcher", searcher)
     if name == "asha":
         return ASHA(
             space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
@@ -135,10 +147,13 @@ def _build_scheduler(
         return PBT(space, rng, max_resource=max_resource, **kwargs)
     if name == "gp":
         return VizierGP(space, rng, max_resource=max_resource, **kwargs)
-    raise KeyError(f"unknown scheduler {name!r}; options: {sorted(SCHEDULERS)}")
+    raise KeyError(
+        f"unknown scheduler {name!r}; scheduler options: {sorted(SCHEDULERS)}, "
+        f"searcher options: {sorted(SEARCHERS)}"
+    )
 
 
-#: Scheduler names accepted by :func:`tune`.
+#: Scheduler names accepted by :func:`tune` (``"vizier"`` aliases ``"gp"``).
 SCHEDULERS = ("asha", "sha", "hyperband", "async_hyperband", "bohb", "random", "pbt", "gp")
 
 
@@ -164,8 +179,10 @@ def tune(
     max_resource: float,
     min_resource: float = 1.0,
     eta: int = 4,
-    scheduler: str = "asha",
+    scheduler: str | Scheduler = "asha",
     scheduler_kwargs: dict | None = None,
+    searcher: str | Searcher | None = None,
+    searcher_kwargs: dict | None = None,
     num_workers: int = 4,
     time_limit: float | None = None,
     backend: str = "simulated",
@@ -178,7 +195,17 @@ def tune(
     Parameters
     ----------
     scheduler:
-        One of :data:`SCHEDULERS` (default ``"asha"``).
+        One of :data:`SCHEDULERS` (default ``"asha"``), ``"vizier"`` (an
+        alias for ``"gp"``), or an already-constructed
+        :class:`~repro.core.Scheduler` instance to run as-is.
+    searcher:
+        Optional proposal strategy for searcher-aware schedulers: one of
+        :data:`~repro.searchers.SEARCHERS` (``"random"``, ``"kde"``,
+        ``"gp"``, ``"grid"``) or a :class:`~repro.searchers.Searcher`
+        instance.  ``scheduler="asha", searcher="kde"`` is asynchronous
+        BOHB; ``searcher="gp"`` a MOBSTER-family tuner.
+    searcher_kwargs:
+        Keyword arguments for the named searcher's constructor.
     backend:
         ``"simulated"`` (discrete-event clock driven by ``cost_fn``) or
         ``"threads"`` (real wall-clock parallel execution; ``time_limit``
@@ -193,15 +220,27 @@ def tune(
     """
     objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
     rng = np.random.default_rng(seed)
-    sched = _build_scheduler(
-        scheduler,
-        space,
-        rng,
-        min_resource=min_resource,
-        max_resource=max_resource,
-        eta=eta,
-        kwargs=dict(scheduler_kwargs or {}),
-    )
+    if isinstance(scheduler, Scheduler):
+        if scheduler_kwargs or searcher is not None:
+            raise ValueError(
+                "a pre-built scheduler instance cannot be combined with "
+                "scheduler_kwargs or searcher; configure it at construction"
+            )
+        sched = scheduler
+    else:
+        built_searcher = (
+            build_searcher(searcher, dict(searcher_kwargs or {})) if searcher is not None else None
+        )
+        sched = _build_scheduler(
+            scheduler,
+            space,
+            rng,
+            min_resource=min_resource,
+            max_resource=max_resource,
+            eta=eta,
+            kwargs=dict(scheduler_kwargs or {}),
+            searcher=built_searcher,
+        )
     hub: TelemetryHub | None
     if telemetry is True:
         hub = TelemetryHub.with_metrics()

@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend import SimulatedCluster
-from repro.core import BOHB, AsyncBOHB
+from repro.core import ASHA, BOHB, AsyncBOHB, SynchronousSHA
 from repro.experiments.toys import toy_objective
+from repro.searchers import KDESearcher
 
 
 def quality_objective():
@@ -28,9 +29,9 @@ def test_bohb_observations_feed_rung_models(rng):
     objective = toy_objective(max_resource=9.0)
     bohb = BOHB(objective.space, rng, n=9, min_resource=1.0, max_resource=9.0, eta=3)
     SimulatedCluster(3, seed=0).run(bohb, objective, time_limit=1e6)
-    assert 0 in bohb._models.models
-    assert bohb._models.models[0].num_observations == 9
-    assert bohb._models.models[1].num_observations == 3
+    assert 0 in bohb.searcher.models
+    assert bohb.searcher.num_observations(0) == 9
+    assert bohb.searcher.num_observations(1) == 3
 
 
 def test_bohb_sampling_concentrates_once_model_ready(rng):
@@ -54,10 +55,49 @@ def test_bohb_sampling_concentrates_once_model_ready(rng):
     assert np.mean(configs[32:]) < np.mean(configs[:8]) + 0.2
 
 
+def trial_stream(sched):
+    """(config, final loss) per trial, in trial-id order."""
+    return [
+        (tuple(sorted(t.config.items())), t.measurements[-1].loss if t.measurements else None)
+        for t in sched.trials.values()
+    ]
+
+
+def test_bohb_is_exactly_sha_plus_kde_searcher():
+    """The composition IS the algorithm: identical seeded trial streams."""
+    objective = toy_objective(max_resource=9.0)
+    kwargs = dict(n=27, min_resource=1.0, max_resource=9.0, eta=3, grow_brackets=True)
+    bohb = BOHB(objective.space, np.random.default_rng(5), **kwargs)
+    composed = SynchronousSHA(
+        objective.space,
+        np.random.default_rng(5),
+        searcher=KDESearcher(record_origin=False),
+        **kwargs,
+    )
+    SimulatedCluster(4, seed=5).run(bohb, objective, time_limit=300.0)
+    SimulatedCluster(4, seed=5).run(composed, objective, time_limit=300.0)
+    assert trial_stream(bohb) == trial_stream(composed)
+
+
+def test_async_bohb_is_exactly_asha_plus_kde_searcher():
+    objective = toy_objective(max_resource=9.0)
+    kwargs = dict(min_resource=1.0, max_resource=9.0, eta=3)
+    abohb = AsyncBOHB(objective.space, np.random.default_rng(6), **kwargs)
+    composed = ASHA(
+        objective.space,
+        np.random.default_rng(6),
+        searcher=KDESearcher(record_origin=False),
+        **kwargs,
+    )
+    SimulatedCluster(4, seed=6).run(abohb, objective, time_limit=300.0)
+    SimulatedCluster(4, seed=6).run(composed, objective, time_limit=300.0)
+    assert trial_stream(abohb) == trial_stream(composed)
+
+
 def test_async_bohb_runs_asha_promotions(rng):
     objective = toy_objective(max_resource=9.0)
     abohb = AsyncBOHB(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
     SimulatedCluster(2, seed=0).run(abohb, objective, time_limit=80.0)
     rungs = abohb.rung_sizes()
     assert rungs[0] > 0 and len(rungs) == 3
-    assert abohb._models.models[0].num_observations == rungs[0]
+    assert abohb.searcher.num_observations(0) == rungs[0]

@@ -19,8 +19,9 @@ from repro.core import (
     RandomSearch,
     SynchronousSHA,
 )
-from repro.core.types import Job
+from repro.core.types import Job, TrialStatus
 from repro.experiments.toys import toy_objective
+from repro.searchers import GPEISearcher, GridSearcher, KDESearcher, RandomSearcher
 
 R = 16.0
 
@@ -51,6 +52,71 @@ class TestCheckerCatchesViolations:
             checker.next_job()
 
 
+class TestCheckerAuditsSearcherProtocol:
+    def test_loss_never_forwarded_detected(self, one_d_space, rng):
+        class DropsFeedback(RandomSearch):
+            def report(self, job, loss):  # forgets searcher.on_result
+                self.note_result(job, loss)
+                self.trials[job.trial_id].status = TrialStatus.COMPLETED
+
+        sched = DropsFeedback(one_d_space, rng, max_resource=R, searcher=RandomSearcher())
+        checker = ContractChecker(sched)
+        job = checker.next_job()
+        with pytest.raises(ContractViolation, match="0 times"):
+            checker.report(job, 0.5)
+
+    def test_loss_forwarded_twice_detected(self, one_d_space, rng):
+        class DoubleFeeds(RandomSearch):
+            def report(self, job, loss):
+                super().report(job, loss)
+                self.searcher.on_result(self.trials[job.trial_id], job.resource, loss)
+
+        sched = DoubleFeeds(one_d_space, rng, max_resource=R, searcher=RandomSearcher())
+        checker = ContractChecker(sched)
+        job = checker.next_job()
+        with pytest.raises(ContractViolation, match="2 times"):
+            checker.report(job, 0.5)
+
+    def test_suggest_after_exhaustion_detected(self, one_d_space, rng):
+        class ExhaustedButWilling(RandomSearcher):
+            def is_done(self):  # claims exhaustion yet still answers suggest()
+                return True
+
+        class IgnoresExhaustion(RandomSearch):
+            def next_job(self):  # skips the searcher_exhausted() guard
+                config, origin = self.propose_config()
+                trial = self.new_trial(config, origin=origin)
+                return self.make_job(trial, self.max_resource)
+
+        sched = IgnoresExhaustion(
+            one_d_space, rng, max_resource=R, searcher=ExhaustedButWilling()
+        )
+        checker = ContractChecker(sched)
+        with pytest.raises(ContractViolation, match="exhausted"):
+            checker.next_job()
+
+    def test_grid_searcher_exhaustion_respected_end_to_end(self, one_d_space, rng):
+        checker = ContractChecker(
+            RandomSearch(
+                one_d_space,
+                rng,
+                max_resource=R,
+                searcher=GridSearcher(points_per_dim=2, shuffle=False),
+            )
+        )
+        for _ in range(2):
+            checker.report(checker.next_job(), 0.5)
+        assert checker.next_job() is None  # guard holds; no suggest() issued
+        assert checker.is_done()
+
+    def test_compliant_scheduler_passes(self, one_d_space, rng):
+        checker = ContractChecker(
+            RandomSearch(one_d_space, rng, max_resource=R, searcher=RandomSearcher())
+        )
+        for _ in range(5):
+            checker.report(checker.next_job(), 0.5)
+
+
 FACTORIES = {
     "asha": lambda s, rng: ASHA(s, rng, min_resource=1.0, max_resource=R, eta=4),
     "sha": lambda s, rng: SynchronousSHA(
@@ -64,6 +130,35 @@ FACTORIES = {
     "random": lambda s, rng: RandomSearch(s, rng, max_resource=R),
     "grid": lambda s, rng: GridSearch(s, rng, max_resource=R, points_per_dim=8),
     "pbt": lambda s, rng: PBT(s, rng, max_resource=R, interval=4.0, population_size=5),
+    # Scheduler x searcher combinations: the protocol audit now also covers
+    # exactly-once on_result forwarding and the exhaustion guard.
+    "asha+kde": lambda s, rng: ASHA(
+        s, rng, min_resource=1.0, max_resource=R, eta=4, searcher=KDESearcher()
+    ),
+    "asha+gp": lambda s, rng: ASHA(
+        s,
+        rng,
+        min_resource=1.0,
+        max_resource=R,
+        eta=4,
+        searcher=GPEISearcher(num_init=6, num_candidates=32),
+    ),
+    "sha+kde": lambda s, rng: SynchronousSHA(
+        s,
+        rng,
+        n=16,
+        min_resource=1.0,
+        max_resource=R,
+        eta=4,
+        grow_brackets=True,
+        searcher=KDESearcher(),
+    ),
+    "asha+grid": lambda s, rng: ASHA(
+        s, rng, min_resource=1.0, max_resource=R, eta=4, searcher=GridSearcher(points_per_dim=6)
+    ),
+    "random+gp": lambda s, rng: RandomSearch(
+        s, rng, max_resource=R, searcher=GPEISearcher(num_init=6, num_candidates=32)
+    ),
 }
 
 

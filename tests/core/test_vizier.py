@@ -34,17 +34,17 @@ def test_loss_cap_applied(one_d_space, rng):
     vz = make_vizier(one_d_space, rng, loss_cap=10.0)
     job = vz.next_job()
     vz.report(job, 1e9)
-    assert vz._y[-1] == 10.0
+    assert vz.searcher.observed_losses[-1] == 10.0
     job = vz.next_job()
     vz.report(job, float("inf"))
-    assert vz._y[-1] == 10.0
+    assert vz.searcher.observed_losses[-1] == 10.0
 
 
 def test_nonfinite_without_cap_clamped(one_d_space, rng):
     vz = make_vizier(one_d_space, rng)
     job = vz.next_job()
     vz.report(job, float("nan"))
-    assert np.isfinite(vz._y[-1])
+    assert np.isfinite(vz.searcher.observed_losses[-1])
 
 
 def test_model_improves_over_random(rng):
@@ -72,9 +72,10 @@ def test_constant_liar_diversifies_batch(rng):
 def test_failed_job_forgotten(one_d_space, rng):
     vz = make_vizier(one_d_space, rng)
     job = vz.next_job()
+    assert vz.searcher.num_pending == 1
     vz.on_job_failed(job)
-    assert job.trial_id not in vz._pending
-    assert len(vz._y) == 0
+    assert vz.searcher.num_pending == 0
+    assert vz.searcher.num_observations == 0
 
 
 def test_max_trials_done(one_d_space, rng, toy_obj):

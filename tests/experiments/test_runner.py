@@ -23,6 +23,8 @@ def test_standard_methods_names():
         "Hyperband",
         "PBT",
         "ASHA",
+        "ASHA (KDE)",
+        "ASHA (GP)",
         "Hyperband (async)",
         "BOHB",
     }

@@ -1,0 +1,66 @@
+"""Tests for GPEISearcher: warm-up, EI proposals, pending bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Trial
+from repro.searchers import ORIGIN_MODEL, ORIGIN_RANDOM, GPEISearcher
+
+
+def run_warmup(searcher, rng, n):
+    """Suggest + report n trials with loss == quality; returns the trials."""
+    trials = []
+    for i in range(n):
+        config = searcher.suggest(rng)
+        trial = Trial(trial_id=i, config=config)
+        searcher.on_result(trial, 9.0, config["quality"])
+        trials.append(trial)
+    return trials
+
+
+def test_random_warmup_then_model(one_d_space, rng):
+    searcher = GPEISearcher(num_init=4, num_candidates=32).setup(one_d_space)
+    run_warmup(searcher, rng, 4)
+    assert searcher.origin == ORIGIN_RANDOM
+    searcher.suggest(rng)
+    assert searcher.origin == ORIGIN_MODEL
+    assert searcher.num_observations == 4
+
+
+def test_pending_pool_tracks_unreported_proposals(one_d_space, rng):
+    searcher = GPEISearcher(num_init=2).setup(one_d_space)
+    configs = [searcher.suggest(rng) for _ in range(3)]
+    assert searcher.num_pending == 3
+    trial = Trial(trial_id=0, config=configs[0])
+    searcher.on_result(trial, 9.0, 0.5)
+    assert searcher.num_pending == 2
+    # A dropped trial's pending entry is forgotten too.
+    searcher.on_trial_error(Trial(trial_id=1, config=configs[1]))
+    assert searcher.num_pending == 1
+
+
+def test_highest_fidelity_observation_wins(one_d_space, rng):
+    """Re-reports at higher resource overwrite; stale low-fidelity ones don't."""
+    searcher = GPEISearcher(num_init=2).setup(one_d_space)
+    config = searcher.suggest(rng)
+    trial = Trial(trial_id=0, config=config)
+    searcher.on_result(trial, 1.0, 0.9)
+    searcher.on_result(trial, 4.0, 0.5, rung=1)
+    assert searcher.observed_losses == [0.5]
+    searcher.on_result(trial, 2.0, 0.7)  # stale: lower resource
+    assert searcher.observed_losses == [0.5]
+    assert searcher.num_observations == 1
+
+
+def test_ei_concentrates_near_optimum(one_d_space):
+    rng = np.random.default_rng(11)
+    searcher = GPEISearcher(num_init=8, num_candidates=128, refit_every=1).setup(one_d_space)
+    run_warmup(searcher, rng, 8)
+    proposals = []
+    for i in range(12):
+        config = searcher.suggest(rng)
+        proposals.append(config["quality"])
+        searcher.on_result(Trial(trial_id=100 + i, config=config), 9.0, config["quality"])
+    assert min(proposals) < 0.1
+    assert np.mean(proposals) < 0.4

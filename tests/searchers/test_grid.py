@@ -1,0 +1,70 @@
+"""Tests for GridSearcher: exhaustion, coverage, shuffling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ASHA, RandomSearch
+from repro.searchers import ORIGIN_GRID, GridSearcher, SearcherError
+
+
+def drain(searcher, rng):
+    configs = []
+    while not searcher.is_done():
+        configs.append(searcher.suggest(rng))
+    return configs
+
+
+def test_visits_every_point_once(mixed_space, rng):
+    searcher = GridSearcher(points_per_dim=3).setup(mixed_space)
+    configs = drain(searcher, rng)
+    assert len(configs) == searcher.grid_size
+    keys = {tuple(sorted(c.items())) for c in configs}
+    assert len(keys) == len(configs)  # no duplicates
+    assert searcher.origin == ORIGIN_GRID
+
+
+def test_suggest_after_exhaustion_rejected(one_d_space, rng):
+    searcher = GridSearcher(points_per_dim=2).setup(one_d_space)
+    drain(searcher, rng)
+    with pytest.raises(SearcherError):
+        searcher.suggest(rng)
+
+
+def test_shuffle_draws_from_scheduler_rng(one_d_space):
+    ordered = GridSearcher(points_per_dim=5, shuffle=False).setup(one_d_space)
+    shuffled = GridSearcher(points_per_dim=5, shuffle=True).setup(one_d_space)
+    a = drain(ordered, np.random.default_rng(3))
+    b = drain(shuffled, np.random.default_rng(3))
+    assert sorted(c["quality"] for c in a) == sorted(c["quality"] for c in b)
+    assert a != b  # the permutation actually reorders a 5-point grid
+
+
+def test_random_search_plus_grid_terminates(one_d_space, rng, toy_obj):
+    """RandomSearch + GridSearcher == classic grid search, and it finishes."""
+    from repro.backend import SimulatedCluster
+
+    sched = RandomSearch(
+        one_d_space, rng, max_resource=9.0, searcher=GridSearcher(points_per_dim=4)
+    )
+    result = SimulatedCluster(2, seed=0).run(sched, toy_obj, time_limit=1e6)
+    assert sched.is_done()
+    assert result.jobs_dispatched == 4
+    assert sched.num_trials == 4
+
+
+def test_asha_plus_grid_stops_growing_but_finishes_promotions(one_d_space, rng, toy_obj):
+    from repro.backend import SimulatedCluster
+
+    sched = ASHA(
+        one_d_space,
+        rng,
+        min_resource=1.0,
+        max_resource=9.0,
+        eta=3,
+        searcher=GridSearcher(points_per_dim=9),
+    )
+    SimulatedCluster(2, seed=0).run(sched, toy_obj, time_limit=1e6)
+    assert sched.is_done()
+    assert sched.num_trials == 9  # every grid point entered the base rung

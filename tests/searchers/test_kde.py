@@ -1,0 +1,54 @@
+"""Tests for KDESearcher: per-rung model bank + highest-ready-rung rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Trial
+from repro.searchers import ORIGIN_MODEL, ORIGIN_RANDOM, KDESearcher
+
+
+def feed(searcher, space, rng, n, rung=0):
+    """Observe n (config, loss) pairs with loss == quality."""
+    for i in range(n):
+        config = space.sample(rng)
+        trial = Trial(trial_id=1000 * rung + i, config=config)
+        searcher.on_result(trial, 1.0, config["quality"], rung=rung)
+
+
+def test_uniform_until_model_ready(one_d_space, rng):
+    searcher = KDESearcher().setup(one_d_space)
+    searcher.suggest(rng)
+    assert searcher.origin == ORIGIN_RANDOM
+    feed(searcher, one_d_space, rng, 2)
+    searcher.suggest(rng)
+    assert searcher.origin == ORIGIN_RANDOM  # 2 points < min needed
+
+
+def test_model_kicks_in_with_observations(one_d_space, rng):
+    searcher = KDESearcher(random_fraction=0.0).setup(one_d_space)
+    feed(searcher, one_d_space, rng, 30)
+    searcher.suggest(rng)
+    assert searcher.origin == ORIGIN_MODEL
+    assert searcher.num_observations(0) == 30
+
+
+def test_highest_ready_rung_wins(one_d_space, rng):
+    """With rung 1 ready, proposals come from its model, not rung 0's."""
+    searcher = KDESearcher(random_fraction=0.0).setup(one_d_space)
+    feed(searcher, one_d_space, rng, 30, rung=0)
+    feed(searcher, one_d_space, rng, 30, rung=1)
+    before = searcher.models[1].last_proposal_was_model
+    searcher.suggest(rng)
+    assert searcher.models[1].last_proposal_was_model
+    assert searcher.origin == ORIGIN_MODEL
+    del before
+
+
+def test_model_concentrates_on_good_region(one_d_space):
+    """Loss == quality, so proposals should skew far below the uniform mean."""
+    rng = np.random.default_rng(7)
+    searcher = KDESearcher(random_fraction=0.0).setup(one_d_space)
+    feed(searcher, one_d_space, rng, 60)
+    proposals = [searcher.suggest(rng)["quality"] for _ in range(30)]
+    assert np.mean(proposals) < 0.35

@@ -58,10 +58,139 @@ def test_asha_finds_the_optimum():
 
 
 def test_unknown_names_rejected():
-    with pytest.raises(KeyError):
+    with pytest.raises(KeyError) as excinfo:
         tune(quadratic_train, SPACE, max_resource=16.0, scheduler="magic")
+    # The error lists both axes of choice.
+    assert "scheduler options" in str(excinfo.value)
+    assert "searcher options" in str(excinfo.value)
     with pytest.raises(KeyError):
         tune(quadratic_train, SPACE, max_resource=16.0, backend="quantum")
+    with pytest.raises(KeyError):
+        tune(quadratic_train, SPACE, max_resource=16.0, searcher="magic")
+
+
+def test_vizier_aliases_gp():
+    from repro.core import VizierGP
+
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="vizier",
+        scheduler_kwargs={"max_trials": 8},
+        time_limit=1e6,
+    )
+    assert isinstance(result.scheduler, VizierGP)
+    assert result.num_trials == 8
+
+
+def test_prebuilt_scheduler_instance_accepted():
+    import numpy as np
+
+    from repro.core import RandomSearch
+
+    sched = RandomSearch(SPACE, np.random.default_rng(3), max_resource=16.0, max_trials=6)
+    result = tune(quadratic_train, SPACE, max_resource=16.0, scheduler=sched, time_limit=1e6)
+    assert result.scheduler is sched
+    assert result.num_trials == 6
+
+
+def test_prebuilt_scheduler_rejects_extra_config():
+    import numpy as np
+
+    from repro.core import RandomSearch
+
+    sched = RandomSearch(SPACE, np.random.default_rng(3), max_resource=16.0, max_trials=6)
+    with pytest.raises(ValueError):
+        tune(
+            quadratic_train,
+            SPACE,
+            max_resource=16.0,
+            scheduler=sched,
+            scheduler_kwargs={"max_trials": 2},
+        )
+    with pytest.raises(ValueError):
+        tune(quadratic_train, SPACE, max_resource=16.0, scheduler=sched, searcher="kde")
+
+
+@pytest.mark.parametrize("searcher", ["random", "kde", "gp", "grid"])
+@pytest.mark.parametrize("scheduler", ["asha", "sha", "random"])
+def test_scheduler_searcher_combinations_run(scheduler, searcher):
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler=scheduler,
+        searcher=searcher,
+        searcher_kwargs={"num_init": 4, "num_candidates": 16} if searcher == "gp" else None,
+        num_workers=2,
+        time_limit=1500.0,
+        seed=2,
+    )
+    assert result.best_config is not None
+    assert result.num_trials > 0
+
+
+def test_searcher_on_threads_backend():
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="asha",
+        searcher="kde",
+        backend="threads",
+        num_workers=2,
+        time_limit=5.0,
+        scheduler_kwargs={"max_trials": 20},
+    )
+    assert result.best_loss is not None
+
+
+def test_bohb_rejects_searcher():
+    with pytest.raises(ValueError, match="owns its own sampling"):
+        tune(quadratic_train, SPACE, max_resource=16.0, scheduler="bohb", searcher="kde")
+
+
+def test_origin_telemetry_and_model_hit_rate():
+    """Explicit searchers stamp proposal origins; metrics derive the hit rate."""
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="asha",
+        searcher="kde",
+        searcher_kwargs={"random_fraction": 0.1},
+        num_workers=2,
+        time_limit=4000.0,
+        seed=3,
+        telemetry=True,
+    )
+    report = result.backend_result.telemetry
+    tagged = {k: v for k, v in report.counters.items() if k.startswith("proposals.")}
+    assert sum(tagged.values()) == result.num_trials
+    assert "proposals.random_fallback" in tagged  # warm-up is always random
+    hit_rate = report.model_hit_rate()
+    assert 0.0 <= hit_rate <= 1.0
+    if "proposals.model_based" in tagged:
+        assert hit_rate > 0.0
+
+
+def test_default_paths_emit_no_origin():
+    """Legacy/default schedulers keep their telemetry streams origin-free."""
+    result = tune(
+        quadratic_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="bohb",
+        num_workers=2,
+        time_limit=1000.0,
+        telemetry=True,
+    )
+    report = result.backend_result.telemetry
+    assert not any(k.startswith("proposals.") for k in report.counters)
+    import math
+
+    assert math.isnan(report.model_hit_rate())
 
 
 def test_threads_backend():
