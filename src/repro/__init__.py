@@ -27,7 +27,12 @@ from . import (
     searchspace,
     telemetry,
 )
-from .backend import SimulatedCluster, ThreadPoolBackend
+from .backend import (
+    FailureInjectingObjective,
+    RetryPolicy,
+    SimulatedCluster,
+    ThreadPoolBackend,
+)
 from .core import (
     ASHA,
     BOHB,
@@ -67,6 +72,7 @@ __all__ = [
     "Choice",
     "DoublingSHA",
     "Fabolas",
+    "FailureInjectingObjective",
     "FunctionObjective",
     "GPEISearcher",
     "GridSearch",
@@ -80,6 +86,7 @@ __all__ = [
     "QUniform",
     "RandomSearch",
     "RandomSearcher",
+    "RetryPolicy",
     "SEARCHERS",
     "Scheduler",
     "SearchSpace",

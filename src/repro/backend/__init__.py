@@ -1,15 +1,22 @@
-"""Execution substrates: simulated cluster, real thread pool, checkpoints."""
+"""Execution substrates: simulated cluster, real thread pool, checkpoints,
+and the fault-tolerance layer shared by both backends."""
 
 from .checkpoint import CheckpointStore
 from .events import EventQueue, SimEvent
+from .faults import FailureInjectingObjective, FaultManager, InjectedFailure, RetryPolicy
 from .simulation import SimulatedCluster
 from .threaded import ThreadPoolBackend
-from .trial_runner import BackendResult
+from .trial_runner import BackendResult, FailureRecord
 
 __all__ = [
     "BackendResult",
     "CheckpointStore",
     "EventQueue",
+    "FailureInjectingObjective",
+    "FailureRecord",
+    "FaultManager",
+    "InjectedFailure",
+    "RetryPolicy",
     "SimEvent",
     "SimulatedCluster",
     "ThreadPoolBackend",

@@ -126,18 +126,18 @@ class CheckpointStore:
         self.put(job.trial_id, job.resource, state)
         return loss
 
-    def job_cost(self, job: Job, objective: Objective) -> float:
-        """Simulated duration of a job under the objective's cost model."""
+    def start_resource(self, job: Job) -> float:
+        """The resource a job's training would begin from right now."""
         if job.inherit_from is not None:
             if job.job_id in self._snapshots:
-                start = self._snapshots[job.job_id][0]
-            elif job.inherit_from in self._store:
-                start = self._store[job.inherit_from][0]
-            else:
-                start = job.checkpoint_resource
-        else:
-            start = job.checkpoint_resource
-        return objective.cost(job.config, start, job.resource)
+                return self._snapshots[job.job_id][0]
+            if job.inherit_from in self._store:
+                return self._store[job.inherit_from][0]
+        return job.checkpoint_resource
+
+    def job_cost(self, job: Job, objective: Objective) -> float:
+        """Simulated duration of a job under the objective's cost model."""
+        return objective.cost(job.config, self.start_resource(job), job.resource)
 
     def discard(self, job: Job) -> None:
         """Drop any dispatch snapshot for a job that will never complete."""

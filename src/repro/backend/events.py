@@ -54,6 +54,22 @@ class EventQueue:
         """Time of the next event, or ``None`` if the queue is empty."""
         return self._heap[0].time if self._heap else None
 
+    def peek(self) -> SimEvent | None:
+        """The next event without delivering it, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def discard_next(self) -> None:
+        """Drop the next event WITHOUT advancing the clock.
+
+        For events known to be inert — e.g. a completion scheduled by a
+        dispatch that was since killed — so that dead events neither stall
+        the clock at their (possibly far-future) timestamps nor make the
+        queue look like it still holds pending work.
+        """
+        if not self._heap:
+            raise IndexError("discard from empty EventQueue")
+        heapq.heappop(self._heap)
+
     def __len__(self) -> int:
         return len(self._heap)
 

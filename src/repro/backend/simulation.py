@@ -13,7 +13,12 @@ simulator models:
 * **dropped jobs**: "a given p probability that a job will be dropped at
   each time unit", i.e. geometric drop times; a job of duration T survives
   with probability ``(1 - p)**T``;
-* **checkpointed resume** through :class:`~repro.backend.checkpoint.CheckpointStore`.
+* **checkpointed resume** through :class:`~repro.backend.checkpoint.CheckpointStore`;
+* **fault tolerance** (opt-in): pass a
+  :class:`~repro.backend.faults.RetryPolicy` to :meth:`SimulatedCluster.run`
+  and failed jobs are re-dispatched with exponential backoff, jobs running
+  past ``timeout_factor x`` their nominal cost are killed and retried, and
+  trials that keep failing are quarantined instead of poisoning the search.
 
 A worker that receives no job stays idle and is re-polled after the next
 event — synchronous schedulers therefore waste exactly the worker-time their
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 
 import numpy as np
 
@@ -33,7 +39,8 @@ from ..objectives.base import Objective
 from ..telemetry import EventKind, TelemetryHub
 from .checkpoint import CheckpointStore
 from .events import EventQueue
-from .trial_runner import BackendResult, record_report
+from .faults import FaultManager, RetryPolicy
+from .trial_runner import BackendResult, FailureRecord, record_report
 
 __all__ = ["SimulatedCluster"]
 
@@ -100,6 +107,7 @@ class SimulatedCluster:
         max_measurements: int | None = None,
         stop_on_first_completion: bool = False,
         telemetry: TelemetryHub | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> BackendResult:
         """Drive ``scheduler`` against ``objective`` until the clock runs out.
 
@@ -123,6 +131,21 @@ class SimulatedCluster:
             :class:`~repro.telemetry.MetricsReport` lands on
             :attr:`BackendResult.telemetry`.  Event timestamps are purely
             simulation-driven, so seeded runs emit identical streams.
+        retry_policy:
+            Optional :class:`~repro.backend.faults.RetryPolicy`.  Without
+            one, every failure is forfeited to the scheduler exactly as
+            before (``on_job_failed``) and the telemetry stream is untouched.
+            With one, a failed job (drop, churn, timeout, or training crash)
+            is re-dispatched verbatim after its backoff — the scheduler sees
+            ``on_job_requeued`` and the job stays in flight — until the
+            trial's consecutive-failure count reaches
+            ``retry_policy.max_attempts``, at which point the trial is
+            quarantined via ``on_trial_abandoned``.  When
+            ``retry_policy.timeout_factor`` is set, each dispatch also gets a
+            deadline of ``timeout_factor x`` the objective's *nominal* cost
+            for the increment; jobs running past it (stragglers, injected
+            hangs) are killed, the worker is freed, and the failure is
+            retry-eligible like any other.
         """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
@@ -142,62 +165,225 @@ class SimulatedCluster:
         next_worker_id = self.num_workers
         worker_of_job: dict[int, int] = {}
         busy_time = 0.0
-        # In-flight jobs (for churn victims) and jobs whose scheduled
-        # completion/drop event must be ignored because churn killed them.
+        # In-flight jobs plus per-dispatch bookkeeping.  ``generation``
+        # counts dispatches of the same job id (a retried job is re-issued
+        # verbatim), so completion/drop/timeout events scheduled for an
+        # attempt that was since killed are recognised as stale and ignored.
         in_flight: dict[int, Job] = {}
-        cancelled: set[int] = set()
+        generation: dict[int, int] = {}
+        dispatched_at: dict[int, float] = {}
+        credited: dict[int, float] = {}
+        faults = FaultManager(retry_policy) if retry_policy is not None else None
+        # Duck-typed objectives in tests may not subclass Objective.
+        nominal_cost = getattr(objective, "nominal_cost", objective.cost)
+        pending_retries: deque[tuple[Job, int]] = deque()
 
         def schedule_churn() -> None:
             if self.churn_rate > 0:
                 gap = float(self.rng.exponential(1.0 / self.churn_rate))
                 queue.push(queue.clock + gap, "churn", None)
 
-        def try_fill() -> int:
+        def launch(job: Job, worker: int, attempt: int) -> None:
             nonlocal busy_time
+            gen = generation.get(job.job_id, 0) + 1
+            generation[job.job_id] = gen
+            in_flight[job.job_id] = job
+            worker_of_job[job.job_id] = worker
+            store.prepare(job)  # snapshot donor state for inheriting jobs
+            duration = self._duration(store.job_cost(job, objective))
+            drop_at = self._drop_time(duration)
+            # Busy time is credited optimistically at dispatch (capped at the
+            # remaining budget); kills and early exits roll back the unspent
+            # part below.
+            credit = min(drop_at if drop_at is not None else duration,
+                         max(time_limit - queue.clock, 0.0))
+            busy_time += credit
+            dispatched_at[job.job_id] = queue.clock
+            credited[job.job_id] = credit
+            if drop_at is not None:
+                queue.push(queue.clock + drop_at, "drop", (job, gen))
+            else:
+                queue.push(queue.clock + duration, "complete", (job, gen))
+            if faults is not None and retry_policy is not None:
+                deadline = retry_policy.sim_deadline(
+                    nominal_cost(job.config, store.start_resource(job), job.resource)
+                )
+                if deadline is not None:
+                    queue.push(queue.clock + deadline, "timeout", (job, gen))
+            if hub:
+                extra = {"attempt": attempt} if attempt > 1 else {}
+                hub.emit(
+                    EventKind.JOB_STARTED,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    worker_id=worker,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    resource=job.resource,
+                    checkpoint_resource=job.checkpoint_resource,
+                    busy_credit=credit,
+                    **extra,
+                )
+
+        def try_fill() -> int:
             filled = 0
             starved = False
-            while free_ids and not scheduler.is_done():
-                job = scheduler.next_job()
-                if job is None:
-                    starved = True
+            while free_ids:
+                if pending_retries:
+                    job, attempt = pending_retries.popleft()
+                elif scheduler.is_done():
                     break
+                else:
+                    job = scheduler.next_job()
+                    if job is None:
+                        starved = True
+                        break
+                    attempt = 1 if faults is None else faults.attempt_number(job)
                 worker = heapq.heappop(free_ids)
                 filled += 1
                 result.jobs_dispatched += 1
-                in_flight[job.job_id] = job
-                worker_of_job[job.job_id] = worker
-                store.prepare(job)  # snapshot donor state for inheriting jobs
-                duration = self._duration(store.job_cost(job, objective))
-                drop_at = self._drop_time(duration)
-                credit = min(drop_at if drop_at is not None else duration,
-                             max(time_limit - queue.clock, 0.0))
-                busy_time += credit
-                if drop_at is not None:
-                    queue.push(queue.clock + drop_at, "drop", job)
-                else:
-                    queue.push(queue.clock + duration, "complete", job)
+                launch(job, worker, attempt)
+            if hub and starved and free_ids:
+                hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
+            return filled
+
+        def kill(job: Job) -> tuple[int | None, float, float]:
+            """Tear down an in-flight dispatch killed before finishing.
+
+            Returns ``(worker, lost, correction)``: the worker id that held
+            the job, the busy time the attempt really consumed, and the
+            non-positive adjustment undoing the credit granted at dispatch
+            (killed jobs used to stay credited for their full duration,
+            inflating utilisation).
+            """
+            nonlocal busy_time
+            in_flight.pop(job.job_id, None)
+            worker = worker_of_job.pop(job.job_id, None)
+            started = dispatched_at.pop(job.job_id, queue.clock)
+            credit = credited.pop(job.job_id, 0.0)
+            lost = min(max(queue.clock - started, 0.0), credit)
+            correction = lost - credit
+            busy_time += correction
+            store.discard(job)
+            return worker, lost, correction
+
+        def handle_failure(
+            job: Job,
+            worker: int | None,
+            *,
+            reason: str,
+            lost: float,
+            correction: float = 0.0,
+            error: str | None = None,
+        ) -> None:
+            """Route one failed attempt: forfeit, retry, or abandon."""
+            result.failures.append((queue.clock, job.trial_id))
+            result.time_lost_to_failures += lost
+            kind = EventKind.JOB_TIMEOUT if reason == "timeout" else EventKind.JOB_FAILED
+            extra: dict[str, object] = {}
+            if error is not None:
+                extra["error"] = error
+            if correction:
+                extra["busy_correction"] = correction
+            if faults is None:
+                scheduler.on_job_failed(job)
+                result.failure_log.append(
+                    FailureRecord(
+                        time=queue.clock,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        reason=reason,
+                        action="forfeited",
+                        error=error,
+                        lost=lost,
+                    )
+                )
                 if hub:
                     hub.emit(
-                        EventKind.JOB_STARTED,
+                        kind,
                         trial_id=job.trial_id,
                         job_id=job.job_id,
                         worker_id=worker,
                         rung=job.rung,
                         bracket=job.bracket,
-                        resource=job.resource,
-                        checkpoint_resource=job.checkpoint_resource,
-                        busy_credit=credit,
+                        reason=reason,
+                        **extra,
                     )
-            if hub and starved and free_ids:
-                hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
-            return filled
+                return
+            decision = faults.record_failure(job, reason=reason, lost=lost)
+            result.failure_log.append(
+                FailureRecord(
+                    time=queue.clock,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    reason=reason,
+                    action="retried" if decision.retry else "abandoned",
+                    attempt=decision.failures,
+                    error=error,
+                    lost=lost,
+                )
+            )
+            if hub:
+                hub.emit(
+                    kind,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    worker_id=worker,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    reason=reason,
+                    attempt=decision.failures,
+                    lost=lost,
+                    **extra,
+                )
+            if decision.retry:
+                result.jobs_retried += 1
+                scheduler.on_job_requeued(job)
+                retry_at = queue.clock + decision.delay
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_RETRIED,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        attempt=decision.failures + 1,
+                        delay=decision.delay,
+                        retry_at=retry_at,
+                    )
+                queue.push(retry_at, "retry", (job, decision.failures + 1))
+            else:
+                result.trials_abandoned += 1
+                scheduler.on_trial_abandoned(job)
+                if hub:
+                    hub.emit(
+                        EventKind.TRIAL_ABANDONED,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        failures=decision.failures,
+                        reason=reason,
+                    )
 
         hub.set_time(0.0)
         try_fill()
         schedule_churn()
+        budget_exhausted = False
         while queue:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > time_limit:
+            head = queue.peek()
+            assert head is not None
+            if head.kind in ("complete", "drop", "timeout"):
+                job, gen = head.payload
+                if generation.get(job.job_id) != gen or job.job_id not in in_flight:
+                    # The dispatch this event belonged to was churned or
+                    # timed out: the event is dead.  Discard it without
+                    # advancing the clock so a far-future stale completion
+                    # neither extends the run nor counts as pending work.
+                    queue.discard_next()
+                    continue
+            if head.time > time_limit:
+                budget_exhausted = True
                 break
             event = queue.pop()
             hub.set_time(queue.clock)
@@ -205,22 +391,11 @@ class SimulatedCluster:
                 if in_flight:
                     # Kill a random busy worker: its job fails.
                     victim_id = list(in_flight)[self.rng.integers(len(in_flight))]
-                    victim = in_flight.pop(victim_id)
-                    cancelled.add(victim_id)
-                    worker = worker_of_job.pop(victim_id, None)  # id retires with the worker
-                    store.discard(victim)
-                    scheduler.on_job_failed(victim)
-                    result.failures.append((queue.clock, victim.trial_id))
-                    if hub:
-                        hub.emit(
-                            EventKind.JOB_FAILED,
-                            trial_id=victim.trial_id,
-                            job_id=victim.job_id,
-                            worker_id=worker,
-                            rung=victim.rung,
-                            bracket=victim.bracket,
-                            reason="churn",
-                        )
+                    victim = in_flight[victim_id]
+                    worker, lost, correction = kill(victim)  # id retires with the worker
+                    handle_failure(
+                        victim, worker, reason="churn", lost=lost, correction=correction
+                    )
                 elif free_ids:
                     heapq.heappop(free_ids)  # an idle worker goes away instead
                 queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
@@ -232,51 +407,69 @@ class SimulatedCluster:
                 next_worker_id += 1
                 try_fill()
                 continue
-            job: Job = event.payload
-            if job.job_id in cancelled:
-                cancelled.discard(job.job_id)
-                continue  # the worker already churned away; no worker frees
-            in_flight.pop(job.job_id, None)
-            worker = worker_of_job.pop(job.job_id, None)
-            if worker is not None:
-                heapq.heappush(free_ids, worker)
-            if event.kind == "complete":
-                loss = store.run_job(job, objective)
-                record_report(result, scheduler, job, loss, queue.clock, done_resource)
-                if hub:
-                    hub.emit(
-                        EventKind.REPORT,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        worker_id=worker,
-                        rung=job.rung,
-                        bracket=job.bracket,
-                        loss=loss,
-                        resource=job.resource,
-                    )
-            else:  # drop
-                store.discard(job)
-                scheduler.on_job_failed(job)
-                result.failures.append((queue.clock, job.trial_id))
-                if hub:
-                    hub.emit(
-                        EventKind.JOB_FAILED,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        worker_id=worker,
-                        rung=job.rung,
-                        bracket=job.bracket,
-                        reason="dropped",
-                    )
+            if event.kind == "retry":
+                job, attempt = event.payload
+                pending_retries.append((job, attempt))
+                try_fill()
+                continue
+            job, gen = event.payload  # liveness guaranteed by the head check
+            if event.kind == "timeout":
+                worker, lost, correction = kill(job)
+                if worker is not None:
+                    heapq.heappush(free_ids, worker)
+                handle_failure(
+                    job, worker, reason="timeout", lost=lost, correction=correction
+                )
+            else:
+                in_flight.pop(job.job_id, None)
+                worker = worker_of_job.pop(job.job_id, None)
+                dispatched_at.pop(job.job_id, None)
+                credit = credited.pop(job.job_id, 0.0)
+                if worker is not None:
+                    heapq.heappush(free_ids, worker)
+                if event.kind == "complete":
+                    try:
+                        loss = store.run_job(job, objective)
+                    except Exception as exc:  # noqa: BLE001 — training crashed
+                        store.discard(job)
+                        handle_failure(
+                            job, worker, reason="exception", lost=credit, error=repr(exc)
+                        )
+                    else:
+                        if faults is not None:
+                            faults.record_success(job)
+                        record_report(result, scheduler, job, loss, queue.clock, done_resource)
+                        if hub:
+                            hub.emit(
+                                EventKind.REPORT,
+                                trial_id=job.trial_id,
+                                job_id=job.job_id,
+                                worker_id=worker,
+                                rung=job.rung,
+                                bracket=job.bracket,
+                                loss=loss,
+                                resource=job.resource,
+                            )
+                else:  # drop
+                    store.discard(job)
+                    handle_failure(job, worker, reason="dropped", lost=credit)
             if max_measurements is not None and len(result.measurements) >= max_measurements:
                 break
             if stop_on_first_completion and result.completions:
                 break
             try_fill()
 
-        # If we stopped because the next event lies beyond the budget, the
-        # search consumed the whole budget; otherwise it drained early.
-        result.elapsed = time_limit if queue else min(queue.clock, time_limit)
+        # Only a break on an over-budget event means the search consumed the
+        # whole budget; draining the queue or stopping early (measurement cap,
+        # first completion) ends the run at the current clock.
+        result.elapsed = time_limit if budget_exhausted else min(queue.clock, time_limit)
+        # Jobs still in flight at the end only worked until the stop clock —
+        # roll back the optimistically-credited remainder (a no-op when the
+        # budget ran out, since credits were already capped at time_limit).
+        for job_id, started in dispatched_at.items():
+            credit = credited[job_id]
+            worked = min(max(result.elapsed - started, 0.0), credit)
+            busy_time += worked - credit
         horizon = max(result.elapsed, 1e-12)
         result.utilization = min(busy_time / (self.num_workers * horizon), 1.0)
         if hub:

@@ -8,6 +8,16 @@ like ASHA's single-master design, where ``get_job`` runs on the master and
 only training is distributed), execute ``objective.train`` without the lock,
 and report results back under the lock.
 
+Fault tolerance mirrors the simulator: pass a
+:class:`~repro.backend.faults.RetryPolicy` to :meth:`ThreadPoolBackend.run`
+and crashed jobs are re-queued with wall-clock backoff until their trial's
+retry budget runs out, and a watchdog thread enforces
+``RetryPolicy.timeout`` (wall-clock seconds) on in-flight jobs.  Python
+threads cannot be preempted, so a "killed" job's thread keeps running until
+its ``train`` call returns — but the scheduler is released immediately (the
+job is requeued or its trial abandoned) and the stale result is discarded
+when the thread finally comes back.
+
 Use it with :class:`repro.objectives.mlp_real.RealMLPObjective` or any other
 objective whose ``train`` does real work; numpy releases the GIL in its
 inner kernels, so training genuinely overlaps.
@@ -19,10 +29,12 @@ import threading
 import time as _time
 
 from ..core.scheduler import Scheduler
+from ..core.types import Job
 from ..objectives.base import Objective
 from ..telemetry import EventKind, TelemetryHub
 from .checkpoint import CheckpointStore
-from .trial_runner import BackendResult, record_report
+from .faults import FaultManager, RetryPolicy
+from .trial_runner import BackendResult, FailureRecord, record_report
 
 __all__ = ["ThreadPoolBackend"]
 
@@ -37,13 +49,26 @@ class ThreadPoolBackend:
     poll_interval:
         How long an idle worker sleeps before re-asking the scheduler
         (synchronous schedulers block workers at rung barriers).
+    shutdown_grace:
+        After the run's shared ``time_limit`` deadline passes and the stop
+        flag is raised, how many extra seconds to wait for straggler threads
+        before returning with them still running (they are daemons and hold
+        no locks at that point).
     """
 
-    def __init__(self, num_workers: int, poll_interval: float = 0.005):
+    def __init__(
+        self,
+        num_workers: int,
+        poll_interval: float = 0.005,
+        shutdown_grace: float = 5.0,
+    ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if shutdown_grace < 0:
+            raise ValueError(f"shutdown_grace must be >= 0, got {shutdown_grace}")
         self.num_workers = num_workers
         self.poll_interval = poll_interval
+        self.shutdown_grace = shutdown_grace
 
     def run(
         self,
@@ -54,6 +79,7 @@ class ThreadPoolBackend:
         max_resource: float | None = None,
         max_measurements: int | None = None,
         telemetry: TelemetryHub | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> BackendResult:
         """Drive ``scheduler`` with real threads until ``time_limit`` seconds.
 
@@ -62,6 +88,14 @@ class ThreadPoolBackend:
         the worker thread's index, so the collector can reconstruct the
         per-worker utilisation series the paper's Section 3.2 claims are
         stated in.
+
+        With a ``retry_policy``, a job whose ``train`` raises is re-queued
+        (``on_job_requeued``) after the policy's backoff and picked up by the
+        next free worker, until the trial's consecutive-failure count reaches
+        ``max_attempts`` and it is quarantined (``on_trial_abandoned``).
+        When ``retry_policy.timeout`` is set, a watchdog thread fails any job
+        in flight longer than that many wall-clock seconds; the timeout is
+        retry-eligible unless ``retry_timeouts=False``.
         """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
@@ -76,30 +110,176 @@ class ThreadPoolBackend:
         if telemetry is not None:
             scheduler.attach_telemetry(hub)
         store.telemetry = hub
+        faults = FaultManager(retry_policy) if retry_policy is not None else None
+        # Retries waiting out their backoff: (ready_at, job, attempt).
+        retry_queue: list[tuple[float, Job, int]] = []
+        # Dispatch tokens for in-flight jobs — a retried job reuses its job
+        # id, so the watchdog and the late-returning thread key on the
+        # (job_id, attempt) pair, not the id alone.
+        in_flight: dict[tuple[int, int], tuple[Job, float, int]] = {}
+        timed_out: set[tuple[int, int]] = set()
 
         def clock() -> float:
             return _time.monotonic() - start
+
+        def fail_job(
+            job: Job,
+            worker_id: int | None,
+            *,
+            reason: str,
+            lost: float,
+            t: float,
+            error: str | None = None,
+        ) -> None:
+            """Route one failed attempt (caller holds the lock)."""
+            result.failures.append((t, job.trial_id))
+            result.time_lost_to_failures += lost
+            kind = EventKind.JOB_TIMEOUT if reason == "timeout" else EventKind.JOB_FAILED
+            extra: dict[str, object] = {}
+            if error is not None:
+                extra["error"] = error
+            if hub:
+                hub.set_time(t)
+            if faults is None:
+                scheduler.on_job_failed(job)
+                result.failure_log.append(
+                    FailureRecord(
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        reason=reason,
+                        action="forfeited",
+                        error=error,
+                        lost=lost,
+                    )
+                )
+                if hub:
+                    hub.emit(
+                        kind,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        reason=reason,
+                        busy=lost,
+                        **extra,
+                    )
+                return
+            decision = faults.record_failure(job, reason=reason, lost=lost)
+            result.failure_log.append(
+                FailureRecord(
+                    time=t,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    reason=reason,
+                    action="retried" if decision.retry else "abandoned",
+                    attempt=decision.failures,
+                    error=error,
+                    lost=lost,
+                )
+            )
+            if hub:
+                hub.emit(
+                    kind,
+                    time=t,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    worker_id=worker_id,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    reason=reason,
+                    attempt=decision.failures,
+                    lost=lost,
+                    busy=lost,
+                    **extra,
+                )
+            if decision.retry:
+                result.jobs_retried += 1
+                scheduler.on_job_requeued(job)
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_RETRIED,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        attempt=decision.failures + 1,
+                        delay=decision.delay,
+                    )
+                retry_queue.append((t + decision.delay, job, decision.failures + 1))
+            else:
+                result.trials_abandoned += 1
+                scheduler.on_trial_abandoned(job)
+                if hub:
+                    hub.emit(
+                        EventKind.TRIAL_ABANDONED,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        failures=decision.failures,
+                        reason=reason,
+                    )
+
+        def pop_ready_retry(now: float) -> tuple[Job, int] | None:
+            """Take the first backoff-expired retry (caller holds the lock)."""
+            for i, (ready_at, job, attempt) in enumerate(retry_queue):
+                if ready_at <= now:
+                    retry_queue.pop(i)
+                    return job, attempt
+            return None
+
+        def watchdog() -> None:
+            """Fail jobs in flight past the policy's wall-clock timeout."""
+            assert retry_policy is not None and retry_policy.timeout is not None
+            while not stop.wait(min(self.poll_interval, retry_policy.timeout / 4)):
+                now = clock()
+                if now >= time_limit:
+                    return
+                with lock:
+                    for token, (job, t0, worker_id) in list(in_flight.items()):
+                        if now - t0 >= retry_policy.timeout:
+                            del in_flight[token]
+                            timed_out.add(token)
+                            fail_job(
+                                job, worker_id, reason="timeout", lost=now - t0, t=now
+                            )
 
         def worker(worker_id: int) -> None:
             was_idle = False
             while not stop.is_set() and clock() < time_limit:
                 with lock:
-                    if scheduler.is_done():
-                        return
                     if (
                         max_measurements is not None
                         and len(result.measurements) >= max_measurements
                     ):
                         stop.set()
                         return
-                    if hub:
-                        # The scheduler emits under the backend lock, so its
-                        # decision events interleave in dispatch order.
-                        hub.set_time(clock())
-                    job = scheduler.next_job()
+                    now = clock()
+                    ready = pop_ready_retry(now)
+                    if ready is not None:
+                        job, attempt = ready
+                    elif scheduler.is_done():
+                        if not retry_queue:
+                            return
+                        job = None  # retries pending but still backing off
+                        attempt = 1
+                    else:
+                        if hub:
+                            # The scheduler emits under the backend lock, so
+                            # its decision events interleave in dispatch order.
+                            hub.set_time(now)
+                        job = scheduler.next_job()
+                        attempt = 1 if faults is None or job is None else faults.attempt_number(job)
                     if job is not None:
                         result.jobs_dispatched += 1
                         store.prepare(job)  # donor snapshot under the lock
+                        token = (job.job_id, attempt)
+                        in_flight[token] = (job, clock(), worker_id)
                 if job is None:
                     if hub and not was_idle:
                         # Emit only on the busy -> idle transition, not every
@@ -111,6 +291,7 @@ class ThreadPoolBackend:
                 was_idle = False
                 t0 = clock()
                 if hub:
+                    extra = {"attempt": attempt} if attempt > 1 else {}
                     hub.emit(
                         EventKind.JOB_STARTED,
                         time=t0,
@@ -121,7 +302,9 @@ class ThreadPoolBackend:
                         bracket=job.bracket,
                         resource=job.resource,
                         checkpoint_resource=job.checkpoint_resource,
+                        **extra,
                     )
+                error: str | None = None
                 try:
                     # Real training happens outside the lock; the store method
                     # both trains and persists the checkpoint, so serialise the
@@ -129,29 +312,31 @@ class ThreadPoolBackend:
                     # by holding the lock only around the dict mutation.
                     from_resource, state = store.starting_state(job, objective)
                     state, loss = objective.train(state, job.config, from_resource, job.resource)
-                    failed = False
-                except Exception:
-                    failed = True
+                except Exception as exc:  # noqa: BLE001 — any training crash forfeits
+                    error = repr(exc)
                 t1 = clock()
                 with lock:
                     busy_time[0] += t1 - t0
-                    if failed:
+                    if token in timed_out:
+                        # The watchdog already failed this dispatch and
+                        # released the scheduler; the late result is stale.
+                        timed_out.discard(token)
                         store.discard(job)
-                        scheduler.on_job_failed(job)
-                        result.failures.append((t1, job.trial_id))
-                        if hub:
-                            hub.emit(
-                                EventKind.JOB_FAILED,
-                                time=t1,
-                                trial_id=job.trial_id,
-                                job_id=job.job_id,
-                                worker_id=worker_id,
-                                rung=job.rung,
-                                bracket=job.bracket,
-                                reason="exception",
-                                busy=t1 - t0,
-                            )
+                        continue
+                    in_flight.pop(token, None)
+                    if error is not None:
+                        store.discard(job)
+                        fail_job(
+                            job,
+                            worker_id,
+                            reason="exception",
+                            lost=t1 - t0,
+                            t=t1,
+                            error=error,
+                        )
                     else:
+                        if faults is not None:
+                            faults.record_success(job)
                         store.put(job.trial_id, job.resource, state)
                         record_report(result, scheduler, job, loss, t1, done_resource)
                         if hub:
@@ -172,11 +357,21 @@ class ThreadPoolBackend:
             threading.Thread(target=worker, args=(i,), daemon=True)
             for i in range(self.num_workers)
         ]
+        if retry_policy is not None and retry_policy.timeout is not None:
+            threads.append(threading.Thread(target=watchdog, daemon=True))
         for t in threads:
             t.start()
+        # All joins share one deadline: the run may not take longer than
+        # time_limit (plus the grace window below) no matter how many workers
+        # there are.  The stop flag is raised before the grace joins so that
+        # pollers exit instead of sleeping through their next poll.
+        deadline = start + time_limit
         for t in threads:
-            t.join(timeout=time_limit + 5.0)
+            t.join(timeout=max(deadline - _time.monotonic(), 0.0))
         stop.set()
+        grace_deadline = _time.monotonic() + self.shutdown_grace
+        for t in threads:
+            t.join(timeout=max(grace_deadline - _time.monotonic(), 0.0))
         result.elapsed = clock()
         result.utilization = min(busy_time[0] / (self.num_workers * max(result.elapsed, 1e-9)), 1.0)
         if hub:

@@ -14,7 +14,29 @@ from ..core.scheduler import Scheduler
 from ..core.types import Job, Measurement
 from ..telemetry import MetricsReport
 
-__all__ = ["BackendResult", "record_report"]
+__all__ = ["BackendResult", "FailureRecord", "record_report"]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed job attempt, with everything the fault layer knew about it.
+
+    ``action`` is what happened next: ``"retried"`` (the job was re-queued
+    under a retry policy), ``"abandoned"`` (the trial's retry budget ran out
+    and it was quarantined), or ``"forfeited"`` (no policy — the legacy
+    hand-it-to-the-scheduler path).  ``error`` carries ``repr(exc)`` for
+    crashes and ``None`` for drops/churn/timeouts.
+    """
+
+    time: float
+    trial_id: int
+    job_id: int
+    reason: str
+    action: str
+    attempt: int = 1
+    error: str | None = None
+    #: Backend time the failed attempt burned (what the failure wasted).
+    lost: float = 0.0
 
 
 @dataclass
@@ -26,6 +48,14 @@ class BackendResult:
     completions: list[tuple[float, int]] = field(default_factory=list)
     #: (time, trial_id) for every dropped/failed job.
     failures: list[tuple[float, int]] = field(default_factory=list)
+    #: Rich per-failure records, parallel to ``failures``.
+    failure_log: list[FailureRecord] = field(default_factory=list)
+    #: Re-dispatches granted by the run's retry policy (0 without one).
+    jobs_retried: int = 0
+    #: Trials quarantined after exhausting their retry budget.
+    trials_abandoned: int = 0
+    #: Backend time spent on attempts that ultimately failed.
+    time_lost_to_failures: float = 0.0
     #: completed-bracket counter snapshots, parallel to ``measurements``
     #: (None for schedulers without the notion) — Appendix A.2 accounting.
     bracket_snapshots: list[int | None] = field(default_factory=list)

@@ -157,6 +157,19 @@ class ASHA(Scheduler):
             if self.searcher is not None:
                 self.searcher.on_trial_error(self.trials[job.trial_id])
 
+    def on_trial_abandoned(self, job: Job) -> None:
+        """Quarantine a poison trial: terminal, unlike :meth:`on_job_failed`.
+
+        A quarantined promotion is deliberately *not* returned to the
+        promotable pool (its promoted mark in the rung below stays set), so
+        the master never re-issues it — otherwise a configuration that
+        crashes every attempt would be re-promoted forever.
+        """
+        trial = self.trials[job.trial_id]
+        trial.status = TrialStatus.FAILED
+        if self.searcher is not None:
+            self.searcher.on_trial_error(trial)
+
     def is_done(self) -> bool:
         """Only a trial-capped (or searcher-exhausted) ASHA finishes on its own."""
         capped = self.max_trials is not None and self.num_trials >= self.max_trials

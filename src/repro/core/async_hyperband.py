@@ -122,6 +122,9 @@ class AsyncHyperband(Scheduler):
     def on_job_failed(self, job: Job) -> None:
         self._ashas[self._bracket_of_trial[job.trial_id]].on_job_failed(job)
 
+    def on_trial_abandoned(self, job: Job) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].on_trial_abandoned(job)
+
     # ------------------------------------------------------------ insight
 
     @property

@@ -7,7 +7,9 @@ scheduler/backend protocol invariants on every interaction:
 * a trial never trains backwards (job target >= its checkpoint);
 * at most one in-flight job per trial (no scheduler in this library ever
   double-books a configuration);
-* ``is_done()`` never flips back to ``False`` once ``True``.
+* ``is_done()`` never flips back to ``False`` once ``True``;
+* requeued jobs (retry policies) are genuinely in flight, and abandoned
+  trials are never requeued or dispatched again.
 
 When the wrapped scheduler has a :class:`~repro.searchers.base.Searcher`
 attached, the searcher protocol is audited too:
@@ -43,6 +45,7 @@ class ContractChecker(Scheduler):
         self.telemetry = inner.telemetry
         self._outstanding: dict[int, Job] = {}
         self._in_flight_trials: set[int] = set()
+        self._abandoned_trials: set[int] = set()
         self._was_done = False
         self.jobs_seen = 0
 
@@ -79,6 +82,10 @@ class ContractChecker(Scheduler):
             raise ContractViolation(
                 f"trial {job.trial_id} double-booked (already has an in-flight job)"
             )
+        if job.trial_id in self._abandoned_trials:
+            raise ContractViolation(
+                f"trial {job.trial_id} dispatched again after being abandoned"
+            )
         if job.resource < job.checkpoint_resource:
             raise ContractViolation(
                 f"job {job.job_id} trains backwards: "
@@ -107,6 +114,24 @@ class ContractChecker(Scheduler):
     def on_job_failed(self, job: Job) -> None:
         self._resolve(job)
         self.inner.on_job_failed(job)
+
+    def on_job_requeued(self, job: Job) -> None:
+        # The job stays in flight: the backend will re-dispatch it verbatim,
+        # so it is NOT resolved here — the eventual report/failure is.
+        if job.job_id not in self._outstanding:
+            raise ContractViolation(
+                f"job {job.job_id} requeued but never dispatched (or already resolved)"
+            )
+        if job.trial_id in self._abandoned_trials:
+            raise ContractViolation(
+                f"trial {job.trial_id} requeued after being abandoned"
+            )
+        self.inner.on_job_requeued(job)
+
+    def on_trial_abandoned(self, job: Job) -> None:
+        self._resolve(job)
+        self._abandoned_trials.add(job.trial_id)
+        self.inner.on_trial_abandoned(job)
 
     def is_done(self) -> bool:
         done = self.inner.is_done()

@@ -100,6 +100,12 @@ class DoublingSHA(Scheduler):
         if self._current.is_done():
             self._finish_bracket()
 
+    def on_trial_abandoned(self, job: Job) -> None:
+        assert self._current is not None
+        self._current.on_trial_abandoned(job)
+        if self._current.is_done():
+            self._finish_bracket()
+
     def is_done(self) -> bool:
         return (
             self.max_brackets is not None

@@ -113,6 +113,12 @@ class Hyperband(Scheduler):
         if sha.is_done() and sha is self._current:
             self._advance_bracket()
 
+    def on_trial_abandoned(self, job: Job) -> None:
+        sha = self._owner_of(job)
+        sha.on_trial_abandoned(job)
+        if sha.is_done() and sha is self._current:
+            self._advance_bracket()
+
     def is_done(self) -> bool:
         return (
             self.max_loops is not None

@@ -120,6 +120,9 @@ class ParallelAsyncHyperband(Scheduler):
     def on_job_failed(self, job: Job) -> None:
         self._ashas[self._bracket_of_trial[job.trial_id]].on_job_failed(job)
 
+    def on_trial_abandoned(self, job: Job) -> None:
+        self._ashas[self._bracket_of_trial[job.trial_id]].on_trial_abandoned(job)
+
     # ------------------------------------------------------------ insight
 
     def budget_split(self) -> list[float]:

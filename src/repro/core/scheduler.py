@@ -99,6 +99,32 @@ class Scheduler(ABC):
         trial = self.trials[job.trial_id]
         trial.status = TrialStatus.FAILED
 
+    def on_job_requeued(self, job: Job) -> None:
+        """A failed job is about to be re-dispatched by the backend.
+
+        Called instead of :meth:`on_job_failed` when a
+        :class:`~repro.backend.faults.RetryPolicy` grants a retry: the very
+        same job (same target resource, rung and bracket) will run again, so
+        the trial re-enters the rung it left rather than forfeiting.  The
+        trial stays ``RUNNING`` and any rung bookkeeping (synchronous SHA's
+        outstanding set, ASHA's promoted marks) remains exactly as it was at
+        dispatch — which is why the default is a no-op.  Subclasses that
+        key state off individual dispatches must override.
+        """
+
+    def on_trial_abandoned(self, job: Job) -> None:
+        """A trial exhausted its retry budget: quarantine it for good.
+
+        Unlike :meth:`on_job_failed` — which some schedulers answer by
+        making the work eligible again (ASHA re-queues dropped promotions) —
+        this is terminal: the trial must never be dispatched again.  The
+        default forfeits the job through :meth:`on_job_failed` (so rung
+        barriers still close) and then forces the trial's status to
+        ``FAILED``.
+        """
+        self.on_job_failed(job)
+        self.trials[job.trial_id].status = TrialStatus.FAILED
+
     def is_done(self) -> bool:
         """Whether the scheduler will never produce another job.
 

@@ -192,6 +192,12 @@ class StoppingWrapper(Scheduler):
     def on_job_failed(self, job: Job) -> None:
         self.inner.on_job_failed(job)
 
+    def on_job_requeued(self, job: Job) -> None:
+        self.inner.on_job_requeued(job)
+
+    def on_trial_abandoned(self, job: Job) -> None:
+        self.inner.on_trial_abandoned(job)
+
     def is_done(self) -> bool:
         return self.inner.is_done()
 

@@ -83,6 +83,17 @@ class Objective(ABC):
         """
         return max(to_resource - from_resource, 0.0) * self.cost_multiplier(config)
 
+    def nominal_cost(self, config: Config, from_resource: float, to_resource: float) -> float:
+        """The *expected* cost of an increment, for planning purposes.
+
+        Identical to :meth:`cost` by default.  Fault-injection wrappers
+        (:class:`~repro.backend.faults.FailureInjectingObjective`) override
+        ``cost`` to model hangs while keeping ``nominal_cost`` clean, so job
+        deadlines (``RetryPolicy.timeout_factor``) are computed from what the
+        job *should* take, not from the fault being injected.
+        """
+        return self.cost(config, from_resource, to_resource)
+
     def cost_multiplier(self, config: Config) -> float:
         """Config-dependent per-unit training cost (default 1).
 

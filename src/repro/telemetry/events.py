@@ -41,6 +41,14 @@ class EventKind(enum.Enum):
     RUNG_COMPLETED = "rung_completed"
     #: A job was dropped, crashed, or its worker churned away.
     JOB_FAILED = "job_failed"
+    #: A job exceeded its deadline and was killed by the backend
+    #: (:class:`~repro.backend.faults.RetryPolicy` timeouts).
+    JOB_TIMEOUT = "job_timeout"
+    #: A failed/timed-out job was scheduled for re-dispatch under a
+    #: :class:`~repro.backend.faults.RetryPolicy` (carries attempt + delay).
+    JOB_RETRIED = "job_retried"
+    #: A trial exhausted its retry budget and was quarantined for good.
+    TRIAL_ABANDONED = "trial_abandoned"
     #: A job resumed training from an existing checkpoint.
     CHECKPOINT_RESTORED = "checkpoint_restored"
     #: A free worker asked for work and the scheduler had none (idling).

@@ -177,6 +177,15 @@ class MetricsReport:
     failure_rate: float = 0.0
     elapsed: float = 0.0
     num_workers: int = 0
+    #: Re-dispatches granted by a :class:`~repro.backend.faults.RetryPolicy`.
+    jobs_retried: float = 0.0
+    #: Jobs killed for exceeding their deadline.
+    jobs_timed_out: float = 0.0
+    #: Trials quarantined after exhausting their retry budget.
+    trials_abandoned: float = 0.0
+    #: Backend time spent on jobs that ultimately failed (dropped, crashed,
+    #: churned or timed out) — the worker-time the failures wasted.
+    time_lost_to_failures: float = 0.0
 
     def mean_utilization(self) -> float:
         """Mean per-worker utilisation == the scalar ``BackendResult.utilization``."""
@@ -272,7 +281,20 @@ class MetricsCollector:
         self.registry.counter("jobs_failed").inc()
         self._on_job_end(event)
 
+    def _on_job_timeout(self, event: TelemetryEvent) -> None:
+        self.registry.counter("jobs_timed_out").inc()
+        self._on_job_end(event)
+
+    def _on_job_retried(self, event: TelemetryEvent) -> None:
+        self.registry.counter("jobs_retried").inc()
+
+    def _on_trial_abandoned(self, event: TelemetryEvent) -> None:
+        self.registry.counter("trials_abandoned").inc()
+
     def _on_job_end(self, event: TelemetryEvent) -> None:
+        lost = event.data.get("lost")
+        if lost is not None:
+            self.registry.counter("time_lost_to_failures").inc(max(float(lost), 0.0))
         worker = event.worker_id
         if worker is None:
             return
@@ -280,6 +302,12 @@ class MetricsCollector:
         busy = event.data.get("busy")
         if busy is not None:
             self._credit_busy(worker, float(busy), event.time)
+        # The simulator credits busy time optimistically at dispatch; when a
+        # job is killed mid-flight it emits the (negative) difference between
+        # the time actually worked and the credit taken up front.
+        correction = event.data.get("busy_correction")
+        if correction is not None:
+            self._credit_busy(worker, float(correction), event.time)
 
     def _on_promotion(self, event: TelemetryEvent) -> None:
         self.registry.counter("promotions").inc()
@@ -308,6 +336,9 @@ class MetricsCollector:
         EventKind.JOB_STARTED: _on_job_started,
         EventKind.REPORT: _on_report,
         EventKind.JOB_FAILED: _on_job_failed,
+        EventKind.JOB_TIMEOUT: _on_job_timeout,
+        EventKind.JOB_RETRIED: _on_job_retried,
+        EventKind.TRIAL_ABANDONED: _on_trial_abandoned,
         EventKind.PROMOTION: _on_promotion,
         EventKind.RUNG_COMPLETED: _on_rung_completed,
         EventKind.TRIAL_STARTED: _on_trial_started,
@@ -347,7 +378,9 @@ class MetricsCollector:
         )
         snap = self.registry.snapshot()
         started = snap["counters"].get("jobs_started", 0.0)
-        failed = snap["counters"].get("jobs_failed", 0.0)
+        failed = snap["counters"].get("jobs_failed", 0.0) + snap["counters"].get(
+            "jobs_timed_out", 0.0
+        )
         horizon = max(elapsed, 1e-12)
         cluster_denominator = max(num_workers, 1) * horizon
         return MetricsReport(
@@ -364,4 +397,8 @@ class MetricsCollector:
             failure_rate=failed / started if started else 0.0,
             elapsed=elapsed,
             num_workers=num_workers,
+            jobs_retried=snap["counters"].get("jobs_retried", 0.0),
+            jobs_timed_out=snap["counters"].get("jobs_timed_out", 0.0),
+            trials_abandoned=snap["counters"].get("trials_abandoned", 0.0),
+            time_lost_to_failures=snap["counters"].get("time_lost_to_failures", 0.0),
         )

@@ -30,7 +30,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .backend import SimulatedCluster, ThreadPoolBackend
+from .backend import RetryPolicy, SimulatedCluster, ThreadPoolBackend
 from .backend.trial_runner import BackendResult
 from .core import (
     ASHA,
@@ -189,6 +189,7 @@ def tune(
     cost_fn: Callable[[Config, float, float], float] | None = None,
     seed: int = 0,
     telemetry: TelemetryHub | bool | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> TuneResult:
     """Tune ``train_fn`` over ``space`` and return the best configuration.
 
@@ -217,6 +218,12 @@ def tune(
         ``True`` builds a :class:`~repro.telemetry.TelemetryHub` with a
         metrics collector; or pass your own hub (e.g. with a JSONL sink).
         The metrics report lands on ``result.backend_result.telemetry``.
+    retry_policy:
+        Optional :class:`~repro.backend.RetryPolicy` making the run fault
+        tolerant: failed jobs are retried with backoff instead of forfeited,
+        jobs running past the policy's deadline are killed and retried, and
+        trials that keep failing are quarantined.  See
+        ``docs/fault_tolerance.md``.
     """
     objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
     rng = np.random.default_rng(seed)
@@ -251,12 +258,12 @@ def tune(
     if backend == "simulated":
         limit = time_limit if time_limit is not None else 50.0 * max_resource
         result = SimulatedCluster(num_workers, seed=seed).run(
-            sched, objective, time_limit=limit, telemetry=hub
+            sched, objective, time_limit=limit, telemetry=hub, retry_policy=retry_policy
         )
     elif backend == "threads":
         limit = time_limit if time_limit is not None else 60.0
         result = ThreadPoolBackend(num_workers).run(
-            sched, objective, time_limit=limit, telemetry=hub
+            sched, objective, time_limit=limit, telemetry=hub, retry_policy=retry_policy
         )
     else:
         raise KeyError(f"unknown backend {backend!r}; options: simulated, threads")

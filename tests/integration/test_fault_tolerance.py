@@ -1,0 +1,422 @@
+"""End-to-end fault tolerance: retry policies, timeouts, and the accounting
+bugfixes that rode along with them.
+
+Three layers are exercised here:
+
+* the **retry loop** — injected crashes/hangs/drops are retried with the
+  same job (same rung/bracket), poison trials are quarantined, and the
+  scheduler protocol stays clean under :class:`ContractChecker`;
+* the **acceptance criterion** from the fault-tolerance issue: under the
+  paper's Appendix A.1 drop model, a retry policy strictly increases the
+  number of configurations trained to completion;
+* the **accounting regressions**: early-stopped runs no longer report
+  ``elapsed == time_limit``, and churn/timeout-killed jobs no longer stay
+  credited for their full duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    FailureInjectingObjective,
+    RetryPolicy,
+    SimulatedCluster,
+)
+from repro.core import ASHA, Hyperband, RandomSearch, SynchronousSHA
+from repro.core.contract import ContractChecker
+from repro.core.types import TrialStatus
+from repro.experiments.toys import toy_objective
+from repro.telemetry import InMemorySink, TelemetryHub
+
+R = 9.0
+
+
+def make_asha(seed=0, **kwargs):
+    objective = toy_objective(max_resource=R, constant=False)
+    kwargs.setdefault("max_trials", 16)
+    asha = ASHA(
+        objective.space,
+        np.random.default_rng(seed),
+        min_resource=1.0,
+        max_resource=R,
+        eta=3,
+        **kwargs,
+    )
+    return objective, asha
+
+
+class TestRetryLoop:
+    def test_crashes_are_retried_until_success(self):
+        """crash_first=2 under max_attempts=3: every trial needs 3 tries."""
+        objective, asha = make_asha(max_trials=4)
+        flaky = FailureInjectingObjective(objective, crash_first=2)
+        checked = ContractChecker(asha)
+        result = SimulatedCluster(2, seed=0).run(
+            checked, flaky, time_limit=1e4, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        assert result.trials_abandoned == 0
+        # Each of the 4 configs burned its 2 injected crashes at rung 0.
+        assert result.jobs_retried == 8
+        assert asha.is_done()
+        assert checked.outstanding_jobs == 0
+        assert all(rec.action == "retried" for rec in result.failure_log)
+        assert all(rec.error is not None for rec in result.failure_log)
+        assert {rec.attempt for rec in result.failure_log} == {1, 2}
+
+    def test_retried_job_reenters_same_rung(self):
+        """The re-dispatch is the same Job: id, rung, bracket, resource."""
+        objective, asha = make_asha(max_trials=4)
+        flaky = FailureInjectingObjective(objective, crash_first=1)
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        SimulatedCluster(1, seed=0).run(
+            ContractChecker(asha),
+            flaky,
+            time_limit=1e4,
+            telemetry=hub,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        retried = [e for e in sink.events if e.kind.value == "job_retried"]
+        assert retried
+        for event in retried:
+            original = next(
+                e
+                for e in sink.events
+                if e.kind.value == "job_started" and e.job_id == event.job_id
+            )
+            relaunch = next(
+                e
+                for e in sink.events
+                if e.kind.value == "job_started"
+                and e.job_id == event.job_id
+                and e.data.get("attempt", 1) > 1
+            )
+            assert relaunch.rung == original.rung
+            assert relaunch.bracket == original.bracket
+            assert relaunch.data["resource"] == original.data["resource"]
+
+    def test_poison_trial_is_quarantined_not_looped(self):
+        """A config that always crashes is abandoned after max_attempts and
+        never dispatched again (ContractChecker enforces the never-again)."""
+        objective, asha = make_asha(max_trials=6)
+        poison = FailureInjectingObjective(
+            objective, crash_first=10**6, target=lambda c: c["quality"] > 0.8
+        )
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        checked = ContractChecker(asha)
+        result = SimulatedCluster(2, seed=0).run(
+            checked,
+            poison,
+            time_limit=1e4,
+            telemetry=hub,
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        assert result.trials_abandoned >= 1
+        abandoned_ids = {
+            rec.trial_id for rec in result.failure_log if rec.action == "abandoned"
+        }
+        for trial_id in abandoned_ids:
+            assert asha.trials[trial_id].status is TrialStatus.FAILED
+        assert "trial_abandoned" in sink.kinds()
+        # The rest of the search still finished.
+        assert result.measurements
+        assert asha.best_trial() is not None
+        assert asha.best_trial().config["quality"] <= 0.8
+
+    def test_backoff_delays_the_redispatch(self):
+        objective, asha = make_asha(max_trials=2)
+        flaky = FailureInjectingObjective(objective, crash_first=1)
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        SimulatedCluster(1, seed=0).run(
+            ContractChecker(asha),
+            flaky,
+            time_limit=1e4,
+            telemetry=hub,
+            retry_policy=RetryPolicy(max_attempts=3, backoff=5.0),
+        )
+        for event in (e for e in sink.events if e.kind.value == "job_retried"):
+            assert event.data["delay"] == 5.0
+            relaunch = next(
+                e
+                for e in sink.events
+                if e.kind.value == "job_started"
+                and e.job_id == event.job_id
+                and e.data.get("attempt") == event.data["attempt"]
+            )
+            assert relaunch.time >= event.time + 5.0
+
+    def test_max_attempts_one_abandons_immediately(self):
+        objective, asha = make_asha(max_trials=4)
+        flaky = FailureInjectingObjective(objective, crash_first=1)
+        result = SimulatedCluster(2, seed=0).run(
+            ContractChecker(asha),
+            flaky,
+            time_limit=1e4,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        assert result.jobs_retried == 0
+        assert result.trials_abandoned == 4
+
+
+class TestSimulatedTimeouts:
+    def test_hung_job_is_killed_and_retried(self):
+        """A hang slides the completion past 3x the nominal cost; the
+        deadline kills it and the clean retry completes."""
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=1
+        )
+        hung = FailureInjectingObjective(objective, hang_first=1, hang_duration=500.0)
+        sink = InMemorySink()
+        hub = TelemetryHub([sink])
+        result = SimulatedCluster(1, seed=0).run(
+            ContractChecker(rs),
+            hung,
+            time_limit=1e4,
+            telemetry=hub,
+            retry_policy=RetryPolicy(max_attempts=3, timeout_factor=3.0),
+        )
+        assert "job_timeout" in sink.kinds()
+        assert result.jobs_retried == 1
+        assert len(result.measurements) == 1
+        # Killed at exactly timeout_factor x nominal cost (9): t = 27, and the
+        # retry runs clean for another 9 units.
+        assert result.failure_log[0].reason == "timeout"
+        assert result.failure_log[0].lost == pytest.approx(27.0)
+        assert result.measurements[0].time == pytest.approx(27.0 + 9.0)
+        assert result.time_lost_to_failures == pytest.approx(27.0)
+
+    def test_timeout_rolls_back_busy_credit(self):
+        """The killed attempt counts 27 busy units (what it really ran), not
+        the 509 it was optimistically credited for."""
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=1
+        )
+        hung = FailureInjectingObjective(objective, hang_first=1, hang_duration=500.0)
+        result = SimulatedCluster(1, seed=0).run(
+            rs,
+            hung,
+            time_limit=100.0,
+            retry_policy=RetryPolicy(max_attempts=3, timeout_factor=3.0),
+        )
+        # Busy: 27 (killed attempt) + 9 (clean retry); elapsed 36 (drained).
+        assert result.elapsed == pytest.approx(36.0)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_retry_timeouts_false_abandons_on_first_deadline(self):
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=1
+        )
+        hung = FailureInjectingObjective(objective, hang_first=1, hang_duration=500.0)
+        result = SimulatedCluster(1, seed=0).run(
+            ContractChecker(rs),
+            hung,
+            time_limit=1e4,
+            retry_policy=RetryPolicy(
+                max_attempts=5, timeout_factor=3.0, retry_timeouts=False
+            ),
+        )
+        assert result.jobs_retried == 0
+        assert result.trials_abandoned == 1
+        assert result.failure_log[0].action == "abandoned"
+
+    def test_no_timeout_without_timeout_factor(self):
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=1
+        )
+        hung = FailureInjectingObjective(objective, hang_first=1, hang_duration=500.0)
+        result = SimulatedCluster(1, seed=0).run(
+            rs, hung, time_limit=1e4, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        # The hang just runs its course: one long measurement, no failures.
+        assert result.failures == []
+        assert result.measurements[0].time == pytest.approx(509.0)
+
+
+class TestAcceptanceCriterion:
+    def test_retries_strictly_increase_completions_under_drops(self):
+        """The issue's acceptance bar: seeded ASHA at drop_probability=0.05,
+        RetryPolicy(max_attempts=3) vs no policy — strictly more trials
+        trained to the maximum resource."""
+
+        def completions(policy):
+            objective = toy_objective(max_resource=R, constant=False)
+            asha = ASHA(
+                objective.space,
+                np.random.default_rng(4),
+                min_resource=1.0,
+                max_resource=R,
+                eta=3,
+                max_trials=60,
+            )
+            cluster = SimulatedCluster(4, seed=4, drop_probability=0.05)
+            result = cluster.run(
+                ContractChecker(asha),
+                objective,
+                time_limit=400.0,
+                retry_policy=policy,
+            )
+            return result
+
+        baseline = completions(None)
+        retried = completions(RetryPolicy(max_attempts=3))
+        assert retried.jobs_retried > 0
+        assert len(retried.completions) > len(baseline.completions)
+
+
+class TestAccountingRegressions:
+    def test_stop_on_first_completion_elapsed_is_stop_clock(self):
+        """Regression: the early-stopped run used to report elapsed ==
+        time_limit (and a deflated utilization) because the event queue was
+        non-empty at the break."""
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R
+        )
+        result = SimulatedCluster(2, seed=0).run(
+            rs, objective, time_limit=1e6, stop_on_first_completion=True
+        )
+        assert result.elapsed == pytest.approx(9.0)  # not 1e6
+        # Both workers were busy from 0 to the stop clock.
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_max_measurements_elapsed_is_stop_clock(self):
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R
+        )
+        result = SimulatedCluster(2, seed=0).run(
+            rs, objective, time_limit=1e6, max_measurements=7
+        )
+        assert result.elapsed == pytest.approx(max(m.time for m in result.measurements))
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_exhausted_budget_still_reports_time_limit(self):
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(objective.space, np.random.default_rng(0), max_resource=R)
+        result = SimulatedCluster(1, seed=0).run(rs, objective, time_limit=20.0)
+        assert result.elapsed == 20.0
+
+    def test_churn_kill_rolls_back_busy_credit(self):
+        """Regression: a churn-killed job kept its full-duration busy credit.
+        Seed 10 kills one of two cost-9 jobs mid-flight; busy time must be
+        9 (the survivor) + the victim's actual runtime."""
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=2
+        )
+        result = SimulatedCluster(
+            2, seed=10, churn_rate=0.2, churn_downtime=1000.0
+        ).run(rs, objective, time_limit=20.0)
+        assert len(result.failures) == 1
+        kill_time = result.failures[0][0]
+        assert kill_time < 9.0  # the kill really was mid-job
+        expected = (9.0 + kill_time) / (2 * 20.0)
+        assert result.utilization == pytest.approx(expected)
+        assert result.time_lost_to_failures == pytest.approx(kill_time)
+
+    def test_default_runs_unchanged_without_policy(self):
+        """No-policy runs keep the legacy forfeit path: failure_log records
+        action='forfeited' and nothing is retried or abandoned."""
+        objective = toy_objective(max_resource=R, constant=False)
+        rs = RandomSearch(
+            objective.space, np.random.default_rng(0), max_resource=R, max_trials=50
+        )
+        result = SimulatedCluster(2, seed=1, drop_probability=0.05).run(
+            rs, objective, time_limit=1e5
+        )
+        assert result.failures
+        assert result.jobs_retried == 0
+        assert result.trials_abandoned == 0
+        assert all(rec.action == "forfeited" for rec in result.failure_log)
+        assert len(result.failure_log) == len(result.failures)
+
+
+class TestMetricsIntegration:
+    def test_report_carries_fault_counters(self):
+        objective, asha = make_asha(max_trials=6)
+        poison = FailureInjectingObjective(
+            objective, crash_first=10**6, target=lambda c: c["quality"] > 0.8
+        )
+        hub = TelemetryHub.with_metrics()
+        result = SimulatedCluster(2, seed=0).run(
+            asha,
+            poison,
+            time_limit=1e4,
+            telemetry=hub,
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        report = result.telemetry
+        assert report is not None
+        assert report.jobs_retried == result.jobs_retried > 0
+        assert report.trials_abandoned == result.trials_abandoned >= 1
+        assert report.time_lost_to_failures == pytest.approx(
+            result.time_lost_to_failures
+        )
+
+
+FAULT_POLICIES = [
+    pytest.param(RetryPolicy(max_attempts=3), id="plain-retry"),
+    pytest.param(RetryPolicy(max_attempts=2, backoff=2.0), id="backoff"),
+    pytest.param(RetryPolicy(max_attempts=3, timeout_factor=4.0), id="deadline"),
+    pytest.param(
+        RetryPolicy(max_attempts=4, timeout_factor=4.0, retry_timeouts=False),
+        id="strict-timeouts",
+    ),
+]
+
+
+@pytest.mark.parametrize("policy", FAULT_POLICIES)
+@pytest.mark.parametrize(
+    "make_scheduler",
+    [
+        pytest.param(
+            lambda space, rng: ASHA(
+                space, rng, min_resource=1.0, max_resource=R, eta=3, max_trials=20
+            ),
+            id="asha",
+        ),
+        pytest.param(
+            lambda space, rng: SynchronousSHA(
+                space, rng, n=9, min_resource=1.0, max_resource=R, eta=3
+            ),
+            id="sha",
+        ),
+        pytest.param(
+            lambda space, rng: Hyperband(
+                space, rng, min_resource=1.0, max_resource=R, eta=3, max_loops=1
+            ),
+            id="hyperband",
+        ),
+        pytest.param(
+            lambda space, rng: RandomSearch(space, rng, max_resource=R, max_trials=20),
+            id="random",
+        ),
+    ],
+)
+def test_fault_interplay_keeps_contract(make_scheduler, policy):
+    """Drops + churn + injected crashes + retries together, under the
+    contract checker, for every scheduler family: the protocol must hold and
+    the search must still make progress."""
+    objective = toy_objective(max_resource=R, constant=False)
+    flaky = FailureInjectingObjective(
+        objective, seed=7, crash_probability=0.1, hang_probability=0.05,
+        hang_duration=200.0,
+    )
+    scheduler = ContractChecker(
+        make_scheduler(objective.space, np.random.default_rng(11))
+    )
+    cluster = SimulatedCluster(
+        3, seed=11, drop_probability=0.02, churn_rate=0.01, churn_downtime=5.0
+    )
+    result = cluster.run(scheduler, flaky, time_limit=3000.0, retry_policy=policy)
+    assert result.measurements  # progress despite everything
+    assert result.failures  # faults really were injected
+    assert scheduler.inner.best_trial() is not None

@@ -22,6 +22,9 @@ class TestEventKind:
             "promotion",
             "rung_completed",
             "job_failed",
+            "job_timeout",
+            "job_retried",
+            "trial_abandoned",
             "checkpoint_restored",
             "worker_idle",
         }

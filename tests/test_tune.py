@@ -225,3 +225,32 @@ def test_deterministic_given_seed():
     b = tune(quadratic_train, SPACE, **kwargs)
     assert a.best_config == b.best_config
     assert a.best_loss == b.best_loss
+
+
+def test_retry_policy_passes_through_to_backend():
+    from repro import RetryPolicy
+
+    calls = {}
+
+    def flaky_train(config, state, from_resource, to_resource):
+        key = round(config["x"], 12)
+        calls[key] = calls.get(key, 0) + 1
+        if calls[key] == 1:
+            raise RuntimeError("transient failure")
+        return quadratic_train(config, state, from_resource, to_resource)
+
+    result = tune(
+        flaky_train,
+        SPACE,
+        max_resource=16.0,
+        scheduler="random",
+        scheduler_kwargs={"max_trials": 4},
+        num_workers=2,
+        time_limit=1e6,
+        retry_policy=RetryPolicy(max_attempts=3),
+    )
+    # Every config's first training call crashed, yet all four finished.
+    assert result.backend_result.jobs_retried == 4
+    assert result.backend_result.trials_abandoned == 0
+    assert len(result.backend_result.measurements) == 4
+    assert result.best_config is not None
