@@ -12,8 +12,19 @@ import os
 import numpy as np
 
 from repro.analysis import render_chart
+from repro.experiments.parallel import resolve_jobs
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def bench_jobs() -> int:
+    """The bench suite's trial-parallelism level.
+
+    Set with ``pytest benchmarks/... --jobs N`` (see ``benchmarks/conftest``)
+    or the ``REPRO_JOBS`` environment variable; defaults to 1, and parallel
+    runs produce output identical to sequential ones.
+    """
+    return resolve_jobs(None)
 
 
 def emit(name: str, text: str) -> None:

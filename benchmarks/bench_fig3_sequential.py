@@ -13,7 +13,7 @@ average-test-error-vs-time series.  Expected shape (paper):
 from __future__ import annotations
 
 import pytest
-from _bench_utils import chart, curves_to_series, emit
+from _bench_utils import bench_jobs, chart, curves_to_series, emit
 
 from repro.analysis import render_series, render_table
 from repro.experiments.figures import figure3
@@ -27,7 +27,7 @@ def test_fig3_sequential(benchmark, benchmark_name):
     curves = benchmark.pedantic(
         figure3,
         args=(benchmark_name,),
-        kwargs=dict(num_trials=TRIALS, horizon_multiple=HORIZON),
+        kwargs=dict(num_trials=TRIALS, horizon_multiple=HORIZON, n_jobs=bench_jobs()),
         rounds=1,
         iterations=1,
     )

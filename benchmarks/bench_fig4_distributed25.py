@@ -15,7 +15,7 @@ budget.  Expected shape:
 from __future__ import annotations
 
 import pytest
-from _bench_utils import chart, curves_to_series, emit
+from _bench_utils import bench_jobs, chart, curves_to_series, emit
 
 from repro.analysis import render_series, render_table
 from repro.experiments.figures import figure4, sequential_benchmarks
@@ -30,7 +30,7 @@ def test_fig4_distributed25(benchmark, benchmark_name):
     curves = benchmark.pedantic(
         figure4,
         args=(benchmark_name,),
-        kwargs=dict(num_trials=TRIALS),
+        kwargs=dict(num_trials=TRIALS, n_jobs=bench_jobs()),
         rounds=1,
         iterations=1,
     )

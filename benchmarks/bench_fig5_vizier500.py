@@ -14,7 +14,7 @@ Section 4.3 settings (``eta = 4, r = R/64``; async Hyperband loops brackets
 
 from __future__ import annotations
 
-from _bench_utils import chart, curves_to_series, emit
+from _bench_utils import bench_jobs, chart, curves_to_series, emit
 
 from repro.analysis import render_series, render_table
 from repro.experiments.figures import figure5
@@ -25,7 +25,7 @@ TRIALS = 2  # paper: 5; each trial simulates ~200k jobs
 
 def test_fig5_vizier500(benchmark):
     curves = benchmark.pedantic(
-        figure5, kwargs=dict(num_trials=TRIALS), rounds=1, iterations=1
+        figure5, kwargs=dict(num_trials=TRIALS, n_jobs=bench_jobs()), rounds=1, iterations=1
     )
     grid, series = curves_to_series(curves)
     time_r = ptb_lstm.R

@@ -9,7 +9,7 @@ the end of the run.
 
 from __future__ import annotations
 
-from _bench_utils import chart, curves_to_series, emit
+from _bench_utils import bench_jobs, chart, curves_to_series, emit
 
 from repro.analysis import render_series, render_table
 from repro.experiments.figures import figure6
@@ -19,7 +19,7 @@ TRIALS = 5
 
 def test_fig6_awdlstm16(benchmark):
     curves = benchmark.pedantic(
-        figure6, kwargs=dict(num_trials=TRIALS), rounds=1, iterations=1
+        figure6, kwargs=dict(num_trials=TRIALS, n_jobs=bench_jobs()), rounds=1, iterations=1
     )
     grid, series = curves_to_series(curves)
     emit(

@@ -10,7 +10,7 @@ and drop probability.
 
 from __future__ import annotations
 
-from _bench_utils import emit
+from _bench_utils import bench_jobs, emit
 
 from repro.analysis import render_table
 from repro.experiments.figures import figure7
@@ -20,7 +20,7 @@ SIMS = 10
 
 def test_fig7_stragglers(benchmark):
     rows = benchmark.pedantic(
-        figure7, kwargs=dict(num_sims=SIMS), rounds=1, iterations=1
+        figure7, kwargs=dict(num_sims=SIMS, n_jobs=bench_jobs()), rounds=1, iterations=1
     )
     emit(
         "fig7_stragglers",

@@ -10,7 +10,7 @@ probability — synchronous SHA's rung barriers wait for the slowest job.
 from __future__ import annotations
 
 import numpy as np
-from _bench_utils import emit
+from _bench_utils import bench_jobs, emit
 
 from repro.analysis import render_table
 from repro.experiments.figures import figure8
@@ -20,7 +20,7 @@ SIMS = 10
 
 def test_fig8_first_completion(benchmark):
     rows = benchmark.pedantic(
-        figure8, kwargs=dict(num_sims=SIMS), rounds=1, iterations=1
+        figure8, kwargs=dict(num_sims=SIMS, n_jobs=bench_jobs()), rounds=1, iterations=1
     )
     emit(
         "fig8_first_completion",

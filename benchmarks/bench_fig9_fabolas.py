@@ -16,7 +16,7 @@ same runs under the two incumbent accounting schemes.  Expected shape:
 from __future__ import annotations
 
 import pytest
-from _bench_utils import chart, curves_to_series, emit
+from _bench_utils import bench_jobs, chart, curves_to_series, emit
 
 from repro.analysis import render_series, render_table
 from repro.experiments.figures import FIGURE9_BENCHMARKS, figure9
@@ -29,7 +29,7 @@ def test_fig9_fabolas(benchmark, benchmark_name):
     curves = benchmark.pedantic(
         figure9,
         args=(benchmark_name,),
-        kwargs=dict(num_trials=TRIALS),
+        kwargs=dict(num_trials=TRIALS, n_jobs=bench_jobs()),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,32 @@
+"""Benchmark-suite pytest hooks: the shared ``--jobs`` parallelism knob.
+
+``pytest benchmarks/... --jobs 4`` fans every figure driver's independent
+``(method, seed)`` experiment trials out across 4 processes (``--jobs -1``
+uses all cores).  The value is published through the ``REPRO_JOBS``
+environment variable, the same knob :func:`repro.experiments.parallel
+.resolve_jobs` consults, so it reaches every ``run_trials``/``run_methods``
+call the bench makes — parallel output is identical to sequential output,
+only faster.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.parallel import JOBS_ENV_VAR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process count for experiment-trial fan-out (-1 = all cores; "
+        f"defaults to ${JOBS_ENV_VAR} or 1)",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs", default=None)
+    if jobs is not None:
+        os.environ[JOBS_ENV_VAR] = str(jobs)

@@ -1,0 +1,79 @@
+"""Gate: compare a BENCH_perf.json report against the committed baseline.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        --baseline benchmarks/perf/baseline.json \
+        --current BENCH_perf.json [--threshold 2.0]
+
+Compares the *normalized* (calibration-scaled, higher-is-better) score of
+every gated benchmark.  A benchmark regresses when its normalized score
+falls below ``baseline / threshold``; the default threshold of 2.0 tolerates
+machine noise and CI-runner variance while catching genuine slowdowns.
+Benchmarks whose ``meta.gated`` is ``false`` (the parallel-speedup ratio,
+which measures core count) are reported but never fail the gate, as are
+benchmarks present on only one side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if "benchmarks" not in report:
+        raise SystemExit(f"{path}: not a BENCH_perf.json report (no 'benchmarks' key)")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when normalized score is worse than baseline by this factor",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures: list[str] = []
+    print(f"{'benchmark':26s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    for name, base_entry in sorted(baseline["benchmarks"].items()):
+        cur_entry = current["benchmarks"].get(name)
+        if cur_entry is None:
+            print(f"{name:26s} {'(missing in current — skipped)':>34s}")
+            continue
+        base_score = base_entry["normalized"]
+        cur_score = cur_entry["normalized"]
+        ratio = cur_score / base_score if base_score else float("inf")
+        gated = base_entry.get("meta", {}).get("gated", True)
+        flag = ""
+        if ratio < 1.0 / args.threshold:
+            if gated:
+                flag = "  << REGRESSION"
+                failures.append(
+                    f"{name}: normalized {cur_score:.4f} vs baseline "
+                    f"{base_score:.4f} ({ratio:.2f}x, threshold {1 / args.threshold:.2f}x)"
+                )
+            else:
+                flag = "  (ungated)"
+        print(f"{name:26s} {base_score:12.4f} {cur_score:12.4f} {ratio:8.2f}{flag}")
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

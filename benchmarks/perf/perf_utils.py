@@ -1,0 +1,92 @@
+"""Timing, calibration, and schema helpers for the perf-regression harness.
+
+The harness's job is to notice when the scheduler or simulator hot paths get
+slower, across machines of very different speeds.  Every measured value is
+therefore *normalised* by a calibration score — a fixed pure-Python workload
+timed on the same machine in the same process — before it is compared
+against the committed baseline.  Normalised throughputs are dimensionless
+("how many simulator events per calibration op") and roughly portable
+between a laptop and a CI runner, which raw ops/sec are not.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "benchmark_entry",
+    "calibrate",
+    "time_call",
+]
+
+#: Bump when the BENCH_perf.json layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def time_call(fn: Callable[[], Any], *, repeats: int = 1) -> tuple[float, Any]:
+    """(best wall-clock seconds, last result) of ``fn`` over ``repeats`` runs.
+
+    Best-of-k damps scheduler jitter; the result is returned so callers can
+    derive the work count (events, jobs) from the same run they timed.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def calibrate(*, iterations: int = 2_000_000, repeats: int = 3) -> float:
+    """Calibration ops/sec: a fixed pure-Python workload on this machine.
+
+    The loop mixes integer arithmetic, a dict store, and a method call —
+    the same instruction mix the simulator hot path spends its time on —
+    so its throughput tracks how fast this interpreter runs our kind of
+    code.
+    """
+
+    def workload() -> int:
+        acc = 0
+        store: dict[int, int] = {}
+        for i in range(iterations):
+            acc = (acc + i * 31) & 0xFFFFFFFF
+            if i & 1023 == 0:
+                store[i] = acc
+        return acc + len(store)
+
+    seconds, _ = time_call(workload, repeats=repeats)
+    return iterations / seconds
+
+
+def benchmark_entry(
+    value: float,
+    unit: str,
+    *,
+    higher_is_better: bool,
+    calibration_ops_per_s: float,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One BENCH_perf.json benchmark record, with its normalised score.
+
+    ``normalized`` is always *higher-is-better*: throughputs divide by the
+    calibration score, durations invert first.  The regression gate compares
+    only this field.
+    """
+    if value <= 0:
+        raise ValueError(f"benchmark value must be positive, got {value}")
+    if higher_is_better:
+        normalized = value / calibration_ops_per_s
+    else:
+        normalized = (1.0 / value) * calibration_ops_per_s
+    return {
+        "value": round(value, 4),
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "normalized": normalized,
+        "meta": meta or {},
+    }

@@ -1,0 +1,218 @@
+"""The perf-regression microbenchmark suite.
+
+Times the three layers the paper's large-scale regime leans on — raw
+scheduler decisions, the discrete-event simulator, and multi-trial
+experiment runs — and writes a stable-schema ``BENCH_perf.json``:
+
+* ``scheduler_asha_ops`` — ASHA ``next_job``/``report``/``is_done`` cycles
+  per second, driven directly with synthetic losses (no simulator).  This
+  is where the promotion-scan caching shows up.
+* ``simulator_events`` / ``simulator_churn_events`` — simulated job
+  completions per second on the PTB LSTM surrogate at 100 workers, without
+  and with worker churn.  This is where the event queue, churn victim
+  selection, and config-seed caching show up.
+* ``end_to_end_asha`` — a multi-seed ASHA experiment at (reduced)
+  Figure-5 scale through :func:`repro.experiments.runner.run_trials`,
+  sequential.
+* ``parallel_speedup`` — the same experiment with ``n_jobs=2``, reported
+  as a speedup factor.  Informational only (not gated): it measures core
+  count more than code quality.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] \
+        [--output BENCH_perf.json]
+
+``--quick`` shrinks every workload for CI smoke runs; the schema (and the
+normalisation that makes scores comparable across machines) is identical in
+both modes.  Compare two reports with ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.backend.simulation import SimulatedCluster
+from repro.core import ASHA
+from repro.experiments.runner import run_trials
+from repro.objectives import ptb_lstm
+from repro.objectives.surrogate import seeded_uniform
+
+from perf_utils import SCHEMA_VERSION, benchmark_entry, calibrate, time_call
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "BENCH_perf.json"
+)
+
+
+# ----------------------------------------------------------- microbenches
+
+
+def bench_scheduler_ops(num_jobs: int) -> tuple[float, int]:
+    """(seconds, jobs dispatched) driving ASHA directly with synthetic losses."""
+    objective = ptb_lstm.make_objective(seed_salt=0)
+    rng = np.random.default_rng(0)
+    r_max = ptb_lstm.R
+    scheduler = ASHA(
+        objective.space, rng, min_resource=r_max / 64.0, max_resource=r_max, eta=4
+    )
+    start = time.perf_counter()
+    dispatched = 0
+    for _ in range(num_jobs):
+        if scheduler.is_done():
+            break
+        job = scheduler.next_job()
+        if job is None:
+            break
+        # Synthetic loss keyed by trial id and rung: deterministic, free.
+        scheduler.report(job, 1.0 + seeded_uniform(job.trial_id, float(job.rung)))
+        dispatched += 1
+    return time.perf_counter() - start, dispatched
+
+
+def _simulate(num_workers: int, horizon: float, churn: bool) -> int:
+    objective = ptb_lstm.make_objective(seed_salt=0)
+    rng = np.random.default_rng(0)
+    r_max = ptb_lstm.R
+    scheduler = ASHA(
+        objective.space, rng, min_resource=r_max / 64.0, max_resource=r_max, eta=4
+    )
+    kwargs = dict(straggler_std=0.2, drop_probability=0.002)
+    if churn:
+        kwargs.update(churn_rate=2.0 / r_max, churn_downtime=r_max / 20.0)
+    cluster = SimulatedCluster(num_workers, seed=7, **kwargs)
+    result = cluster.run(scheduler, objective, time_limit=horizon * r_max)
+    return len(result.measurements)
+
+
+def bench_simulator(num_workers: int, horizon: float, *, churn: bool) -> tuple[float, int]:
+    """(seconds, completed measurements) of one simulated ASHA run."""
+    seconds, measurements = time_call(lambda: _simulate(num_workers, horizon, churn))
+    return seconds, measurements
+
+
+def _end_to_end(num_workers: int, horizon: float, seeds: range, n_jobs: int) -> int:
+    r_max = ptb_lstm.R
+
+    def make_scheduler(objective, rng):
+        return ASHA(
+            objective.space, rng, min_resource=r_max / 64.0, max_resource=r_max, eta=4
+        )
+
+    records = run_trials(
+        "ASHA",
+        make_scheduler,
+        lambda seed: ptb_lstm.make_objective(seed_salt=seed),
+        num_workers=num_workers,
+        time_limit=horizon * r_max,
+        seeds=seeds,
+        n_jobs=n_jobs,
+    )
+    return sum(len(r.backend.measurements) for r in records)
+
+
+# ------------------------------------------------------------------- main
+
+
+def run_suite(quick: bool) -> dict:
+    """Run every microbench and return the BENCH_perf.json document."""
+    mode = "quick" if quick else "full"
+    scheduler_jobs = 20_000 if quick else 100_000
+    sim_workers = 50 if quick else 100
+    sim_horizon = 1.0 if quick else 2.0
+    e2e_workers = 50 if quick else 200
+    e2e_horizon = 1.0 if quick else 2.0
+    e2e_seeds = range(2 if quick else 3)
+
+    print(f"[perf] calibrating ({mode} mode)...", flush=True)
+    calibration = calibrate(iterations=500_000 if quick else 2_000_000)
+
+    benchmarks: dict[str, dict] = {}
+
+    print("[perf] scheduler_asha_ops...", flush=True)
+    seconds, dispatched = bench_scheduler_ops(scheduler_jobs)
+    benchmarks["scheduler_asha_ops"] = benchmark_entry(
+        dispatched / seconds,
+        "jobs/s",
+        higher_is_better=True,
+        calibration_ops_per_s=calibration,
+        meta={"jobs": dispatched},
+    )
+
+    print("[perf] simulator_events...", flush=True)
+    seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=False)
+    benchmarks["simulator_events"] = benchmark_entry(
+        measurements / seconds,
+        "measurements/s",
+        higher_is_better=True,
+        calibration_ops_per_s=calibration,
+        meta={"workers": sim_workers, "measurements": measurements},
+    )
+
+    print("[perf] simulator_churn_events...", flush=True)
+    seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=True)
+    benchmarks["simulator_churn_events"] = benchmark_entry(
+        measurements / seconds,
+        "measurements/s",
+        higher_is_better=True,
+        calibration_ops_per_s=calibration,
+        meta={"workers": sim_workers, "measurements": measurements},
+    )
+
+    print("[perf] end_to_end_asha (sequential)...", flush=True)
+    seconds, _ = time_call(lambda: _end_to_end(e2e_workers, e2e_horizon, e2e_seeds, 1))
+    benchmarks["end_to_end_asha"] = benchmark_entry(
+        seconds,
+        "s",
+        higher_is_better=False,
+        calibration_ops_per_s=calibration,
+        meta={"workers": e2e_workers, "seeds": len(e2e_seeds)},
+    )
+    sequential_seconds = seconds
+
+    print("[perf] parallel_speedup (n_jobs=2)...", flush=True)
+    seconds, _ = time_call(lambda: _end_to_end(e2e_workers, e2e_horizon, e2e_seeds, 2))
+    benchmarks["parallel_speedup"] = benchmark_entry(
+        sequential_seconds / seconds,
+        "x",
+        higher_is_better=True,
+        # Speedup is already a machine-relative ratio: normalise by 1, and
+        # never gate on it (a 1-core runner legitimately reports ~1x).
+        calibration_ops_per_s=1.0,
+        meta={"n_jobs": 2, "gated": False},
+    )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "python": platform.python_version(),
+        "calibration_ops_per_s": calibration,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced CI-smoke workloads")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="report path")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick)
+    output = os.path.abspath(args.output)
+    with open(output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[perf] wrote {output}")
+    for name, entry in report["benchmarks"].items():
+        print(f"  {name:24s} {entry['value']:>12.2f} {entry['unit']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

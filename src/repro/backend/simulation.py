@@ -173,6 +173,26 @@ class SimulatedCluster:
         generation: dict[int, int] = {}
         dispatched_at: dict[int, float] = {}
         credited: dict[int, float] = {}
+        # Swap-remove index of live job ids, so churn can pick a uniform
+        # random victim in O(1) instead of materialising ``list(in_flight)``
+        # (an O(n) copy per churn event at 500-worker scale).  The victim
+        # draw stays a single ``rng.integers(len)`` call per churn event, so
+        # the cluster's seeded draw sequence is unchanged.
+        live_ids: list[int] = []
+        live_pos: dict[int, int] = {}
+
+        def live_add(job_id: int) -> None:
+            live_pos[job_id] = len(live_ids)
+            live_ids.append(job_id)
+
+        def live_discard(job_id: int) -> None:
+            pos = live_pos.pop(job_id, None)
+            if pos is None:
+                return
+            last = live_ids.pop()
+            if last != job_id:
+                live_ids[pos] = last
+                live_pos[last] = pos
         faults = FaultManager(retry_policy) if retry_policy is not None else None
         # Duck-typed objectives in tests may not subclass Objective.
         nominal_cost = getattr(objective, "nominal_cost", objective.cost)
@@ -188,6 +208,7 @@ class SimulatedCluster:
             gen = generation.get(job.job_id, 0) + 1
             generation[job.job_id] = gen
             in_flight[job.job_id] = job
+            live_add(job.job_id)
             worker_of_job[job.job_id] = worker
             store.prepare(job)  # snapshot donor state for inheriting jobs
             duration = self._duration(store.job_cost(job, objective))
@@ -258,6 +279,7 @@ class SimulatedCluster:
             """
             nonlocal busy_time
             in_flight.pop(job.job_id, None)
+            live_discard(job.job_id)
             worker = worker_of_job.pop(job.job_id, None)
             started = dispatched_at.pop(job.job_id, queue.clock)
             credit = credited.pop(job.job_id, 0.0)
@@ -389,8 +411,9 @@ class SimulatedCluster:
             hub.set_time(queue.clock)
             if event.kind == "churn":
                 if in_flight:
-                    # Kill a random busy worker: its job fails.
-                    victim_id = list(in_flight)[self.rng.integers(len(in_flight))]
+                    # Kill a random busy worker: its job fails.  O(1) pick
+                    # from the swap-remove index — no per-event list copy.
+                    victim_id = live_ids[self.rng.integers(len(live_ids))]
                     victim = in_flight[victim_id]
                     worker, lost, correction = kill(victim)  # id retires with the worker
                     handle_failure(
@@ -422,6 +445,7 @@ class SimulatedCluster:
                 )
             else:
                 in_flight.pop(job.job_id, None)
+                live_discard(job.job_id)
                 worker = worker_of_job.pop(job.job_id, None)
                 dispatched_at.pop(job.job_id, None)
                 credit = credited.pop(job.job_id, 0.0)

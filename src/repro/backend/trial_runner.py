@@ -96,6 +96,12 @@ def record_report(
     measurement = Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss, time=time)
     scheduler.report(job, loss)
     result.measurements.append(measurement)
-    result.bracket_snapshots.append(getattr(scheduler, "completed_brackets", None))
+    # ``completed_brackets`` is an attribute on Hyperband but a method on
+    # SynchronousSHA; resolve to a plain count so the snapshot log stays
+    # scheduler-free (and therefore picklable for the parallel engine).
+    snapshot = getattr(scheduler, "completed_brackets", None)
+    if callable(snapshot):
+        snapshot = snapshot()
+    result.bracket_snapshots.append(snapshot)
     if max_resource is not None and job.resource >= max_resource:
         result.completions.append((time, job.trial_id))

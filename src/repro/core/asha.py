@@ -171,7 +171,13 @@ class ASHA(Scheduler):
             self.searcher.on_trial_error(trial)
 
     def is_done(self) -> bool:
-        """Only a trial-capped (or searcher-exhausted) ASHA finishes on its own."""
+        """Only a trial-capped (or searcher-exhausted) ASHA finishes on its own.
+
+        Backends poll ``is_done`` immediately before ``next_job`` for every
+        free worker; the promotability check below reuses the bracket's
+        cached promotion scan (invalidated only when a rung mutates), so the
+        pair costs one rung scan at most — not two per poll.
+        """
         capped = self.max_trials is not None and self.num_trials >= self.max_trials
         if not capped and not self.searcher_exhausted():
             return False

@@ -54,6 +54,7 @@ class Bracket:
             raise ValueError(f"eta must be >= 2, got {eta}")
         if early_stopping_rate < 0:
             raise ValueError(f"early_stopping_rate must be >= 0, got {early_stopping_rate}")
+        self._s_max: int | None = None
         if max_resource is not None:
             if max_resource < min_resource:
                 raise ValueError(
@@ -64,25 +65,42 @@ class Bracket:
                 raise ValueError(
                     f"early_stopping_rate ({early_stopping_rate}) exceeds s_max ({s_max})"
                 )
+            # The geometry is immutable, so derive it once: ``num_rungs`` is
+            # consulted on every promotion scan and recomputing the log was
+            # measurable at 500-worker scale.
+            self._s_max = s_max
         self.min_resource = min_resource
         self.max_resource = max_resource
         self.eta = eta
         self.s = early_stopping_rate
         self._rungs: list[Rung] = []
+        # Cached result of the last promotion scan.  ``find_promotion`` is
+        # polled once (or twice, via ``is_done`` + ``next_job``) per free
+        # worker; the answer only changes when some rung's leaderboard or
+        # promoted set does, so the rungs invalidate the cache on mutation
+        # and every other poll is O(1).
+        self._promotion_cache: tuple[int, int] | None = None
+        self._promotion_cache_valid = False
         # Materialise the full ladder up front in the finite horizon so that
         # num_rungs is well-defined; infinite horizon grows on demand.
         if max_resource is not None:
             for i in range(self.num_rungs):
-                self._rungs.append(Rung(index=i, resource=self.rung_resource(i)))
+                self._rungs.append(
+                    Rung(
+                        index=i,
+                        resource=self.rung_resource(i),
+                        on_change=self._invalidate_promotions,
+                    )
+                )
 
     # ----------------------------------------------------------- geometry
 
     @property
     def s_max(self) -> int:
         """``floor(log_eta(R / r))``; raises in the infinite horizon."""
-        if self.max_resource is None:
+        if self._s_max is None:
             raise ValueError("s_max undefined for the infinite horizon")
-        return int(math.floor(round(math.log(self.max_resource / self.min_resource, self.eta), 10)))
+        return self._s_max
 
     @property
     def num_rungs(self) -> int:
@@ -104,11 +122,19 @@ class Bracket:
 
     def rung(self, i: int) -> Rung:
         """The :class:`Rung` at index ``i``, created on demand if infinite."""
-        if self.max_resource is not None and i >= self.num_rungs:
+        if self._s_max is not None and i >= self.num_rungs:
             raise IndexError(f"rung {i} out of range for {self.num_rungs}-rung bracket")
         while len(self._rungs) <= i:
             index = len(self._rungs)
-            self._rungs.append(Rung(index=index, resource=self.rung_resource(index)))
+            self._rungs.append(
+                Rung(
+                    index=index,
+                    resource=self.rung_resource(index),
+                    on_change=self._invalidate_promotions,
+                )
+            )
+            # A newly materialised rung widens the infinite-horizon scan.
+            self._promotion_cache_valid = False
         return self._rungs[i]
 
     @property
@@ -125,6 +151,10 @@ class Bracket:
         """File a result into rung ``rung_index``."""
         self.rung(rung_index).record(trial_id, loss)
 
+    def _invalidate_promotions(self) -> None:
+        """Forget the cached promotion scan (a rung's state changed)."""
+        self._promotion_cache_valid = False
+
     def find_promotion(self) -> tuple[int, int] | None:
         """ASHA's promotion scan (Algorithm 2, lines 13-19).
 
@@ -133,16 +163,28 @@ class Bracket:
         configuration found, or ``None`` if no promotion is possible.  In the
         finite horizon the top rung never promotes; in the infinite horizon
         every materialised rung may promote (growing the ladder).
+
+        The scan result is cached and invalidated incrementally: recording a
+        result, (un)marking a promotion, or materialising a rung resets it.
+        ASHA polls this both from ``next_job`` and ``is_done`` on every free
+        worker, so repeated polls between state changes cost O(1) instead of
+        a full rescan of every rung.
         """
-        if self.max_resource is not None:
+        if self._promotion_cache_valid:
+            return self._promotion_cache
+        if self._s_max is not None:
             highest = self.num_rungs - 2  # top rung does not promote
         else:
             highest = len(self._rungs) - 1  # any materialised rung may promote
+        found: tuple[int, int] | None = None
         for k in range(highest, -1, -1):
-            candidate = self.rung(k).first_promotable(self.eta)
+            candidate = self._rungs[k].first_promotable(self.eta)
             if candidate is not None:
-                return candidate, k + 1
-        return None
+                found = (candidate, k + 1)
+                break
+        self._promotion_cache = found
+        self._promotion_cache_valid = True
+        return found
 
     def promote(self, trial_id: int, from_rung: int) -> None:
         """Mark ``trial_id`` promoted out of ``from_rung``."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from typing import Callable
 
 __all__ = ["Rung"]
 
@@ -43,7 +44,9 @@ class Rung:
         enter this rung (``r_i = r * eta**(i + s)``).
     """
 
-    def __init__(self, index: int, resource: float):
+    def __init__(
+        self, index: int, resource: float, *, on_change: Callable[[], None] | None = None
+    ):
         self.index = index
         self.resource = resource
         self.losses: dict[int, float] = {}
@@ -52,6 +55,10 @@ class Rung:
         # determinism.  NaN is mapped to +inf at insertion.
         self._sorted: list[tuple[float, int]] = []
         self._unpromoted: list[tuple[float, int]] = []
+        # Owner notification: the bracket holding this rung registers a
+        # callback so it can invalidate its cached promotion scan whenever
+        # the leaderboard (and therefore promotability) changes.
+        self._on_change = on_change
 
     def __len__(self) -> int:
         return len(self.losses)
@@ -72,6 +79,8 @@ class Rung:
         bisect.insort(self._sorted, key)
         if trial_id not in self.promoted:
             bisect.insort(self._unpromoted, key)
+        if self._on_change is not None:
+            self._on_change()
 
     @staticmethod
     def _remove(entries: list[tuple[float, int]], key: tuple[float, int]) -> None:
@@ -119,6 +128,8 @@ class Rung:
         if trial_id not in self.promoted:
             self.promoted.add(trial_id)
             self._remove(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+            if self._on_change is not None:
+                self._on_change()
 
     def unmark_promoted(self, trial_id: int) -> None:
         """Return a promoted entry to the promotable pool (failed promotion).
@@ -130,6 +141,8 @@ class Rung:
         if trial_id in self.promoted:
             self.promoted.discard(trial_id)
             bisect.insort(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+            if self._on_change is not None:
+                self._on_change()
 
     def best(self) -> tuple[int, float] | None:
         """(trial_id, loss) of the current leader, or ``None`` if empty."""

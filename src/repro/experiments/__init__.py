@@ -2,16 +2,22 @@
 
 from . import figures
 from .methods import MethodSettings, standard_methods
-from .runner import aggregate_methods, run_trials
+from .parallel import JOBS_ENV_VAR, parallel_map, resolve_jobs
+from .runner import aggregate_methods, run_methods, run_trials, sequence_seeds
 from .specs import EXPERIMENTS, ExperimentSpec, get_spec
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
+    "JOBS_ENV_VAR",
     "MethodSettings",
     "aggregate_methods",
     "figures",
     "get_spec",
+    "parallel_map",
+    "resolve_jobs",
+    "run_methods",
     "run_trials",
+    "sequence_seeds",
     "standard_methods",
 ]

@@ -47,7 +47,8 @@ from ..objectives import (
 from ..objectives.base import Objective
 from ..objectives.surrogate import SurrogateObjective
 from .methods import MethodSettings, standard_methods
-from .runner import aggregate_methods, run_trials
+from .parallel import parallel_map
+from .runner import aggregate_methods, run_methods
 from .toys import FIGURE2_QUALITIES, scripted_sampler, toy_objective
 
 __all__ = [
@@ -195,6 +196,7 @@ def figure3(
     horizon_multiple: float = 40.0,
     methods: Sequence[str] | None = None,
     grid_points: int = 48,
+    n_jobs: int | None = None,
 ) -> dict[str, AggregateCurve]:
     """Sequential experiments (1 worker), Figure 3.
 
@@ -204,17 +206,14 @@ def figure3(
     spec = sequential_benchmarks()[benchmark]
     time_limit = horizon_multiple * spec.settings.max_resource
     factories = standard_methods(spec.settings, include=methods)
-    records = {
-        name: run_trials(
-            name,
-            factory,
-            spec.make_objective,
-            num_workers=1,
-            time_limit=time_limit,
-            seeds=range(num_trials),
-        )
-        for name, factory in factories.items()
-    }
+    records = run_methods(
+        factories,
+        spec.make_objective,
+        num_workers=1,
+        time_limit=time_limit,
+        seeds=range(num_trials),
+        n_jobs=n_jobs,
+    )
     return aggregate_methods(
         records, time_limit=time_limit, grid_points=grid_points, band="quartile"
     )
@@ -229,6 +228,7 @@ def figure4(
     methods: Sequence[str] | None = ("ASHA", "PBT", "SHA", "BOHB"),
     straggler_std: float = 0.25,
     grid_points: int = 48,
+    n_jobs: int | None = None,
 ) -> dict[str, AggregateCurve]:
     """Limited-scale distributed experiments (25 workers), Figure 4.
 
@@ -239,18 +239,15 @@ def figure4(
     spec = sequential_benchmarks(grow_brackets=True)[benchmark]
     time_limit = horizon_multiple * spec.settings.max_resource
     factories = standard_methods(spec.settings, include=methods)
-    records = {
-        name: run_trials(
-            name,
-            factory,
-            spec.make_objective,
-            num_workers=num_workers,
-            time_limit=time_limit,
-            seeds=range(num_trials),
-            straggler_std=straggler_std,
-        )
-        for name, factory in factories.items()
-    }
+    records = run_methods(
+        factories,
+        spec.make_objective,
+        num_workers=num_workers,
+        time_limit=time_limit,
+        seeds=range(num_trials),
+        straggler_std=straggler_std,
+        n_jobs=n_jobs,
+    )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
 
@@ -266,6 +263,7 @@ def figure5(
     horizon_multiple: float = 6.0,
     vizier_loss_cap: float | None = 1000.0,
     grid_points: int = 48,
+    n_jobs: int | None = None,
 ) -> dict[str, AggregateCurve]:
     """Large-scale benchmark, Figure 5 (paper: 5 trials, 500 workers).
 
@@ -299,17 +297,14 @@ def figure5(
         "Hyperband (Loop Brackets)": hb_factory,
         "Vizier": vizier_factory,
     }
-    records = {
-        name: run_trials(
-            name,
-            factory,
-            lambda seed: ptb_lstm.make_objective(seed_salt=seed),
-            num_workers=num_workers,
-            time_limit=time_limit,
-            seeds=range(num_trials),
-        )
-        for name, factory in factories.items()
-    }
+    records = run_methods(
+        factories,
+        lambda seed: ptb_lstm.make_objective(seed_salt=seed),
+        num_workers=num_workers,
+        time_limit=time_limit,
+        seeds=range(num_trials),
+        n_jobs=n_jobs,
+    )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
 
@@ -324,6 +319,7 @@ def figure6(
     num_workers: int = 16,
     horizon_multiple: float = 5.0,
     grid_points: int = 48,
+    n_jobs: int | None = None,
 ) -> dict[str, AggregateCurve]:
     """Modern LSTM benchmark, Figure 6.
 
@@ -345,17 +341,14 @@ def figure6(
             population_size=20,
         )
 
-    records = {
-        name: run_trials(
-            name,
-            factory,
-            lambda seed: ptb_awd_lstm.make_objective(seed_salt=seed),
-            num_workers=num_workers,
-            time_limit=time_limit,
-            seeds=range(num_trials),
-        )
-        for name, factory in {"PBT": pbt_factory, "ASHA": asha_factory}.items()
-    }
+    records = run_methods(
+        {"PBT": pbt_factory, "ASHA": asha_factory},
+        lambda seed: ptb_awd_lstm.make_objective(seed_salt=seed),
+        num_workers=num_workers,
+        time_limit=time_limit,
+        seeds=range(num_trials),
+        n_jobs=n_jobs,
+    )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
 
@@ -379,6 +372,40 @@ def _robustness_schedulers(objective: Objective, rng: np.random.Generator):
     return {"SHA": sha, "ASHA": asha}
 
 
+@dataclass(frozen=True)
+class _RobustnessTask:
+    """One simulation of the Appendix A.1 sweep — picklable for fan-out."""
+
+    name: str
+    std: float
+    drop_prob: float
+    sim: int
+    num_workers: int
+    time_budget: float
+    seed_multiplier: int
+    stop_on_first_completion: bool
+
+
+def _run_robustness_task(task: _RobustnessTask) -> tuple[int, float | None]:
+    """(completion count, first completion time) of one robustness sim."""
+    objective = sim_workload.make_objective(seed_salt=task.sim)
+    rng = np.random.default_rng(task.sim)
+    scheduler = _robustness_schedulers(objective, rng)[task.name]
+    cluster = SimulatedCluster(
+        task.num_workers,
+        straggler_std=task.std,
+        drop_probability=task.drop_prob,
+        seed=task.seed_multiplier * task.sim + (0 if task.name == "SHA" else 1),
+    )
+    result = cluster.run(
+        scheduler,
+        objective,
+        time_limit=task.time_budget,
+        stop_on_first_completion=task.stop_on_first_completion,
+    )
+    return result.num_completions(), result.first_completion_time()
+
+
 def figure7(
     *,
     straggler_stds: Sequence[float] = (0.1, 0.24, 0.56, 1.33),
@@ -386,6 +413,7 @@ def figure7(
     num_sims: int = 10,
     num_workers: int = 10,
     time_budget: float = 2000.0,
+    n_jobs: int | None = None,
 ) -> list[dict]:
     """Configurations trained to R within the budget (paper: 25 sims).
 
@@ -394,31 +422,30 @@ def figure7(
     row per (method, std, drop probability) with the mean/std completion
     count.
     """
+    tasks = [
+        _RobustnessTask(name, std, p, sim, num_workers, time_budget, 7919, False)
+        for std in straggler_stds
+        for p in drop_probs
+        for sim in range(num_sims)
+        for name in ("SHA", "ASHA")
+    ]
+    outcomes = parallel_map(_run_robustness_task, tasks, n_jobs)
     rows = []
     for std in straggler_stds:
         for p in drop_probs:
-            counts: dict[str, list[int]] = {"SHA": [], "ASHA": []}
-            for sim in range(num_sims):
-                objective = sim_workload.make_objective(seed_salt=sim)
-                for name in ("SHA", "ASHA"):
-                    rng = np.random.default_rng(sim)
-                    scheduler = _robustness_schedulers(objective, rng)[name]
-                    cluster = SimulatedCluster(
-                        num_workers,
-                        straggler_std=std,
-                        drop_probability=p,
-                        seed=7919 * sim + (0 if name == "SHA" else 1),
-                    )
-                    result = cluster.run(scheduler, objective, time_limit=time_budget)
-                    counts[name].append(result.num_completions())
             for name in ("SHA", "ASHA"):
+                counts = [
+                    completions
+                    for task, (completions, _) in zip(tasks, outcomes)
+                    if task.name == name and task.std == std and task.drop_prob == p
+                ]
                 rows.append(
                     {
                         "method": name,
                         "train_std": std,
                         "drop_prob": p,
-                        "mean_completed": float(np.mean(counts[name])),
-                        "std_completed": float(np.std(counts[name])),
+                        "mean_completed": float(np.mean(counts)),
+                        "std_completed": float(np.std(counts)),
                     }
                 )
     return rows
@@ -431,6 +458,7 @@ def figure8(
     num_sims: int = 10,
     num_workers: int = 10,
     time_budget: float = 2000.0,
+    n_jobs: int | None = None,
 ) -> list[dict]:
     """Time until the first configuration trained to R (paper: 25 sims).
 
@@ -438,37 +466,30 @@ def figure8(
     the budget itself (a right-censored observation, as in the figure's
     capped y-axis).
     """
+    tasks = [
+        _RobustnessTask(name, std, p, sim, num_workers, time_budget, 104729, True)
+        for std in straggler_stds
+        for p in drop_probs
+        for sim in range(num_sims)
+        for name in ("SHA", "ASHA")
+    ]
+    outcomes = parallel_map(_run_robustness_task, tasks, n_jobs)
     rows = []
     for std in straggler_stds:
         for p in drop_probs:
-            times: dict[str, list[float]] = {"SHA": [], "ASHA": []}
-            for sim in range(num_sims):
-                objective = sim_workload.make_objective(seed_salt=sim)
-                for name in ("SHA", "ASHA"):
-                    rng = np.random.default_rng(sim)
-                    scheduler = _robustness_schedulers(objective, rng)[name]
-                    cluster = SimulatedCluster(
-                        num_workers,
-                        straggler_std=std,
-                        drop_probability=p,
-                        seed=104729 * sim + (0 if name == "SHA" else 1),
-                    )
-                    result = cluster.run(
-                        scheduler,
-                        objective,
-                        time_limit=time_budget,
-                        stop_on_first_completion=True,
-                    )
-                    first = result.first_completion_time()
-                    times[name].append(first if first is not None else time_budget)
             for name in ("SHA", "ASHA"):
+                times = [
+                    first if first is not None else time_budget
+                    for task, (_, first) in zip(tasks, outcomes)
+                    if task.name == name and task.std == std and task.drop_prob == p
+                ]
                 rows.append(
                     {
                         "method": name,
                         "train_std": std,
                         "drop_prob": p,
-                        "mean_first_completion": float(np.mean(times[name])),
-                        "std_first_completion": float(np.std(times[name])),
+                        "mean_first_completion": float(np.mean(times)),
+                        "std_first_completion": float(np.std(times)),
                     }
                 )
     return rows
@@ -493,6 +514,76 @@ def _figure9_objective(benchmark: str, seed: int) -> Objective:
     raise KeyError(f"unknown figure-9 benchmark {benchmark!r}")
 
 
+@dataclass(frozen=True)
+class _Figure9Task:
+    """One seed of the Appendix A.2 comparison — picklable for fan-out."""
+
+    benchmark: str
+    seed: int
+    r_max: float
+    time_limit: float
+    fabolas_max_trials: int | None
+
+
+def _run_figure9_seed(task: _Figure9Task) -> dict[str, RunRecord]:
+    """All four method records of one figure-9 seed."""
+    seed = task.seed
+    r_max = task.r_max
+    time_limit = task.time_limit
+    objective = _figure9_objective(task.benchmark, seed)
+    if isinstance(objective, SurrogateObjective):
+        evaluate = objective.clean_loss_at
+    else:
+        def evaluate(config, resource):
+            return objective.evaluate(config, r_max)
+    out: dict[str, RunRecord] = {}
+    # --- Hyperband, one run, two accountings.
+    rng = np.random.default_rng(seed)
+    hb = Hyperband(
+        objective.space, rng, min_resource=r_max / 256.0, max_resource=r_max, eta=4
+    )
+    cluster = SimulatedCluster(1, seed=seed + 10_000)
+    backend = cluster.run(hb, objective, time_limit=time_limit)
+    out["Hyperband (by rung)"] = RunRecord(
+        "Hyperband (by rung)",
+        seed,
+        trace_incumbent(backend, hb, accounting="by_rung", evaluate=evaluate),
+    )
+    out["Hyperband (by bracket)"] = RunRecord(
+        "Hyperband (by bracket)",
+        seed,
+        trace_incumbent(backend, hb, accounting="by_bracket", evaluate=evaluate),
+    )
+    # --- Random search.
+    rng = np.random.default_rng(seed)
+    rs = RandomSearch(objective.space, rng, max_resource=r_max)
+    backend = SimulatedCluster(1, seed=seed + 20_000).run(
+        rs, objective, time_limit=time_limit
+    )
+    out["Random"] = RunRecord(
+        "Random",
+        seed,
+        trace_incumbent(backend, rs, accounting="by_rung", evaluate=evaluate),
+    )
+    # --- Fabolas: incumbent history -> offline validation.
+    rng = np.random.default_rng(seed)
+    fab = Fabolas(
+        objective.space, rng, max_resource=r_max, max_trials=task.fabolas_max_trials
+    )
+    backend = SimulatedCluster(1, seed=seed + 30_000).run(
+        fab, objective, time_limit=time_limit
+    )
+    trace = IncumbentTrace()
+    best_so_far = float("inf")
+    for report_index, config in fab.incumbent_history:
+        time = backend.measurements[report_index - 1].time
+        value = evaluate(config, r_max)
+        best_so_far = min(best_so_far, value)
+        trace.append(time, best_so_far, -1)
+    out["Fabolas"] = RunRecord("Fabolas", seed, trace)
+    return out
+
+
 def figure9(
     benchmark: str = "svm_vehicle",
     *,
@@ -500,6 +591,7 @@ def figure9(
     horizon_multiple: float = 30.0,
     grid_points: int = 32,
     fabolas_max_trials: int | None = 120,
+    n_jobs: int | None = None,
 ) -> dict[str, AggregateCurve]:
     """Sequential Fabolas comparison, Figure 9 (paper: 10 trials, eta = 4).
 
@@ -512,77 +604,14 @@ def figure9(
     r_max = probe.max_resource
     time_limit = horizon_multiple * r_max
     grid = np.linspace(0.0, time_limit, grid_points)
-
-    def offline(objective: Objective):
-        if isinstance(objective, SurrogateObjective):
-            return objective.clean_loss_at
-        return lambda config, resource: objective.evaluate(config, r_max)
-
-    by_rung: list[RunRecord] = []
-    by_bracket: list[RunRecord] = []
-    random_records: list[RunRecord] = []
-    fabolas_records: list[RunRecord] = []
-    for seed in range(num_trials):
-        objective = _figure9_objective(benchmark, seed)
-        evaluate = offline(objective)
-        # --- Hyperband, one run, two accountings.
-        rng = np.random.default_rng(seed)
-        hb = Hyperband(
-            objective.space, rng, min_resource=r_max / 256.0, max_resource=r_max, eta=4
-        )
-        cluster = SimulatedCluster(1, seed=seed + 10_000)
-        backend = cluster.run(hb, objective, time_limit=time_limit)
-        by_rung.append(
-            RunRecord(
-                "Hyperband (by rung)",
-                seed,
-                trace_incumbent(backend, hb, accounting="by_rung", evaluate=evaluate),
-            )
-        )
-        by_bracket.append(
-            RunRecord(
-                "Hyperband (by bracket)",
-                seed,
-                trace_incumbent(backend, hb, accounting="by_bracket", evaluate=evaluate),
-            )
-        )
-        # --- Random search.
-        rng = np.random.default_rng(seed)
-        rs = RandomSearch(objective.space, rng, max_resource=r_max)
-        backend = SimulatedCluster(1, seed=seed + 20_000).run(
-            rs, objective, time_limit=time_limit
-        )
-        random_records.append(
-            RunRecord(
-                "Random",
-                seed,
-                trace_incumbent(backend, rs, accounting="by_rung", evaluate=evaluate),
-            )
-        )
-        # --- Fabolas: incumbent history -> offline validation.
-        rng = np.random.default_rng(seed)
-        fab = Fabolas(
-            objective.space, rng, max_resource=r_max, max_trials=fabolas_max_trials
-        )
-        backend = SimulatedCluster(1, seed=seed + 30_000).run(
-            fab, objective, time_limit=time_limit
-        )
-        trace = IncumbentTrace()
-        best_so_far = float("inf")
-        for report_index, config in fab.incumbent_history:
-            time = backend.measurements[report_index - 1].time
-            value = evaluate(config, r_max)
-            best_so_far = min(best_so_far, value)
-            trace.append(time, best_so_far, -1)
-        fabolas_records.append(RunRecord("Fabolas", seed, trace))
-
+    tasks = [
+        _Figure9Task(benchmark, seed, r_max, time_limit, fabolas_max_trials)
+        for seed in range(num_trials)
+    ]
+    per_seed = parallel_map(_run_figure9_seed, tasks, n_jobs)
     out = {}
-    for name, records in (
-        ("Hyperband (by rung)", by_rung),
-        ("Hyperband (by bracket)", by_bracket),
-        ("Fabolas", fabolas_records),
-        ("Random", random_records),
-    ):
+    for name in ("Hyperband (by rung)", "Hyperband (by bracket)", "Fabolas", "Random"):
+        records = [result[name] for result in per_seed]
         out[name] = aggregate(name, records, grid, band="minmax")
     return out
 

@@ -1,0 +1,167 @@
+"""Process-based fan-out for experiment trials.
+
+The paper's whole point is the large-scale regime, and reproducing it means
+running many independent ``(method, seed)`` searches — Figure 5 alone is
+three methods x several seeds x ~10^5 simulated jobs each.  Every one of
+those searches is deterministic given its seed and shares nothing with its
+siblings, so they parallelise perfectly across processes (threads do not
+help: the simulation is pure Python and GIL-bound).
+
+Design constraints, in order:
+
+* **Identical output.**  A parallel run must produce byte-identical
+  :class:`~repro.analysis.results.RunRecord` lists — same traces, same
+  backend logs, same telemetry metric reports — as the sequential path.
+  Each trial derives every RNG from its seed, so where it executes cannot
+  matter; results are always returned in task order, never completion
+  order.
+* **Closures welcome.**  Scheduler factories are usually closures over
+  method settings (see :func:`~repro.experiments.methods.standard_methods`)
+  and closures do not pickle.  The pool therefore uses the ``fork`` start
+  method and hands workers an *index* into a module-level task table
+  inherited through the fork — the only things crossing the pipe are small
+  picklable task specs (ints) and the picklable results.
+* **Graceful fallback.**  Anything that prevents parallel execution — no
+  ``fork`` on the platform, an unpicklable result, a broken pool — quietly
+  degrades to the in-process path, which is always correct.
+
+The worker count comes from the ``n_jobs=`` argument or, when that is
+``None``, the ``REPRO_JOBS`` environment variable — the shared knob the
+figure benches expose via ``--jobs`` (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+__all__ = ["JOBS_ENV_VAR", "parallel_map", "resolve_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Fork-inherited task table: ``(fn, tasks)`` while a pool is alive.  Workers
+#: receive indices and look the work up here, so unpicklable callables
+#: (closures over method settings) never cross a process boundary.
+_WORK: tuple[Callable[[Any], Any], Sequence[Any]] | None = None
+
+#: True inside pool workers; nested ``parallel_map`` calls run in-process
+#: (one level of process fan-out is the useful one).
+_IN_WORKER = False
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """The effective worker count for a parallel experiment run.
+
+    ``n_jobs`` wins when given; otherwise ``$REPRO_JOBS`` is consulted and
+    an unset/empty variable means 1 (the in-process path).  Negative values
+    mean "all cores", joblib-style.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from exc
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be nonzero (use 1 for sequential, -1 for all cores)")
+    if n_jobs < 0:
+        return max(os.cpu_count() or 1, 1)
+    return n_jobs
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _fork_entry(index: int) -> Any:
+    """Pool entry point: run one task from the fork-inherited table."""
+    assert _WORK is not None, "worker forked without a task table"
+    fn, tasks = _WORK
+    return fn(tasks[index])
+
+
+def _can_fork() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    n_jobs: int | None = None,
+    *,
+    executor: Executor | None = None,
+) -> list[R]:
+    """``[fn(t) for t in tasks]`` fanned out across processes.
+
+    Results are returned in task order regardless of completion order.  With
+    ``n_jobs`` resolving to 1, a single task, or inside a pool worker the
+    in-process path runs directly.  An injected ``executor`` is used as-is
+    (its tasks must then be picklable); otherwise a fork-based pool is
+    created for the duration of the call.  Any failure to execute remotely
+    falls back to computing the affected tasks in-process, so genuine task
+    errors still surface — re-raised from the fallback path.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(n_jobs)
+    if executor is not None:
+        return _map_with_executor(fn, tasks, executor)
+    if jobs <= 1 or len(tasks) <= 1 or _IN_WORKER or not _can_fork():
+        return [fn(t) for t in tasks]
+    global _WORK
+    results: list[Any] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    _WORK = (fn, tasks)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            mp_context=context,
+            initializer=_mark_worker,
+        ) as pool:
+            futures = [(i, pool.submit(_fork_entry, i)) for i in pending]
+            for i, future in futures:
+                results[i] = future.result()
+                pending.remove(i)
+    except Exception:
+        # Fallback: whatever the pool could not deliver (no fork, broken
+        # pool, unpicklable result, or a real task error) is computed — and
+        # any genuine error re-raised — in-process.
+        for i in list(pending):
+            results[i] = fn(tasks[i])
+            pending.remove(i)
+    finally:
+        _WORK = None
+    return results
+
+
+def _map_with_executor(
+    fn: Callable[[T], R], tasks: list[T], executor: Executor
+) -> list[R]:
+    """Map over an injected executor, falling back per-task on failure."""
+    futures: list[Future[R] | None] = []
+    for task in tasks:
+        try:
+            futures.append(executor.submit(fn, task))
+        except Exception:  # unpicklable task for this executor type
+            futures.append(None)
+    results: list[Any] = [None] * len(tasks)
+    for i, future in enumerate(futures):
+        if future is None:
+            results[i] = fn(tasks[i])
+            continue
+        try:
+            results[i] = future.result()
+        except Exception:
+            # Executor-side failure (e.g. pickling the closure for a spawn
+            # pool); the in-process retry re-raises genuine task errors.
+            results[i] = fn(tasks[i])
+    return results

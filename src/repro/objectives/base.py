@@ -29,19 +29,32 @@ from typing import Any
 
 from ..searchspace import Config, SearchSpace
 
-__all__ = ["Objective", "config_seed"]
+__all__ = ["Objective", "config_payload", "config_seed"]
 
 
-def config_seed(config: Config, salt: int = 0) -> int:
+def config_payload(config: Config) -> bytes:
+    """The canonical JSON encoding of a configuration.
+
+    Callers that derive several seeds from the same configuration (e.g. a
+    profile seed and a noise seed) encode once and pass the payload to
+    :func:`config_seed` — the JSON canonicalisation dominates the hashing.
+    """
+    return json.dumps(
+        {k: _canonical(v) for k, v in config.items()}, sort_keys=True
+    ).encode()
+
+
+def config_seed(config: Config, salt: int = 0, *, payload: bytes | None = None) -> int:
     """A stable 64-bit seed derived from a configuration's contents.
 
     Uses a canonical JSON encoding hashed with blake2b, so the same
     configuration yields the same seed across processes and schedulers
     (Python's built-in ``hash`` is salted per process and unusable here).
+    ``payload`` short-circuits the encoding when the caller already holds
+    :func:`config_payload`'s output for this configuration.
     """
-    payload = json.dumps(
-        {k: _canonical(v) for k, v in config.items()}, sort_keys=True
-    ).encode()
+    if payload is None:
+        payload = config_payload(config)
     digest = hashlib.blake2b(payload, digest_size=8, salt=salt.to_bytes(8, "little"))
     return int.from_bytes(digest.digest(), "little")
 

@@ -23,7 +23,7 @@ from statistics import NormalDist
 from typing import Callable
 
 from ..searchspace import Config, SearchSpace
-from .base import Objective, config_seed
+from .base import Objective, config_payload, config_seed
 from .curves import CurveProfile, advance_loss, curve_loss
 
 __all__ = ["CurveState", "SurrogateObjective", "seeded_normal", "seeded_uniform"]
@@ -108,12 +108,16 @@ class SurrogateObjective(Objective):
         hit = self._id_cache.get(key)
         if hit is not None and hit[0] is config:
             return hit[1], hit[2]
-        seed = config_seed(config, salt=self.seed_salt)
+        # Canonicalise the config once: both seeds hash the same payload
+        # under different salts, and the JSON encoding is the expensive part
+        # (one fresh config per sampled trial at 500-worker scale).
+        payload = config_payload(config)
+        seed = config_seed(config, salt=self.seed_salt, payload=payload)
         profile = self._profile_cache.get(seed)
         if profile is None:
             profile = self.profile_fn(config, seed)
             self._profile_cache[seed] = profile
-        noise_seed = config_seed(config, salt=self.seed_salt + 1)
+        noise_seed = config_seed(config, salt=self.seed_salt + 1, payload=payload)
         self._id_cache[key] = (config, profile, noise_seed)
         return profile, noise_seed
 

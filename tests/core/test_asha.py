@@ -127,6 +127,38 @@ class TestIsDone:
         assert result.jobs_dispatched == 13
         assert len(result.completions) == 1
 
+    def test_is_done_reuses_cached_promotion_scan(self, one_d_space, rng, toy_obj, monkeypatch):
+        """The backend's is_done + next_job poll pair costs one rung scan.
+
+        ``is_done`` and ``next_job`` both consult the bracket's promotion
+        scan; between rung mutations the second (and every later) query must
+        come from the bracket's cache rather than rescanning the ladder.
+        """
+        from repro.core import rung as rung_module
+
+        asha = make_asha(one_d_space, rng, max_trials=9)
+        cluster = SimulatedCluster(3, seed=0)
+        cluster.run(asha, toy_obj, time_limit=1e6)
+        assert asha.is_done()
+
+        calls = {"n": 0}
+        original = rung_module.Rung.first_promotable
+
+        def counting(self, eta):
+            calls["n"] += 1
+            return original(self, eta)
+
+        monkeypatch.setattr(rung_module.Rung, "first_promotable", counting)
+        # Drained scheduler, no rung mutations: the first poll may scan the
+        # ladder once; every subsequent is_done/next_job pair is cache hits.
+        assert asha.is_done()
+        first_poll = calls["n"]
+        assert first_poll <= len(asha.bracket.rungs)
+        for _ in range(10):
+            assert asha.is_done()
+            assert asha.next_job() is None
+        assert calls["n"] == first_poll
+
 
 class TestAdaptiveSampler:
     def test_sampler_hook_used(self, one_d_space, rng):

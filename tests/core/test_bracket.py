@@ -151,3 +151,79 @@ def test_budget_equal_per_rung_when_n_is_power(eta, s_max, mult):
     rows = sha_rung_schedule(n, 1.0, float(eta**s_max), eta, 0)
     budgets = {r["total"] for r in rows}
     assert len(budgets) == 1
+
+
+class TestPromotionScanCache:
+    """The promotion scan is cached between rung mutations (hot-path opt)."""
+
+    @staticmethod
+    def _counting_bracket(monkeypatch):
+        from repro.core import rung as rung_module
+
+        calls = {"n": 0}
+        original = rung_module.Rung.first_promotable
+
+        def counting(self, eta):
+            calls["n"] += 1
+            return original(self, eta)
+
+        monkeypatch.setattr(rung_module.Rung, "first_promotable", counting)
+        return Bracket(1.0, 9.0, 3, 0), calls
+
+    def test_repeated_queries_scan_once(self, monkeypatch):
+        b, calls = self._counting_bracket(monkeypatch)
+        for t in range(3):
+            b.record(0, t, t / 10)
+        first = b.find_promotion()
+        scans_for_first = calls["n"]
+        assert scans_for_first > 0
+        # Identical repeated queries (the is_done + next_job poll pair, once
+        # per free worker) must hit the cache, not rescan.
+        for _ in range(5):
+            assert b.find_promotion() == first
+        assert calls["n"] == scans_for_first
+
+    def test_cache_invalidated_by_record_promote_and_unmark(self, monkeypatch):
+        b, calls = self._counting_bracket(monkeypatch)
+        for t in range(3):
+            b.record(0, t, t / 10)
+        assert b.find_promotion() == (0, 1)
+        b.promote(0, 0)
+        # promote() marks the rung -> cache drops -> fresh scan, new answer.
+        before = calls["n"]
+        assert b.find_promotion() is None
+        assert calls["n"] > before
+        # A failed promotion returns the candidate; the scan must see it.
+        b.rung(0).unmark_promoted(0)
+        assert b.find_promotion() == (0, 1)
+        # New results also invalidate.
+        b.record(0, 3, 0.5)
+        b.record(0, 4, 0.6)
+        b.record(0, 5, 0.7)
+        before = calls["n"]
+        assert b.find_promotion() == (0, 1)
+        assert calls["n"] > before
+
+    def test_cached_answers_match_uncached(self, monkeypatch):
+        """Cache on/off must be observationally identical over a random history."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        cached = Bracket(1.0, 27.0, 3, 0)
+        fresh_answers = []
+        cached_answers = []
+        recorded: list[tuple[int, int, float]] = []
+        for step in range(200):
+            rung_index = int(rng.integers(0, 3))
+            loss = float(rng.random())
+            trial_id = step
+            cached.record(rung_index, trial_id, loss)
+            recorded.append((rung_index, trial_id, loss))
+            cached_answers.append(cached.find_promotion())
+            # Rebuild an identical bracket with no query history: its first
+            # scan is always uncached.
+            rebuilt = Bracket(1.0, 27.0, 3, 0)
+            for r_i, t_i, l_i in recorded:
+                rebuilt.record(r_i, t_i, l_i)
+            fresh_answers.append(rebuilt.find_promotion())
+        assert cached_answers == fresh_answers

@@ -114,6 +114,14 @@ def _vizier():
 #: so the traces also pin down failure-path behaviour.
 SCENARIOS = {
     "asha": (_asha, dict(straggler_std=0.3, drop_probability=0.02, seed=7), 60.0),
+    # Recorded *after* churn victim selection moved to the O(1) swap-remove
+    # index (the rng draw sequence is unchanged; victim identity is pinned
+    # by this trace).
+    "asha_churn": (
+        _asha,
+        dict(straggler_std=0.3, churn_rate=0.15, churn_downtime=5.0, seed=23),
+        60.0,
+    ),
     "sha": (_sha, dict(straggler_std=0.2, seed=11), 120.0),
     "hyperband": (_hyperband, dict(seed=13), 500.0),
     "async_hyperband": (_async_hyperband, dict(straggler_std=0.2, seed=15), 90.0),
@@ -148,6 +156,17 @@ def test_traces_are_nontrivial():
         golden = (GOLDEN_DIR / f"{name}.jsonl").read_text(encoding="utf-8")
         assert golden.count("\n") > 20, f"{name} trace suspiciously short"
         assert '"kind":"promotion"' in golden or name == "vizier"
+
+
+def test_churn_trace_pins_victim_selection():
+    """The churn scenario must actually kill jobs to pin victim selection.
+
+    Churn victims are drawn from the O(1) live-job index; this trace freezes
+    which jobs die and when, so any change to the index's iteration order or
+    the rng draw sequence shows up as a byte diff.
+    """
+    golden = (GOLDEN_DIR / "asha_churn.jsonl").read_text(encoding="utf-8")
+    assert '"reason":"churn"' in golden
 
 
 if __name__ == "__main__":

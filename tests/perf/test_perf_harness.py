@@ -1,0 +1,163 @@
+"""Tests for the perf-regression harness: schema, normalisation, and gate.
+
+The microbenches themselves are exercised by CI's perf-smoke job (they take
+seconds to minutes); here we pin what must never drift silently — the
+BENCH_perf.json schema, the committed baseline, and the regression gate's
+pass/fail logic.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PERF_DIR = REPO_ROOT / "benchmarks" / "perf"
+
+REQUIRED_TOP_KEYS = {"schema_version", "mode", "python", "calibration_ops_per_s", "benchmarks"}
+REQUIRED_ENTRY_KEYS = {"value", "unit", "higher_is_better", "normalized", "meta"}
+#: Benchmarks every report must carry — CI's gate and the docs rely on them.
+REQUIRED_BENCHMARKS = {
+    "scheduler_asha_ops",
+    "simulator_events",
+    "simulator_churn_events",
+    "end_to_end_asha",
+    "parallel_speedup",
+}
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, PERF_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def perf_utils():
+    return _load_module("perf_utils")
+
+
+@pytest.fixture(scope="module")
+def check_regression():
+    return _load_module("check_regression")
+
+
+def _validate_report(report: dict) -> None:
+    assert REQUIRED_TOP_KEYS <= set(report)
+    assert report["schema_version"] == 1
+    assert report["mode"] in ("quick", "full")
+    assert report["calibration_ops_per_s"] > 0
+    assert REQUIRED_BENCHMARKS <= set(report["benchmarks"])
+    for name, entry in report["benchmarks"].items():
+        assert REQUIRED_ENTRY_KEYS <= set(entry), name
+        assert entry["value"] > 0, name
+        assert entry["normalized"] > 0, name
+        assert isinstance(entry["higher_is_better"], bool), name
+
+
+class TestCommittedArtifacts:
+    def test_repo_root_report_schema(self):
+        report = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+        _validate_report(report)
+        assert report["mode"] == "full"
+
+    def test_committed_baseline_schema(self):
+        baseline = json.loads((PERF_DIR / "baseline.json").read_text())
+        _validate_report(baseline)
+        assert baseline["mode"] == "quick"
+
+    def test_parallel_speedup_is_ungated(self):
+        # A 1-core runner legitimately reports ~1x speedup; the gate must
+        # never fail on it.
+        baseline = json.loads((PERF_DIR / "baseline.json").read_text())
+        assert baseline["benchmarks"]["parallel_speedup"]["meta"]["gated"] is False
+
+
+class TestNormalisation:
+    def test_throughput_divides_by_calibration(self, perf_utils):
+        entry = perf_utils.benchmark_entry(
+            5000.0, "jobs/s", higher_is_better=True, calibration_ops_per_s=1000.0
+        )
+        assert entry["normalized"] == pytest.approx(5.0)
+
+    def test_duration_inverts_first(self, perf_utils):
+        fast = perf_utils.benchmark_entry(
+            2.0, "s", higher_is_better=False, calibration_ops_per_s=1000.0
+        )
+        slow = perf_utils.benchmark_entry(
+            4.0, "s", higher_is_better=False, calibration_ops_per_s=1000.0
+        )
+        # Normalised scores are uniformly higher-is-better.
+        assert fast["normalized"] > slow["normalized"]
+
+    def test_rejects_nonpositive_values(self, perf_utils):
+        with pytest.raises(ValueError):
+            perf_utils.benchmark_entry(
+                0.0, "jobs/s", higher_is_better=True, calibration_ops_per_s=1000.0
+            )
+
+
+def _report_with(normalized: dict[str, float], gated: dict[str, bool] | None = None) -> dict:
+    gated = gated or {}
+    return {
+        "schema_version": 1,
+        "mode": "quick",
+        "python": "3.11",
+        "calibration_ops_per_s": 1.0,
+        "benchmarks": {
+            name: {
+                "value": score,
+                "unit": "x",
+                "higher_is_better": True,
+                "normalized": score,
+                "meta": {"gated": gated.get(name, True)},
+            }
+            for name, score in normalized.items()
+        },
+    }
+
+
+class TestRegressionGate:
+    def _run(self, check_regression, tmp_path, baseline, current, threshold=2.0):
+        base_path = tmp_path / "baseline.json"
+        cur_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        return check_regression.main(
+            [
+                "--baseline",
+                str(base_path),
+                "--current",
+                str(cur_path),
+                "--threshold",
+                str(threshold),
+            ]
+        )
+
+    def test_identical_reports_pass(self, check_regression, tmp_path):
+        report = _report_with({"a": 10.0, "b": 3.0})
+        assert self._run(check_regression, tmp_path, report, report) == 0
+
+    def test_mild_slowdown_within_threshold_passes(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 6.0})  # 1.67x slower < 2x threshold
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_regression_beyond_threshold_fails(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 4.0})  # 2.5x slower
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+
+    def test_ungated_benchmark_never_fails(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0}, gated={"a": False})
+        current = _report_with({"a": 1.0}, gated={"a": False})
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_missing_benchmark_is_skipped(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0, "b": 5.0})
+        current = _report_with({"a": 10.0})
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
