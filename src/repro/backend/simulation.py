@@ -37,6 +37,7 @@ from ..core.scheduler import Scheduler
 from ..core.types import Job
 from ..objectives.base import Objective
 from ..telemetry import EventKind, TelemetryHub
+from ..telemetry.tracing import TraceBuilder
 from .checkpoint import CheckpointStore
 from .events import EventQueue
 from .faults import FaultManager, RetryPolicy
@@ -108,6 +109,7 @@ class SimulatedCluster:
         stop_on_first_completion: bool = False,
         telemetry: TelemetryHub | None = None,
         retry_policy: RetryPolicy | None = None,
+        trace: bool = False,
     ) -> BackendResult:
         """Drive ``scheduler`` against ``objective`` until the clock runs out.
 
@@ -146,6 +148,13 @@ class SimulatedCluster:
             for the increment; jobs running past it (stragglers, injected
             hangs) are killed, the worker is freed, and the failure is
             retry-eligible like any other.
+        trace:
+            Reconstruct the run's span/timeline trace (opt-in, like
+            ``telemetry``): a :class:`~repro.telemetry.TraceBuilder` is
+            attached as a sink (a hub is created if none was given) and the
+            finished :class:`~repro.telemetry.Trace` lands on
+            :attr:`BackendResult.trace`.  Purely observational — scheduling,
+            RNG draws and timing are untouched.
         """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
@@ -154,7 +163,13 @@ class SimulatedCluster:
         store = CheckpointStore()
         result = BackendResult()
         hub = telemetry if telemetry is not None else scheduler.telemetry
-        if telemetry is not None:
+        tracer = None
+        if trace:
+            tracer = TraceBuilder()
+            if not hub:
+                hub = TelemetryHub()
+            hub.add_sink(tracer)
+        if telemetry is not None or tracer is not None:
             scheduler.attach_telemetry(hub)
         store.telemetry = hub
         # Workers have stable identities so telemetry can attribute busy time;
@@ -501,6 +516,8 @@ class SimulatedCluster:
             result.telemetry = hub.finalize(
                 elapsed=result.elapsed, num_workers=self.num_workers
             )
+        if tracer is not None:
+            result.trace = tracer.build()
         return result
 
     # ------------------------------------------------------------ physics

@@ -32,6 +32,7 @@ from ..core.scheduler import Scheduler
 from ..core.types import Job
 from ..objectives.base import Objective
 from ..telemetry import EventKind, TelemetryHub
+from ..telemetry.tracing import TraceBuilder
 from .checkpoint import CheckpointStore
 from .faults import FaultManager, RetryPolicy
 from .trial_runner import BackendResult, FailureRecord, record_report
@@ -80,6 +81,7 @@ class ThreadPoolBackend:
         max_measurements: int | None = None,
         telemetry: TelemetryHub | None = None,
         retry_policy: RetryPolicy | None = None,
+        trace: bool = False,
     ) -> BackendResult:
         """Drive ``scheduler`` with real threads until ``time_limit`` seconds.
 
@@ -96,6 +98,11 @@ class ThreadPoolBackend:
         When ``retry_policy.timeout`` is set, a watchdog thread fails any job
         in flight longer than that many wall-clock seconds; the timeout is
         retry-eligible unless ``retry_timeouts=False``.
+
+        With ``trace=True``, a :class:`~repro.telemetry.TraceBuilder` rides
+        along as a sink (a hub is created if none was given) and the
+        reconstructed span/timeline :class:`~repro.telemetry.Trace` lands on
+        :attr:`BackendResult.trace`.
         """
         if time_limit <= 0:
             raise ValueError(f"time_limit must be positive, got {time_limit}")
@@ -107,7 +114,13 @@ class ThreadPoolBackend:
         start = _time.monotonic()
         busy_time = [0.0]
         hub = telemetry if telemetry is not None else scheduler.telemetry
-        if telemetry is not None:
+        tracer = None
+        if trace:
+            tracer = TraceBuilder()
+            if not hub:
+                hub = TelemetryHub()
+            hub.add_sink(tracer)
+        if telemetry is not None or tracer is not None:
             scheduler.attach_telemetry(hub)
         store.telemetry = hub
         faults = FaultManager(retry_policy) if retry_policy is not None else None
@@ -208,6 +221,7 @@ class ThreadPoolBackend:
                         bracket=job.bracket,
                         attempt=decision.failures + 1,
                         delay=decision.delay,
+                        retry_at=t + decision.delay,
                     )
                 retry_queue.append((t + decision.delay, job, decision.failures + 1))
             else:
@@ -378,4 +392,6 @@ class ThreadPoolBackend:
             result.telemetry = hub.finalize(
                 elapsed=max(result.elapsed, 1e-9), num_workers=self.num_workers
             )
+        if tracer is not None:
+            result.trace = tracer.build()
         return result

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from ..core.scheduler import Scheduler
 from ..core.types import Job, Measurement
 from ..telemetry import MetricsReport
+from ..telemetry.tracing import Trace
 
 __all__ = ["BackendResult", "FailureRecord", "record_report"]
 
@@ -68,6 +69,9 @@ class BackendResult:
     #: End-of-run metrics snapshot when the run had a telemetry hub with a
     #: :class:`~repro.telemetry.MetricsCollector` attached; ``None`` otherwise.
     telemetry: MetricsReport | None = None
+    #: Reconstructed span/timeline trace when the run was started with
+    #: ``trace=True`` (see :mod:`repro.telemetry.tracing`); ``None`` otherwise.
+    trace: Trace | None = None
 
     def first_completion_time(self) -> float | None:
         """Clock time of the first job finishing at the max resource."""

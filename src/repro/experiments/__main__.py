@@ -31,7 +31,7 @@ def _print_curves(curves: dict[str, Any]) -> None:
 
 
 _QUICK_RUNNERS = {
-    "fig1": lambda: print(
+    "fig1": lambda **kw: print(
         render_table(
             ["bracket", "rung", "n_i", "r_i", "total"],
             [
@@ -40,17 +40,17 @@ _QUICK_RUNNERS = {
             ],
         )
     ),
-    "fig2": lambda: print(
+    "fig2": lambda **kw: print(
         render_table(
             ["scheduler", "jobs (config @ rung)"],
             [[k, " ".join(f"{c}@{r}" for c, r in v)] for k, v in figures.figure2_traces().items()],
         )
     ),
-    "fig3": lambda: _print_curves(figures.figure3(num_trials=2, horizon_multiple=20)),
-    "fig4": lambda: _print_curves(figures.figure4(num_trials=2)),
-    "fig5": lambda: _print_curves(figures.figure5(num_trials=1)),
-    "fig6": lambda: _print_curves(figures.figure6(num_trials=2)),
-    "fig7": lambda: print(
+    "fig3": lambda **kw: _print_curves(figures.figure3(num_trials=2, horizon_multiple=20, **kw)),
+    "fig4": lambda **kw: _print_curves(figures.figure4(num_trials=2, **kw)),
+    "fig5": lambda **kw: _print_curves(figures.figure5(num_trials=1, **kw)),
+    "fig6": lambda **kw: _print_curves(figures.figure6(num_trials=2, **kw)),
+    "fig7": lambda **kw: print(
         render_table(
             ["method", "std", "drop p", "mean done", "std"],
             [
@@ -65,7 +65,7 @@ _QUICK_RUNNERS = {
             ],
         )
     ),
-    "fig8": lambda: print(
+    "fig8": lambda **kw: print(
         render_table(
             ["method", "std", "drop p", "mean first R", "std"],
             [
@@ -80,9 +80,9 @@ _QUICK_RUNNERS = {
             ],
         )
     ),
-    "fig9": lambda: _print_curves(figures.figure9(num_trials=2)),
-    "claim-wallclock": lambda: print(figures.claim_wallclock()),
-    "claim-mispromotion": lambda: print(
+    "fig9": lambda **kw: _print_curves(figures.figure9(num_trials=2)),
+    "claim-wallclock": lambda **kw: print(figures.claim_wallclock()),
+    "claim-mispromotion": lambda **kw: print(
         render_table(
             ["n", "mean", "sqrt(n)", "ratio"],
             [
@@ -93,6 +93,9 @@ _QUICK_RUNNERS = {
     ),
 }
 
+#: Experiments whose quick runners can export per-(method, seed) event files.
+_TELEMETRY_CAPABLE = frozenset({"fig3", "fig4", "fig5", "fig6"})
+
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro.experiments")
@@ -100,6 +103,14 @@ def main(argv: list[str] | None = None) -> None:
     sub.add_parser("list", help="list the reproduction registry (default)")
     run = sub.add_parser("run", help="run one experiment at quick scale")
     run.add_argument("experiment_id", choices=sorted(_QUICK_RUNNERS))
+    run.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        default=None,
+        help="write one telemetry JSONL file per (method, seed) into DIR "
+        "(curve experiments only); rebuild traces with "
+        "'python -m repro.telemetry.trace'",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "run":
@@ -108,7 +119,16 @@ def main(argv: list[str] | None = None) -> None:
         } else None
         if spec is not None:
             print(f"{spec.paper_artifact}: {spec.description}\n")
-        _QUICK_RUNNERS[args.experiment_id]()
+        kwargs = {}
+        if args.telemetry_out is not None:
+            if args.experiment_id in _TELEMETRY_CAPABLE:
+                kwargs["telemetry_out"] = args.telemetry_out
+            else:
+                print(
+                    f"note: --telemetry-out is ignored for {args.experiment_id} "
+                    f"(supported: {', '.join(sorted(_TELEMETRY_CAPABLE))})"
+                )
+        _QUICK_RUNNERS[args.experiment_id](**kwargs)
         return
 
     rows = [[s.experiment_id, s.paper_artifact, s.workload, s.bench] for s in EXPERIMENTS]

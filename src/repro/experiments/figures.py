@@ -197,11 +197,14 @@ def figure3(
     methods: Sequence[str] | None = None,
     grid_points: int = 48,
     n_jobs: int | None = None,
+    telemetry_out: str | None = None,
 ) -> dict[str, AggregateCurve]:
     """Sequential experiments (1 worker), Figure 3.
 
     Paper settings: 10 trials, ~ 2500 minutes (~ 60 x time(R)); defaults here
     are 5 trials and 40 x time(R) for bench runtime, same ordering.
+    ``telemetry_out`` writes one JSONL event file per (method, seed) into
+    that directory for offline trace reconstruction (see ``docs/tracing.md``).
     """
     spec = sequential_benchmarks()[benchmark]
     time_limit = horizon_multiple * spec.settings.max_resource
@@ -213,6 +216,7 @@ def figure3(
         time_limit=time_limit,
         seeds=range(num_trials),
         n_jobs=n_jobs,
+        telemetry_out=telemetry_out,
     )
     return aggregate_methods(
         records, time_limit=time_limit, grid_points=grid_points, band="quartile"
@@ -229,6 +233,7 @@ def figure4(
     straggler_std: float = 0.25,
     grid_points: int = 48,
     n_jobs: int | None = None,
+    telemetry_out: str | None = None,
 ) -> dict[str, AggregateCurve]:
     """Limited-scale distributed experiments (25 workers), Figure 4.
 
@@ -247,6 +252,7 @@ def figure4(
         seeds=range(num_trials),
         straggler_std=straggler_std,
         n_jobs=n_jobs,
+        telemetry_out=telemetry_out,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
@@ -264,6 +270,7 @@ def figure5(
     vizier_loss_cap: float | None = 1000.0,
     grid_points: int = 48,
     n_jobs: int | None = None,
+    telemetry_out: str | None = None,
 ) -> dict[str, AggregateCurve]:
     """Large-scale benchmark, Figure 5 (paper: 5 trials, 500 workers).
 
@@ -304,6 +311,7 @@ def figure5(
         time_limit=time_limit,
         seeds=range(num_trials),
         n_jobs=n_jobs,
+        telemetry_out=telemetry_out,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
@@ -320,6 +328,7 @@ def figure6(
     horizon_multiple: float = 5.0,
     grid_points: int = 48,
     n_jobs: int | None = None,
+    telemetry_out: str | None = None,
 ) -> dict[str, AggregateCurve]:
     """Modern LSTM benchmark, Figure 6.
 
@@ -348,6 +357,7 @@ def figure6(
         time_limit=time_limit,
         seeds=range(num_trials),
         n_jobs=n_jobs,
+        telemetry_out=telemetry_out,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 

@@ -17,6 +17,7 @@ telemetry metric reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -27,7 +28,7 @@ from ..backend.simulation import SimulatedCluster
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
 from ..objectives.surrogate import SurrogateObjective
-from ..telemetry import TelemetryHub
+from ..telemetry import JSONLSink, TelemetryHub
 from .parallel import parallel_map
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "run_methods",
     "aggregate_methods",
     "sequence_seeds",
+    "telemetry_event_path",
     "SchedulerFactory",
     "ObjectiveFactory",
     "TrialTask",
@@ -68,6 +70,15 @@ class TrialTask:
     offline_validation: bool = False
     max_measurements: int | None = None
     telemetry: TelemetryFactory | None = None
+    #: Directory for a per-trial JSONL event export (one file per
+    #: ``(method, seed)``); mutually exclusive with ``telemetry``.
+    telemetry_out: str | None = None
+
+
+def telemetry_event_path(directory: str | Path, method: str, seed: int) -> Path:
+    """Canonical event-file location for one ``(method, seed)`` trial."""
+    slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in method)
+    return Path(directory) / f"{slug}-seed{seed}.jsonl"
 
 
 def run_trial_task(task: TrialTask) -> RunRecord:
@@ -82,13 +93,21 @@ def run_trial_task(task: TrialTask) -> RunRecord:
         drop_probability=task.drop_probability,
         seed=seed + 10_000,
     )
+    hub = task.telemetry(seed) if task.telemetry is not None else None
+    owned_hub = None
+    if hub is None and task.telemetry_out is not None:
+        path = telemetry_event_path(task.telemetry_out, task.method, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        hub = owned_hub = TelemetryHub.with_metrics(JSONLSink(path))
     backend_result = cluster.run(
         scheduler,
         objective,
         time_limit=task.time_limit,
         max_measurements=task.max_measurements,
-        telemetry=task.telemetry(seed) if task.telemetry is not None else None,
+        telemetry=hub,
     )
+    if owned_hub is not None:
+        owned_hub.close()
     evaluate = None
     if task.offline_validation and isinstance(objective, SurrogateObjective):
         evaluate = objective.clean_loss_at
@@ -112,6 +131,7 @@ def run_trials(
     offline_validation: bool = False,
     max_measurements: int | None = None,
     telemetry: TelemetryFactory | None = None,
+    telemetry_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
 ) -> list[RunRecord]:
@@ -136,6 +156,12 @@ def run_trials(
         ``backend.telemetry``.  Under a process pool the hub lives in the
         worker; inspect the returned report (or a file sink), not the hub
         object itself.
+    telemetry_out:
+        Directory to write one JSONL event file per ``(method, seed)``
+        trial into (``<method>-seed<N>.jsonl``, created on demand), so a
+        span/timeline trace can be rebuilt from any experiment run with
+        ``python -m repro.telemetry.trace``.  Ignored when a ``telemetry``
+        factory is given (the factory owns sink placement then).
     n_jobs:
         Trials to run concurrently in separate processes.  ``None`` defers
         to ``$REPRO_JOBS`` (default 1); ``-1`` means all cores.  Records
@@ -160,6 +186,7 @@ def run_trials(
             offline_validation=offline_validation,
             max_measurements=max_measurements,
             telemetry=telemetry,
+            telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
         )
         for seed in seeds
     ]
@@ -179,6 +206,7 @@ def run_methods(
     offline_validation: bool = False,
     max_measurements: int | None = None,
     telemetry: TelemetryFactory | None = None,
+    telemetry_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
 ) -> dict[str, list[RunRecord]]:
@@ -204,6 +232,7 @@ def run_methods(
             offline_validation=offline_validation,
             max_measurements=max_measurements,
             telemetry=telemetry,
+            telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
         )
         for name, factory in methods.items()
         for seed in seeds

@@ -38,9 +38,20 @@ from .metrics import (
     MetricsReport,
 )
 from .sinks import InMemorySink, JSONLSink, LiveSummarySink, TelemetrySink, render_summary
+from .tracing import (
+    AttemptSpan,
+    CriticalPath,
+    Trace,
+    TraceBuilder,
+    TrialTrace,
+    WorkerTimeline,
+    validate_chrome_trace,
+)
 
 __all__ = [
+    "AttemptSpan",
     "Counter",
+    "CriticalPath",
     "EventKind",
     "Gauge",
     "Histogram",
@@ -55,5 +66,10 @@ __all__ = [
     "TelemetryEvent",
     "TelemetryHub",
     "TelemetrySink",
+    "Trace",
+    "TraceBuilder",
+    "TrialTrace",
+    "WorkerTimeline",
     "render_summary",
+    "validate_chrome_trace",
 ]

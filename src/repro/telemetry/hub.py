@@ -124,15 +124,18 @@ class TelemetryHub:
 
         Backends call this once at the end of ``run``; the returned report
         (``None`` if no collector is attached) is what lands on
-        :attr:`repro.backend.trial_runner.BackendResult.telemetry`.
+        :attr:`repro.backend.trial_runner.BackendResult.telemetry`.  Any sink
+        exposing a ``finalize(elapsed=, num_workers=)`` method (trace
+        builders, live summaries) learns the run horizon the same way.
         """
         report = None
         with self._lock:
             for sink in self.sinks:
-                if isinstance(sink, MetricsCollector):
-                    sink.finalize(elapsed=elapsed, num_workers=num_workers)
-                    if report is None:
-                        report = sink.report()
+                fin = getattr(sink, "finalize", None)
+                if callable(fin):
+                    fin(elapsed=elapsed, num_workers=num_workers)
+                if isinstance(sink, MetricsCollector) and report is None:
+                    report = sink.report()
                 sink.flush()
         return report
 

@@ -193,6 +193,44 @@ class MetricsReport:
             return 0.0
         return sum(self.worker_utilization.values()) / self.num_workers
 
+    def to_markdown(self) -> str:
+        """One-call run summary as a markdown table.
+
+        Covers the quantities every post-run question starts with —
+        utilisation, idle time, throughput and the fault counters — so a
+        report can be dropped straight into a PR description or issue.
+        """
+        busy = sum(self.worker_utilization.values()) * self.elapsed
+        idle = max(self.num_workers * self.elapsed - busy, 0.0)
+        rows: list[tuple[str, str]] = [
+            ("elapsed", f"{self.elapsed:g}"),
+            ("workers", f"{self.num_workers}"),
+            ("mean utilisation", f"{self.mean_utilization():.1%}"),
+            ("busy worker-time", f"{busy:g}"),
+            ("idle worker-time", f"{idle:g}"),
+            ("trials started", f"{int(self.counters.get('trials_started', 0))}"),
+            ("jobs started", f"{int(self.counters.get('jobs_started', 0))}"),
+            ("reports", f"{int(self.counters.get('events.report', 0))}"),
+            ("promotions", f"{int(self.counters.get('promotions', 0))}"),
+            ("jobs failed", f"{int(self.counters.get('jobs_failed', 0))}"),
+            ("jobs timed out", f"{int(self.jobs_timed_out)}"),
+            ("jobs retried", f"{int(self.jobs_retried)}"),
+            ("trials abandoned", f"{int(self.trials_abandoned)}"),
+            ("failure rate", f"{self.failure_rate:.1%}"),
+            ("time lost to failures", f"{self.time_lost_to_failures:g}"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        value_width = max(max(len(value) for _, value in rows), len("value"))
+        lines = [
+            f"| {'metric'.ljust(width)} | {'value'.ljust(value_width)} |",
+            f"| {'-' * width} | {'-' * value_width} |",
+        ]
+        lines.extend(
+            f"| {label.ljust(width)} | {value.ljust(value_width)} |"
+            for label, value in rows
+        )
+        return "\n".join(lines)
+
     def model_hit_rate(self) -> float:
         """Fraction of origin-tagged proposals that came out of a model.
 

@@ -119,6 +119,8 @@ class LiveSummarySink:
         self.every = every
         self.collector = MetricsCollector()
         self._since_render = 0
+        self._finalized = False
+        self._final_rendered = False
 
     def write(self, event: TelemetryEvent) -> None:
         self.collector.write(event)
@@ -127,10 +129,21 @@ class LiveSummarySink:
             self._since_render = 0
             self.stream.write(render_summary(self.collector, now=event.time) + "\n")
 
+    def finalize(self, *, elapsed: float, num_workers: int) -> None:
+        """Learn the run horizon (the hub calls this at end of run)."""
+        self.collector.finalize(elapsed=elapsed, num_workers=num_workers)
+        self._finalized = True
+
     def flush(self) -> None:
         self.stream.flush()
 
     def close(self) -> None:
+        # Final render: the one-call markdown summary of the whole run,
+        # emitted once the horizon is known (i.e. the run finalized).
+        if self._finalized and not self._final_rendered:
+            self._final_rendered = True
+            self.stream.write("final summary\n")
+            self.stream.write(self.collector.report().to_markdown() + "\n")
         self.flush()
 
 

@@ -1,0 +1,75 @@
+"""CLI: rebuild a trace from a telemetry JSONL export.
+
+``python -m repro.telemetry.trace events.jsonl --chrome trace.json --report``
+
+Reads an event file written by :class:`~repro.telemetry.JSONLSink` (e.g. via
+``python -m repro.experiments run fig7 --telemetry-out DIR`` or a
+``tune(telemetry=...)`` run), reconstructs the span/timeline trace, and:
+
+* ``--chrome OUT.json`` — writes a Chrome trace-event file; open it in
+  ``chrome://tracing`` or https://ui.perfetto.dev;
+* ``--report`` — prints the text run report (critical path, stragglers,
+  utilisation);
+* ``--trial ID`` — attributes the critical path of a specific trial
+  instead of the incumbent;
+* ``--validate`` — schema-checks the Chrome export (sorted ``ts``, matched
+  begin/end events) and exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .tracing import TraceBuilder, validate_chrome_trace
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.trace",
+        description="Reconstruct spans/timelines from a telemetry JSONL export.",
+    )
+    parser.add_argument("events", help="JSONL event file written by JSONLSink")
+    parser.add_argument("--chrome", metavar="OUT.json",
+                        help="write a Chrome trace-event (Perfetto) file")
+    parser.add_argument("--report", action="store_true",
+                        help="print the run report (critical path, stragglers)")
+    parser.add_argument("--trial", type=int, default=None,
+                        help="critical-path trial id (default: the incumbent)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the Chrome export; exit 1 on violations")
+    args = parser.parse_args(argv)
+
+    trace = TraceBuilder.from_jsonl(args.events).build()
+
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            handle.write(trace.chrome_trace_json())
+        print(f"wrote {args.chrome}", file=sys.stderr)
+
+    if args.validate:
+        violations = validate_chrome_trace(trace.to_chrome_trace())
+        if violations:
+            for violation in violations:
+                print(f"chrome-trace violation: {violation}", file=sys.stderr)
+            return 1
+        print("chrome trace schema: ok", file=sys.stderr)
+
+    if args.report:
+        print(trace.render_report())
+        if args.trial is not None:
+            path = trace.critical_path(args.trial)
+            print(f"critical path of trial {args.trial} "
+                  f"(latency {path.total_latency:g}):")
+            print(json.dumps(path.breakdown(), indent=2, sort_keys=True))
+    elif not args.chrome and not args.validate:
+        # Nothing asked for: at least summarise what was loaded.
+        print(trace.render_report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -171,6 +171,14 @@ class TuneResult:
     #: hold the raw event stream, ``backend_result.telemetry`` the metrics.
     telemetry: TelemetryHub | None = None
 
+    @property
+    def trace(self):
+        """The run's reconstructed :class:`~repro.telemetry.Trace`.
+
+        ``None`` unless the run was started with ``tune(..., trace=True)``.
+        """
+        return self.backend_result.trace
+
 
 def tune(
     train_fn: TrainFn,
@@ -190,6 +198,7 @@ def tune(
     seed: int = 0,
     telemetry: TelemetryHub | bool | None = None,
     retry_policy: RetryPolicy | None = None,
+    trace: bool = False,
 ) -> TuneResult:
     """Tune ``train_fn`` over ``space`` and return the best configuration.
 
@@ -224,6 +233,12 @@ def tune(
         jobs running past the policy's deadline are killed and retried, and
         trials that keep failing are quarantined.  See
         ``docs/fault_tolerance.md``.
+    trace:
+        ``True`` reconstructs the run's span/timeline trace — per-trial
+        attempt spans, worker busy/idle timelines, critical-path and
+        straggler attribution, Chrome-trace export — on
+        ``result.backend_result.trace`` (also reachable as
+        ``result.trace``).  See ``docs/tracing.md``.
     """
     objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
     rng = np.random.default_rng(seed)
@@ -258,12 +273,14 @@ def tune(
     if backend == "simulated":
         limit = time_limit if time_limit is not None else 50.0 * max_resource
         result = SimulatedCluster(num_workers, seed=seed).run(
-            sched, objective, time_limit=limit, telemetry=hub, retry_policy=retry_policy
+            sched, objective, time_limit=limit, telemetry=hub,
+            retry_policy=retry_policy, trace=trace,
         )
     elif backend == "threads":
         limit = time_limit if time_limit is not None else 60.0
         result = ThreadPoolBackend(num_workers).run(
-            sched, objective, time_limit=limit, telemetry=hub, retry_policy=retry_policy
+            sched, objective, time_limit=limit, telemetry=hub,
+            retry_policy=retry_policy, trace=trace,
         )
     else:
         raise KeyError(f"unknown backend {backend!r}; options: simulated, threads")

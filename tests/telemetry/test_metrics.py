@@ -178,3 +178,42 @@ class TestMetricsCollector:
         for collector in (live, replayed):
             collector.finalize(elapsed=2.0, num_workers=1)
         assert live.report() == replayed.report()
+
+
+class TestToMarkdown:
+    def _report(self):
+        hub, collector = _hub()
+        hub.emit(EventKind.TRIAL_STARTED, trial_id=0)
+        hub.emit(EventKind.JOB_STARTED, trial_id=0, worker_id=0, busy_credit=4.0)
+        hub.set_time(4.0)
+        hub.emit(EventKind.REPORT, trial_id=0, rung=0, worker_id=0, loss=0.5)
+        hub.emit(EventKind.PROMOTION, trial_id=0, rung=1)
+        hub.emit(EventKind.JOB_STARTED, trial_id=1, worker_id=1, busy_credit=0.0)
+        hub.emit(EventKind.JOB_FAILED, trial_id=1, worker_id=1, reason="dropped")
+        collector.finalize(elapsed=8.0, num_workers=2)
+        return collector.report()
+
+    def test_summary_table_values(self):
+        table = self._report().to_markdown()
+        lines = table.splitlines()
+        assert lines[0].startswith("| metric")
+        assert set(lines[1]) <= {"|", "-", " "}  # the separator row
+        cells = {
+            row.split("|")[1].strip(): row.split("|")[2].strip()
+            for row in lines[2:]
+        }
+        assert cells["elapsed"] == "8"
+        assert cells["workers"] == "2"
+        assert cells["trials started"] == "1"
+        assert cells["jobs started"] == "2"
+        assert cells["reports"] == "1"
+        assert cells["promotions"] == "1"
+        assert cells["jobs failed"] == "1"
+        assert cells["failure rate"] == "50.0%"
+        assert cells["mean utilisation"] == "25.0%"  # 4 busy of 2 x 8
+        assert cells["busy worker-time"] == "4"
+        assert cells["idle worker-time"] == "12"
+
+    def test_columns_align(self):
+        lines = self._report().to_markdown().splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -117,3 +117,38 @@ class TestLiveSummary:
         assert "promotions=1" in text
         assert "rung  0" in text
         assert "promotion_latency" in text
+
+
+class TestLiveSummaryFinalRender:
+    def _finished_run(self, stream):
+        hub = TelemetryHub([LiveSummarySink(stream, every=1000)])
+        hub.emit(EventKind.TRIAL_STARTED, trial_id=0)
+        hub.emit(EventKind.JOB_STARTED, trial_id=0, worker_id=0, busy_credit=1.0)
+        hub.set_time(1.0)
+        hub.emit(EventKind.REPORT, trial_id=0, rung=0, worker_id=0, loss=0.5)
+        return hub
+
+    def test_close_after_finalize_renders_markdown_summary(self):
+        stream = io.StringIO()
+        hub = self._finished_run(stream)
+        hub.finalize(elapsed=2.0, num_workers=1)
+        hub.close()
+        text = stream.getvalue()
+        assert "final summary" in text
+        assert "| metric" in text
+        assert "| mean utilisation" in text
+        assert "50.0%" in text  # 1 busy unit over 1 worker x 2 elapsed
+
+    def test_close_without_finalize_stays_quiet(self):
+        stream = io.StringIO()
+        hub = self._finished_run(stream)
+        hub.close()
+        assert stream.getvalue() == ""
+
+    def test_final_summary_renders_once(self):
+        stream = io.StringIO()
+        hub = self._finished_run(stream)
+        hub.finalize(elapsed=2.0, num_workers=1)
+        hub.close()
+        hub.close()
+        assert stream.getvalue().count("final summary") == 1
