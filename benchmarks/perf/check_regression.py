@@ -4,15 +4,30 @@ Usage::
 
     python benchmarks/perf/check_regression.py \
         --baseline benchmarks/perf/baseline.json \
-        --current BENCH_perf.json [--threshold 2.0]
+        --current BENCH_perf.json [--threshold 2.0] \
+        [--markdown trend.md] [--no-gate]
 
-Compares the *normalized* (calibration-scaled, higher-is-better) score of
-every gated benchmark.  A benchmark regresses when its normalized score
-falls below ``baseline / threshold``; the default threshold of 2.0 tolerates
-machine noise and CI-runner variance while catching genuine slowdowns.
-Benchmarks whose ``meta.gated`` is ``false`` (the parallel-speedup ratio,
-which measures core count) are reported but never fail the gate, as are
-benchmarks present on only one side.
+Two independent checks run over every gated benchmark:
+
+* **ratio** — the *normalized* (calibration-scaled, higher-is-better) score
+  must not fall below ``baseline / threshold``; the default threshold of 2.0
+  tolerates machine noise and CI-runner variance while catching genuine
+  slowdowns.
+* **floor** — benchmarks carrying ``meta.floor`` (the parallel-speedup
+  suite) must keep their *raw* value at or above it, regardless of what the
+  baseline recorded.  A floor failure names the benchmark, its value, and
+  the floor it missed.
+
+Benchmarks whose ``meta.gated`` is ``false`` are reported but never fail the
+gate, as are benchmarks present on only one side and benchmarks *skipped*
+on either side (``value: null`` with ``meta.skip_reason`` — e.g. parallel
+speedups on a runner with too few cores; the skip reason is printed so the
+gap is loud, per the schema-v2 contract).
+
+``--markdown FILE`` appends the comparison as a GitHub-flavoured delta table
+(for ``$GITHUB_STEP_SUMMARY``); ``--no-gate`` prints everything but always
+exits 0 — the CI trend step uses both so the report lands in the job summary
+even when the separate gate step fails the build.
 """
 
 from __future__ import annotations
@@ -30,6 +45,115 @@ def load(path: str) -> dict:
     return report
 
 
+def _is_skipped(entry: dict | None) -> bool:
+    return entry is not None and (
+        entry.get("value") is None or entry.get("meta", {}).get("skipped", False)
+    )
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> tuple[list[dict], list[str]]:
+    """Per-benchmark comparison rows plus the list of gate failures.
+
+    Rows carry everything both renderers (console table, markdown table)
+    need: scores, ratio, and a human-readable status.
+    """
+    rows: list[dict] = []
+    failures: list[str] = []
+    names = sorted(set(baseline["benchmarks"]) | set(current["benchmarks"]))
+    for name in names:
+        base_entry = baseline["benchmarks"].get(name)
+        cur_entry = current["benchmarks"].get(name)
+        row = {"name": name, "base": None, "cur": None, "ratio": None, "status": "ok"}
+        rows.append(row)
+        if base_entry is None or cur_entry is None:
+            row["status"] = "only in " + ("current" if base_entry is None else "baseline")
+            continue
+        meta = {**base_entry.get("meta", {}), **cur_entry.get("meta", {})}
+        gated = meta.get("gated", True)
+        if _is_skipped(cur_entry):
+            reason = cur_entry["meta"].get("skip_reason", "no reason recorded")
+            row["status"] = f"skipped on current: {reason}"
+            row["base"] = None if _is_skipped(base_entry) else base_entry["normalized"]
+            continue
+        row["cur"] = cur_entry["normalized"]
+        # The hard floor binds whenever *this* run measured the benchmark —
+        # a skipped baseline (recorded on a small machine) must not let a
+        # below-floor measurement through.
+        floor = meta.get("floor")
+        if floor is not None and cur_entry["value"] < floor:
+            if gated:
+                row["status"] = "BELOW FLOOR"
+                failures.append(
+                    f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is below "
+                    f"its hard floor of {floor}{cur_entry['unit']} "
+                    f"(n_jobs={meta.get('n_jobs', '?')}, cpu_count={meta.get('cpu_count', '?')})"
+                )
+            else:
+                row["status"] = f"below informational floor {floor}"
+        if _is_skipped(base_entry):
+            reason = base_entry["meta"].get("skip_reason", "no reason recorded")
+            if row["status"] == "ok":
+                row["status"] = f"skipped on baseline: {reason}"
+            continue
+        base_score = base_entry["normalized"]
+        cur_score = cur_entry["normalized"]
+        ratio = cur_score / base_score if base_score else float("inf")
+        row.update(base=base_score, ratio=ratio)
+        if ratio < 1.0 / threshold:
+            if gated and row["status"] != "BELOW FLOOR":
+                row["status"] = "REGRESSION"
+                failures.append(
+                    f"{name}: normalized {cur_score:.4f} vs baseline "
+                    f"{base_score:.4f} ({ratio:.2f}x, threshold {1 / threshold:.2f}x)"
+                )
+            elif not gated:
+                row["status"] = "ungated slowdown"
+    return rows, failures
+
+
+def _fmt(score: float | None) -> str:
+    return f"{score:.4f}" if score is not None else "—"
+
+
+def render_console(rows: list[dict]) -> None:
+    print(f"{'benchmark':26s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    for row in rows:
+        ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "—"
+        note = "" if row["status"] == "ok" else f"  [{row['status']}]"
+        print(
+            f"{row['name']:26s} {_fmt(row['base']):>12s} {_fmt(row['cur']):>12s} "
+            f"{ratio:>8s}{note}"
+        )
+
+
+def render_markdown(rows: list[dict], threshold: float) -> str:
+    """The perf-trend delta table for ``$GITHUB_STEP_SUMMARY``."""
+    lines = [
+        "## Perf trend vs committed baseline",
+        "",
+        f"Normalized scores (higher is better); gate threshold {threshold}x.",
+        "",
+        "| benchmark | baseline | current | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        if row["ratio"] is not None:
+            delta = f"{(row['ratio'] - 1.0) * 100:+.1f}%"
+        else:
+            delta = "—"
+        status = row["status"]
+        if status in ("REGRESSION", "BELOW FLOOR"):
+            status = f"❌ {status}"
+        elif status == "ok":
+            status = "✅"
+        lines.append(
+            f"| `{row['name']}` | {_fmt(row['base'])} | {_fmt(row['cur'])} "
+            f"| {delta} | {status} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
@@ -40,36 +164,33 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail when normalized score is worse than baseline by this factor",
     )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="append a GitHub-flavoured delta table to FILE (use $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report (console and --markdown) but always exit 0",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     current = load(args.current)
-    failures: list[str] = []
-    print(f"{'benchmark':26s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
-    for name, base_entry in sorted(baseline["benchmarks"].items()):
-        cur_entry = current["benchmarks"].get(name)
-        if cur_entry is None:
-            print(f"{name:26s} {'(missing in current — skipped)':>34s}")
-            continue
-        base_score = base_entry["normalized"]
-        cur_score = cur_entry["normalized"]
-        ratio = cur_score / base_score if base_score else float("inf")
-        gated = base_entry.get("meta", {}).get("gated", True)
-        flag = ""
-        if ratio < 1.0 / args.threshold:
-            if gated:
-                flag = "  << REGRESSION"
-                failures.append(
-                    f"{name}: normalized {cur_score:.4f} vs baseline "
-                    f"{base_score:.4f} ({ratio:.2f}x, threshold {1 / args.threshold:.2f}x)"
-                )
-            else:
-                flag = "  (ungated)"
-        print(f"{name:26s} {base_score:12.4f} {cur_score:12.4f} {ratio:8.2f}{flag}")
+    rows, failures = compare(baseline, current, args.threshold)
+    render_console(rows)
+    if args.markdown:
+        with open(args.markdown, "a") as fh:
+            fh.write(render_markdown(rows, args.threshold))
+        print(f"\nmarkdown trend appended to {args.markdown}")
     if failures:
-        print("\nperf regression detected:", file=sys.stderr)
+        print("\nperf gate failed:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
+        if args.no_gate:
+            print("(--no-gate: reporting only, exiting 0)", file=sys.stderr)
+            return 0
         return 1
     print("\nno perf regressions.")
     return 0

@@ -18,11 +18,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "benchmark_entry",
     "calibrate",
+    "skipped_entry",
     "time_call",
 ]
 
 #: Bump when the BENCH_perf.json layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: benchmarks may be *skipped* (``value``/``normalized`` null with
+#: ``meta.skipped``/``meta.skip_reason``), and gated benchmarks may carry a
+#: hard ``meta.floor`` on the raw value in addition to the baseline-ratio
+#: check.
+SCHEMA_VERSION = 2
 
 
 def time_call(fn: Callable[[], Any], *, repeats: int = 1) -> tuple[float, Any]:
@@ -89,4 +94,27 @@ def benchmark_entry(
         "higher_is_better": higher_is_better,
         "normalized": normalized,
         "meta": meta or {},
+    }
+
+
+def skipped_entry(
+    unit: str,
+    *,
+    higher_is_better: bool,
+    reason: str,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A benchmark record for a measurement this machine cannot take.
+
+    A 1-core runner cannot measure parallel speedup; recording ``null`` with
+    an explicit reason keeps the schema stable while making the gap loud —
+    the regression gate reports skips instead of silently mis-gating a
+    meaningless number (see ISSUE: ``meta.skipped`` / ``meta.skip_reason``).
+    """
+    return {
+        "value": None,
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "normalized": None,
+        "meta": {**(meta or {}), "skipped": True, "skip_reason": reason},
     }

@@ -14,9 +14,13 @@ experiment runs — and writes a stable-schema ``BENCH_perf.json``:
 * ``end_to_end_asha`` — a multi-seed ASHA experiment at (reduced)
   Figure-5 scale through :func:`repro.experiments.runner.run_trials`,
   sequential.
-* ``parallel_speedup`` — the same experiment with ``n_jobs=2``, reported
-  as a speedup factor.  Informational only (not gated): it measures core
-  count more than code quality.
+* ``parallel_speedup`` / ``parallel_speedup_4`` / ``parallel_speedup_8`` —
+  an 8-seed run of the same experiment with ``n_jobs`` 2/4/8, reported as
+  speedup over its own sequential timing.  ``parallel_speedup`` carries a
+  hard CI floor (``meta.floor``, gated); the 4/8-job entries are recorded
+  for the docs table.  On machines with fewer than 4 cores the speedups are
+  *skipped with a reason* (``meta.skipped``) rather than mis-gated —
+  ``meta.cpu_count`` always records what the machine had.
 
 Usage::
 
@@ -44,7 +48,7 @@ from repro.experiments.runner import run_trials
 from repro.objectives import ptb_lstm
 from repro.objectives.surrogate import seeded_uniform
 
-from perf_utils import SCHEMA_VERSION, benchmark_entry, calibrate, time_call
+from perf_utils import SCHEMA_VERSION, benchmark_entry, calibrate, skipped_entry, time_call
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "..", "BENCH_perf.json"
@@ -117,6 +121,67 @@ def _end_to_end(num_workers: int, horizon: float, seeds: range, n_jobs: int) -> 
     return sum(len(r.backend.measurements) for r in records)
 
 
+#: Seeds for the speedup suite — divisible by every measured n_jobs so the
+#: chunked dispatcher hands each worker equally-sized spans.
+SPEEDUP_SEEDS = range(8)
+
+#: (benchmark name, n_jobs, cores required, hard floor enforced by CI).
+#: Only the 2-job floor is gated — the 4/8-job entries feed the docs table
+#: and record their target floors informationally (ISSUE acceptance: the CI
+#: gate enforces the n_jobs=2 floor).
+SPEEDUP_BENCHES = [
+    ("parallel_speedup", 2, 4, 1.3, True),
+    ("parallel_speedup_4", 4, 4, None, False),
+    ("parallel_speedup_8", 8, 8, 2.5, False),
+]
+
+
+def bench_parallel_speedups(num_workers: int, horizon: float) -> dict[str, dict]:
+    """The ``n_jobs ∈ {2, 4, 8}`` speedup entries, skipping what this machine
+    cannot measure.
+
+    One 8-seed sequential run is timed as the reference, then each parallel
+    configuration against it.  Runners with fewer than 4 cores cannot
+    measure any speedup honestly (fork overhead dominates and the gate would
+    mis-fire), so every entry below the core requirement is recorded as
+    skipped with the machine's ``cpu_count`` — never silently mis-gated.
+    """
+    cpu_count = os.cpu_count() or 1
+    entries: dict[str, dict] = {}
+    measurable = [b for b in SPEEDUP_BENCHES if cpu_count >= b[2]]
+    sequential_seconds = None
+    if measurable:
+        print(f"[perf] parallel speedup reference ({len(SPEEDUP_SEEDS)} seeds, sequential)...",
+              flush=True)
+        sequential_seconds, _ = time_call(
+            lambda: _end_to_end(num_workers, horizon, SPEEDUP_SEEDS, 1)
+        )
+    for name, n_jobs, min_cores, floor, gated in SPEEDUP_BENCHES:
+        meta: dict = {"n_jobs": n_jobs, "cpu_count": cpu_count, "gated": gated}
+        if floor is not None:
+            meta["floor"] = floor
+        if cpu_count < min_cores:
+            entries[name] = skipped_entry(
+                "x",
+                higher_is_better=True,
+                reason=f"requires >= {min_cores} cores, machine has {cpu_count}",
+                meta=meta,
+            )
+            print(f"[perf] {name} skipped ({cpu_count} cores < {min_cores})", flush=True)
+            continue
+        print(f"[perf] {name} (n_jobs={n_jobs})...", flush=True)
+        seconds, _ = time_call(lambda: _end_to_end(num_workers, horizon, SPEEDUP_SEEDS, n_jobs))
+        entries[name] = benchmark_entry(
+            sequential_seconds / seconds,
+            "x",
+            higher_is_better=True,
+            # Speedup is already a machine-relative ratio: normalise by 1.
+            calibration_ops_per_s=1.0,
+            meta=meta,
+        )
+    return entries
+
+
 # ------------------------------------------------------------------- main
 
 
@@ -174,19 +239,8 @@ def run_suite(quick: bool) -> dict:
         calibration_ops_per_s=calibration,
         meta={"workers": e2e_workers, "seeds": len(e2e_seeds)},
     )
-    sequential_seconds = seconds
 
-    print("[perf] parallel_speedup (n_jobs=2)...", flush=True)
-    seconds, _ = time_call(lambda: _end_to_end(e2e_workers, e2e_horizon, e2e_seeds, 2))
-    benchmarks["parallel_speedup"] = benchmark_entry(
-        sequential_seconds / seconds,
-        "x",
-        higher_is_better=True,
-        # Speedup is already a machine-relative ratio: normalise by 1, and
-        # never gate on it (a 1-core runner legitimately reports ~1x).
-        calibration_ops_per_s=1.0,
-        meta={"n_jobs": 2, "gated": False},
-    )
+    benchmarks.update(bench_parallel_speedups(e2e_workers, e2e_horizon))
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -210,7 +264,10 @@ def main(argv: list[str] | None = None) -> int:
         fh.write("\n")
     print(f"[perf] wrote {output}")
     for name, entry in report["benchmarks"].items():
-        print(f"  {name:24s} {entry['value']:>12.2f} {entry['unit']}")
+        if entry["value"] is None:
+            print(f"  {name:24s} {'skipped':>12s} ({entry['meta']['skip_reason']})")
+        else:
+            print(f"  {name:24s} {entry['value']:>12.2f} {entry['unit']}")
     return 0
 
 

@@ -4,6 +4,7 @@ and the fault-tolerance layer shared by both backends."""
 from .checkpoint import CheckpointStore
 from .events import EventQueue, SimEvent
 from .faults import FailureInjectingObjective, FaultManager, InjectedFailure, RetryPolicy
+from .process_pool import ProcessPoolBackend
 from .simulation import SimulatedCluster
 from .threaded import ThreadPoolBackend
 from .trial_runner import BackendResult, FailureRecord
@@ -16,6 +17,7 @@ __all__ = [
     "FailureRecord",
     "FaultManager",
     "InjectedFailure",
+    "ProcessPoolBackend",
     "RetryPolicy",
     "SimEvent",
     "SimulatedCluster",

@@ -63,12 +63,19 @@ class CheckpointStore:
         resource, state = self._store[job.inherit_from]
         self._snapshots[job.job_id] = (resource, copy.deepcopy(state))
 
-    def starting_state(self, job: Job, objective: Objective) -> tuple[float, Any]:
-        """Resolve the (resource, state) a job should begin training from.
+    def resolve_start(
+        self, job: Job, objective: Objective
+    ) -> tuple[float, Any, dict[str, Any] | None]:
+        """Resolve a job's starting point without emitting telemetry.
 
-        Emits a ``checkpoint_restored`` telemetry event whenever the job
-        resumes existing state (its own checkpoint or an inherited one)
-        rather than initialising from scratch.
+        Returns ``(resource, state, restore_event)`` where ``restore_event``
+        is the ``checkpoint_restored`` payload the caller should emit (or
+        ``None`` for a from-scratch start).  The split exists for backends
+        that resolve training inputs at *dispatch* but must emit the restore
+        event at *completion* to keep the stream byte-identical to the
+        inline path (see :class:`~repro.backend.process_pool
+        .ProcessPoolBackend`); :meth:`starting_state` is the
+        resolve-and-emit-now composition.
         """
         if job.inherit_from is not None:
             snapshot = self._snapshots.pop(job.job_id, None)
@@ -80,15 +87,13 @@ class CheckpointStore:
                     )
                 resource, state = self._store[job.inherit_from]
                 snapshot = (resource, copy.deepcopy(state))
-            if self.telemetry:
-                self.telemetry.emit(
-                    EventKind.CHECKPOINT_RESTORED,
-                    trial_id=job.trial_id,
-                    job_id=job.job_id,
-                    resource=snapshot[0],
-                    inherited_from=job.inherit_from,
-                )
-            return snapshot
+            event = dict(
+                trial_id=job.trial_id,
+                job_id=job.job_id,
+                resource=snapshot[0],
+                inherited_from=job.inherit_from,
+            )
+            return snapshot[0], snapshot[1], event
         if job.checkpoint_resource > 0:
             if job.trial_id not in self._store:
                 raise KeyError(
@@ -96,15 +101,25 @@ class CheckpointStore:
                     f"{job.checkpoint_resource}, but no checkpoint exists"
                 )
             resource, state = self._store[job.trial_id]
-            if self.telemetry:
-                self.telemetry.emit(
-                    EventKind.CHECKPOINT_RESTORED,
-                    trial_id=job.trial_id,
-                    job_id=job.job_id,
-                    resource=resource,
-                )
-            return resource, state
-        return 0.0, objective.initial_state(job.config)
+            event = dict(trial_id=job.trial_id, job_id=job.job_id, resource=resource)
+            return resource, state, event
+        return 0.0, objective.initial_state(job.config), None
+
+    def emit_restore(self, event: dict[str, Any] | None) -> None:
+        """Emit a deferred ``checkpoint_restored`` payload from :meth:`resolve_start`."""
+        if event is not None and self.telemetry:
+            self.telemetry.emit(EventKind.CHECKPOINT_RESTORED, **event)
+
+    def starting_state(self, job: Job, objective: Objective) -> tuple[float, Any]:
+        """Resolve the (resource, state) a job should begin training from.
+
+        Emits a ``checkpoint_restored`` telemetry event whenever the job
+        resumes existing state (its own checkpoint or an inherited one)
+        rather than initialising from scratch.
+        """
+        resource, state, event = self.resolve_start(job, objective)
+        self.emit_restore(event)
+        return resource, state
 
     def put(self, trial_id: int, resource: float, state: Any) -> None:
         """Persist ``trial_id``'s checkpoint: trained to ``resource``, ``state``.

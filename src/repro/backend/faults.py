@@ -217,6 +217,11 @@ class FailureInjectingObjective(Objective):
     runs remain fully deterministic.
     """
 
+    #: The injection RNG and per-config call counters live in the master
+    #: process; forked copies would diverge, so the process-pool backend
+    #: must train this objective inline.
+    process_safe = False
+
     def __init__(
         self,
         inner: Objective,

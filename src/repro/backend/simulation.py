@@ -46,6 +46,40 @@ from .trial_runner import BackendResult, FailureRecord, record_report
 __all__ = ["SimulatedCluster"]
 
 
+class _InlineExecution:
+    """The default training-execution strategy: train at the completion event.
+
+    The simulated event loop is deliberately agnostic about *where* a job's
+    training increment actually computes.  It drives a small strategy
+    object: :meth:`submit` when a job is dispatched, :meth:`collect` when
+    its completion event fires (must return the loss and persist the
+    checkpoint), :meth:`discard` when a dispatch is killed before
+    completing, :meth:`close` when the run ends.  This inline strategy is
+    the sequential oracle — everything happens in-process at collect time —
+    and :class:`~repro.backend.process_pool.ProcessPoolBackend` swaps in a
+    strategy that farms :meth:`~repro.objectives.base.Objective.train` out
+    to worker processes while leaving the event loop, clocks, and RNG draw
+    sequence untouched.
+    """
+
+    def __init__(self, store: CheckpointStore, objective: Objective):
+        self.store = store
+        self.objective = objective
+
+    def submit(self, job: Job) -> None:  # noqa: ARG002 — strategy protocol
+        """A job was dispatched; the inline strategy defers all work."""
+
+    def collect(self, job: Job) -> float:
+        """Produce the completed job's loss (training happens right here)."""
+        return self.store.run_job(job, self.objective)
+
+    def discard(self, job: Job) -> None:
+        """The dispatch was killed (drop/churn/timeout); nothing is pending."""
+
+    def close(self) -> None:
+        """The run ended; nothing to tear down."""
+
+
 class SimulatedCluster:
     """Discrete-event cluster executing one hyperparameter search.
 
@@ -95,6 +129,10 @@ class SimulatedCluster:
         self.churn_rate = churn_rate
         self.churn_downtime = churn_downtime
         self.rng = np.random.default_rng(seed)
+
+    def _make_execution(self, store: CheckpointStore, objective: Objective):
+        """The training-execution strategy for one run (see :class:`_InlineExecution`)."""
+        return _InlineExecution(store, objective)
 
     # ----------------------------------------------------------------- run
 
@@ -212,6 +250,10 @@ class SimulatedCluster:
         # Duck-typed objectives in tests may not subclass Objective.
         nominal_cost = getattr(objective, "nominal_cost", objective.cost)
         pending_retries: deque[tuple[Job, int]] = deque()
+        # Where training increments actually compute: inline at the
+        # completion event for the plain simulator, in worker processes for
+        # ProcessPoolBackend.  Closed (pool teardown) when the loop exits.
+        execution = self._make_execution(store, objective)
 
         def schedule_churn() -> None:
             if self.churn_rate > 0:
@@ -246,6 +288,10 @@ class SimulatedCluster:
                 )
                 if deadline is not None:
                     queue.push(queue.clock + deadline, "timeout", (job, gen))
+            # Hand the dispatch to the execution strategy *after* duration and
+            # deadline are computed: resolving the starting state may consume
+            # the dispatch snapshot that ``start_resource`` reads.
+            execution.submit(job)
             if hub:
                 extra = {"attempt": attempt} if attempt > 1 else {}
                 hub.emit(
@@ -302,6 +348,7 @@ class SimulatedCluster:
             correction = lost - credit
             busy_time += correction
             store.discard(job)
+            execution.discard(job)
             return worker, lost, correction
 
         def handle_failure(
@@ -407,97 +454,101 @@ class SimulatedCluster:
         try_fill()
         schedule_churn()
         budget_exhausted = False
-        while queue:
-            head = queue.peek()
-            assert head is not None
-            if head.kind in ("complete", "drop", "timeout"):
-                job, gen = head.payload
-                if generation.get(job.job_id) != gen or job.job_id not in in_flight:
-                    # The dispatch this event belonged to was churned or
-                    # timed out: the event is dead.  Discard it without
-                    # advancing the clock so a far-future stale completion
-                    # neither extends the run nor counts as pending work.
-                    queue.discard_next()
-                    continue
-            if head.time > time_limit:
-                budget_exhausted = True
-                break
-            event = queue.pop()
-            hub.set_time(queue.clock)
-            if event.kind == "churn":
-                if in_flight:
-                    # Kill a random busy worker: its job fails.  O(1) pick
-                    # from the swap-remove index — no per-event list copy.
-                    victim_id = live_ids[self.rng.integers(len(live_ids))]
-                    victim = in_flight[victim_id]
-                    worker, lost, correction = kill(victim)  # id retires with the worker
-                    handle_failure(
-                        victim, worker, reason="churn", lost=lost, correction=correction
-                    )
-                elif free_ids:
-                    heapq.heappop(free_ids)  # an idle worker goes away instead
-                queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
-                schedule_churn()
-                try_fill()
-                continue
-            if event.kind == "rejoin":
-                heapq.heappush(free_ids, next_worker_id)
-                next_worker_id += 1
-                try_fill()
-                continue
-            if event.kind == "retry":
-                job, attempt = event.payload
-                pending_retries.append((job, attempt))
-                try_fill()
-                continue
-            job, gen = event.payload  # liveness guaranteed by the head check
-            if event.kind == "timeout":
-                worker, lost, correction = kill(job)
-                if worker is not None:
-                    heapq.heappush(free_ids, worker)
-                handle_failure(
-                    job, worker, reason="timeout", lost=lost, correction=correction
-                )
-            else:
-                in_flight.pop(job.job_id, None)
-                live_discard(job.job_id)
-                worker = worker_of_job.pop(job.job_id, None)
-                dispatched_at.pop(job.job_id, None)
-                credit = credited.pop(job.job_id, 0.0)
-                if worker is not None:
-                    heapq.heappush(free_ids, worker)
-                if event.kind == "complete":
-                    try:
-                        loss = store.run_job(job, objective)
-                    except Exception as exc:  # noqa: BLE001 — training crashed
-                        store.discard(job)
+        try:
+            while queue:
+                head = queue.peek()
+                assert head is not None
+                if head.kind in ("complete", "drop", "timeout"):
+                    job, gen = head.payload
+                    if generation.get(job.job_id) != gen or job.job_id not in in_flight:
+                        # The dispatch this event belonged to was churned or
+                        # timed out: the event is dead.  Discard it without
+                        # advancing the clock so a far-future stale completion
+                        # neither extends the run nor counts as pending work.
+                        queue.discard_next()
+                        continue
+                if head.time > time_limit:
+                    budget_exhausted = True
+                    break
+                event = queue.pop()
+                hub.set_time(queue.clock)
+                if event.kind == "churn":
+                    if in_flight:
+                        # Kill a random busy worker: its job fails.  O(1) pick
+                        # from the swap-remove index — no per-event list copy.
+                        victim_id = live_ids[self.rng.integers(len(live_ids))]
+                        victim = in_flight[victim_id]
+                        worker, lost, correction = kill(victim)  # id retires with the worker
                         handle_failure(
-                            job, worker, reason="exception", lost=credit, error=repr(exc)
+                            victim, worker, reason="churn", lost=lost, correction=correction
                         )
-                    else:
-                        if faults is not None:
-                            faults.record_success(job)
-                        record_report(result, scheduler, job, loss, queue.clock, done_resource)
-                        if hub:
-                            hub.emit(
-                                EventKind.REPORT,
-                                trial_id=job.trial_id,
-                                job_id=job.job_id,
-                                worker_id=worker,
-                                rung=job.rung,
-                                bracket=job.bracket,
-                                loss=loss,
-                                resource=job.resource,
+                    elif free_ids:
+                        heapq.heappop(free_ids)  # an idle worker goes away instead
+                    queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
+                    schedule_churn()
+                    try_fill()
+                    continue
+                if event.kind == "rejoin":
+                    heapq.heappush(free_ids, next_worker_id)
+                    next_worker_id += 1
+                    try_fill()
+                    continue
+                if event.kind == "retry":
+                    job, attempt = event.payload
+                    pending_retries.append((job, attempt))
+                    try_fill()
+                    continue
+                job, gen = event.payload  # liveness guaranteed by the head check
+                if event.kind == "timeout":
+                    worker, lost, correction = kill(job)
+                    if worker is not None:
+                        heapq.heappush(free_ids, worker)
+                    handle_failure(
+                        job, worker, reason="timeout", lost=lost, correction=correction
+                    )
+                else:
+                    in_flight.pop(job.job_id, None)
+                    live_discard(job.job_id)
+                    worker = worker_of_job.pop(job.job_id, None)
+                    dispatched_at.pop(job.job_id, None)
+                    credit = credited.pop(job.job_id, 0.0)
+                    if worker is not None:
+                        heapq.heappush(free_ids, worker)
+                    if event.kind == "complete":
+                        try:
+                            loss = execution.collect(job)
+                        except Exception as exc:  # noqa: BLE001 — training crashed
+                            store.discard(job)
+                            handle_failure(
+                                job, worker, reason="exception", lost=credit, error=repr(exc)
                             )
-                else:  # drop
-                    store.discard(job)
-                    handle_failure(job, worker, reason="dropped", lost=credit)
-            if max_measurements is not None and len(result.measurements) >= max_measurements:
-                break
-            if stop_on_first_completion and result.completions:
-                break
-            try_fill()
+                        else:
+                            if faults is not None:
+                                faults.record_success(job)
+                            record_report(result, scheduler, job, loss, queue.clock, done_resource)
+                            if hub:
+                                hub.emit(
+                                    EventKind.REPORT,
+                                    trial_id=job.trial_id,
+                                    job_id=job.job_id,
+                                    worker_id=worker,
+                                    rung=job.rung,
+                                    bracket=job.bracket,
+                                    loss=loss,
+                                    resource=job.resource,
+                                )
+                    else:  # drop
+                        store.discard(job)
+                        execution.discard(job)
+                        handle_failure(job, worker, reason="dropped", lost=credit)
+                if max_measurements is not None and len(result.measurements) >= max_measurements:
+                    break
+                if stop_on_first_completion and result.completions:
+                    break
+                try_fill()
 
+        finally:
+            execution.close()
         # Only a break on an over-budget event means the search consumed the
         # whole budget; draining the queue or stopping early (measurement cap,
         # first completion) ends the run at the current clock.

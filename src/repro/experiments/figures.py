@@ -198,6 +198,7 @@ def figure3(
     grid_points: int = 48,
     n_jobs: int | None = None,
     telemetry_out: str | None = None,
+    backend: str = "simulated",
 ) -> dict[str, AggregateCurve]:
     """Sequential experiments (1 worker), Figure 3.
 
@@ -217,6 +218,7 @@ def figure3(
         seeds=range(num_trials),
         n_jobs=n_jobs,
         telemetry_out=telemetry_out,
+        backend=backend,
     )
     return aggregate_methods(
         records, time_limit=time_limit, grid_points=grid_points, band="quartile"
@@ -234,6 +236,7 @@ def figure4(
     grid_points: int = 48,
     n_jobs: int | None = None,
     telemetry_out: str | None = None,
+    backend: str = "simulated",
 ) -> dict[str, AggregateCurve]:
     """Limited-scale distributed experiments (25 workers), Figure 4.
 
@@ -253,6 +256,7 @@ def figure4(
         straggler_std=straggler_std,
         n_jobs=n_jobs,
         telemetry_out=telemetry_out,
+        backend=backend,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
@@ -271,6 +275,7 @@ def figure5(
     grid_points: int = 48,
     n_jobs: int | None = None,
     telemetry_out: str | None = None,
+    backend: str = "simulated",
 ) -> dict[str, AggregateCurve]:
     """Large-scale benchmark, Figure 5 (paper: 5 trials, 500 workers).
 
@@ -312,6 +317,7 @@ def figure5(
         seeds=range(num_trials),
         n_jobs=n_jobs,
         telemetry_out=telemetry_out,
+        backend=backend,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 
@@ -329,6 +335,7 @@ def figure6(
     grid_points: int = 48,
     n_jobs: int | None = None,
     telemetry_out: str | None = None,
+    backend: str = "simulated",
 ) -> dict[str, AggregateCurve]:
     """Modern LSTM benchmark, Figure 6.
 
@@ -358,6 +365,7 @@ def figure6(
         seeds=range(num_trials),
         n_jobs=n_jobs,
         telemetry_out=telemetry_out,
+        backend=backend,
     )
     return aggregate_methods(records, time_limit=time_limit, grid_points=grid_points)
 

@@ -18,12 +18,20 @@ Design constraints, in order:
 * **Closures welcome.**  Scheduler factories are usually closures over
   method settings (see :func:`~repro.experiments.methods.standard_methods`)
   and closures do not pickle.  The pool therefore uses the ``fork`` start
-  method and hands workers an *index* into a module-level task table
+  method and hands workers *index spans* into a module-level task table
   inherited through the fork — the only things crossing the pipe are small
-  picklable task specs (ints) and the picklable results.
+  picklable chunk specs (two ints) and the picklable results.
+* **Amortised dispatch.**  Tasks are batched into contiguous *chunks* sized
+  so each worker receives ~one dispatch per pool lifetime (``ceil(n_tasks /
+  n_jobs)`` tasks per chunk by default).  One submit, one pipe round-trip
+  and one result pickle per chunk instead of per task — at Figure-5 scale
+  the per-task dispatch overhead used to eat the whole speedup.
 * **Graceful fallback.**  Anything that prevents parallel execution — no
   ``fork`` on the platform, an unpicklable result, a broken pool — quietly
-  degrades to the in-process path, which is always correct.
+  degrades to the in-process path, which is always correct.  Genuine task
+  errors still surface: a chunk whose worker raised is recomputed
+  in-process in task order, so the original exception is re-raised at the
+  task that caused it.
 
 The worker count comes from the ``n_jobs=`` argument or, when that is
 ``None``, the ``REPRO_JOBS`` environment variable — the shared knob the
@@ -32,12 +40,13 @@ figure benches expose via ``--jobs`` (see ``benchmarks/conftest.py``).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
 
-__all__ = ["JOBS_ENV_VAR", "parallel_map", "resolve_jobs"]
+__all__ = ["JOBS_ENV_VAR", "chunk_spans", "parallel_map", "resolve_jobs"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -46,7 +55,7 @@ R = TypeVar("R")
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 #: Fork-inherited task table: ``(fn, tasks)`` while a pool is alive.  Workers
-#: receive indices and look the work up here, so unpicklable callables
+#: receive index spans and look the work up here, so unpicklable callables
 #: (closures over method settings) never cross a process boundary.
 _WORK: tuple[Callable[[Any], Any], Sequence[Any]] | None = None
 
@@ -77,16 +86,39 @@ def resolve_jobs(n_jobs: int | None = None) -> int:
     return n_jobs
 
 
+def chunk_spans(
+    n_tasks: int, jobs: int, chunksize: int | None = None
+) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` spans batching ``n_tasks`` across ``jobs``.
+
+    The default chunk size is ``ceil(n_tasks / jobs)`` — every worker gets
+    one dispatch, so per-chunk overhead (submit, pipe round-trip, result
+    pickle) is paid ``jobs`` times per pool instead of ``n_tasks`` times.
+    Pass an explicit ``chunksize`` for finer load balancing when task
+    durations are very uneven (smaller chunks re-balance better but dispatch
+    more often).
+    """
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if chunksize is None:
+        chunksize = max(1, math.ceil(n_tasks / jobs))
+    elif chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    return [(start, min(start + chunksize, n_tasks)) for start in range(0, n_tasks, chunksize)]
+
+
 def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
 
 
-def _fork_entry(index: int) -> Any:
-    """Pool entry point: run one task from the fork-inherited table."""
+def _fork_entry(start: int, stop: int) -> list[Any]:
+    """Pool entry point: run one chunk of tasks from the fork-inherited table."""
     assert _WORK is not None, "worker forked without a task table"
     fn, tasks = _WORK
-    return fn(tasks[index])
+    return [fn(tasks[i]) for i in range(start, stop)]
 
 
 def _can_fork() -> bool:
@@ -99,16 +131,20 @@ def parallel_map(
     n_jobs: int | None = None,
     *,
     executor: Executor | None = None,
+    chunksize: int | None = None,
 ) -> list[R]:
     """``[fn(t) for t in tasks]`` fanned out across processes.
 
     Results are returned in task order regardless of completion order.  With
     ``n_jobs`` resolving to 1, a single task, or inside a pool worker the
     in-process path runs directly.  An injected ``executor`` is used as-is
-    (its tasks must then be picklable); otherwise a fork-based pool is
-    created for the duration of the call.  Any failure to execute remotely
-    falls back to computing the affected tasks in-process, so genuine task
-    errors still surface — re-raised from the fallback path.
+    (its tasks must then be picklable and are submitted one at a time);
+    otherwise a fork-based pool is created for the duration of the call and
+    tasks are dispatched in contiguous chunks (see :func:`chunk_spans`;
+    override the sizing heuristic with ``chunksize=``).  Any failure to
+    execute a chunk remotely falls back to computing that chunk in-process,
+    so genuine task errors still surface — re-raised from the fallback path
+    at the task that caused them.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(n_jobs)
@@ -117,29 +153,39 @@ def parallel_map(
     if jobs <= 1 or len(tasks) <= 1 or _IN_WORKER or not _can_fork():
         return [fn(t) for t in tasks]
     global _WORK
+    spans = chunk_spans(len(tasks), jobs, chunksize)
     results: list[Any] = [None] * len(tasks)
-    pending = list(range(len(tasks)))
+    delivered = [False] * len(spans)
     _WORK = (fn, tasks)
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
+            max_workers=min(jobs, len(spans)),
             mp_context=context,
             initializer=_mark_worker,
         ) as pool:
-            futures = [(i, pool.submit(_fork_entry, i)) for i in pending]
-            for i, future in futures:
-                results[i] = future.result()
-                pending.remove(i)
+            futures = [pool.submit(_fork_entry, start, stop) for start, stop in spans]
+            for k, future in enumerate(futures):
+                try:
+                    chunk = future.result()
+                except Exception:
+                    # This chunk could not be delivered (unpicklable result,
+                    # broken pool, or a genuine mid-chunk task error); it is
+                    # recomputed — and any genuine error re-raised — below.
+                    continue
+                start, stop = spans[k]
+                results[start:stop] = chunk
+                delivered[k] = True
     except Exception:
-        # Fallback: whatever the pool could not deliver (no fork, broken
-        # pool, unpicklable result, or a real task error) is computed — and
-        # any genuine error re-raised — in-process.
-        for i in list(pending):
-            results[i] = fn(tasks[i])
-            pending.remove(i)
+        # Pool setup or submission failed outright (no fork, resource
+        # limits): every undelivered chunk is recomputed in-process below.
+        pass
     finally:
         _WORK = None
+    for k, (start, stop) in enumerate(spans):
+        if not delivered[k]:
+            for i in range(start, stop):
+                results[i] = fn(tasks[i])
     return results
 
 

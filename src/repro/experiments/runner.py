@@ -24,6 +24,7 @@ import numpy as np
 
 from ..analysis.results import AggregateCurve, RunRecord, aggregate
 from ..analysis.tracker import trace_incumbent
+from ..backend.process_pool import ProcessPoolBackend
 from ..backend.simulation import SimulatedCluster
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
@@ -73,6 +74,10 @@ class TrialTask:
     #: Directory for a per-trial JSONL event export (one file per
     #: ``(method, seed)``); mutually exclusive with ``telemetry``.
     telemetry_out: str | None = None
+    #: Execution backend for the trial's cluster: ``"simulated"`` (inline
+    #: training) or ``"processes"`` (:class:`ProcessPoolBackend` — training
+    #: increments run in a fork-based process pool, byte-identical output).
+    backend: str = "simulated"
 
 
 def telemetry_event_path(directory: str | Path, method: str, seed: int) -> Path:
@@ -87,7 +92,12 @@ def run_trial_task(task: TrialTask) -> RunRecord:
     objective = task.make_objective(seed)
     rng = np.random.default_rng(seed)
     scheduler = task.make_scheduler(objective, rng)
-    cluster = SimulatedCluster(
+    if task.backend not in ("simulated", "processes"):
+        raise KeyError(
+            f"unknown trial backend {task.backend!r}; options: simulated, processes"
+        )
+    cluster_cls = ProcessPoolBackend if task.backend == "processes" else SimulatedCluster
+    cluster = cluster_cls(
         task.num_workers,
         straggler_std=task.straggler_std,
         drop_probability=task.drop_probability,
@@ -134,6 +144,7 @@ def run_trials(
     telemetry_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
+    backend: str = "simulated",
 ) -> list[RunRecord]:
     """Run one tuning method across several experiment trials.
 
@@ -171,6 +182,14 @@ def run_trials(
         trials to instead of the engine's own fork pool (tasks must then be
         picklable); mutually composable with ``n_jobs`` only in the sense
         that the executor wins when both are given.
+    backend:
+        Per-trial execution backend — ``"simulated"`` (default) or
+        ``"processes"`` for CPU-bound objectives (see
+        :class:`~repro.backend.ProcessPoolBackend`).  Orthogonal to
+        ``n_jobs``, which fans out *whole trials*; the process backend
+        parallelises training *within* one trial, so prefer ``n_jobs``
+        when there are many trials and ``backend="processes"`` when one
+        expensive trial dominates.
     """
     tasks = [
         TrialTask(
@@ -187,6 +206,7 @@ def run_trials(
             max_measurements=max_measurements,
             telemetry=telemetry,
             telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
+            backend=backend,
         )
         for seed in seeds
     ]
@@ -209,6 +229,7 @@ def run_methods(
     telemetry_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
+    backend: str = "simulated",
 ) -> dict[str, list[RunRecord]]:
     """Run a whole method suite, fanning out across ``(method, seed)`` pairs.
 
@@ -233,6 +254,7 @@ def run_methods(
             max_measurements=max_measurements,
             telemetry=telemetry,
             telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
+            backend=backend,
         )
         for name, factory in methods.items()
         for seed in seeds

@@ -74,6 +74,13 @@ class Objective(ABC):
     #: The maximum meaningful resource ``R`` (informational; schedulers set
     #: their own horizons).
     max_resource: float
+    #: Whether ``train`` may run in a forked worker process: its states and
+    #: losses must pickle, and it must not mutate master-side state the rest
+    #: of the run observes (counters, shared RNGs).  Stateful wrappers like
+    #: :class:`~repro.backend.faults.FailureInjectingObjective` set this
+    #: False, and :class:`~repro.backend.process_pool.ProcessPoolBackend`
+    #: then trains inline rather than silently diverging.
+    process_safe: bool = True
 
     @abstractmethod
     def initial_state(self, config: Config) -> Any:

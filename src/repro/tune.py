@@ -30,7 +30,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .backend import RetryPolicy, SimulatedCluster, ThreadPoolBackend
+from .backend import ProcessPoolBackend, RetryPolicy, SimulatedCluster, ThreadPoolBackend
 from .backend.trial_runner import BackendResult
 from .core import (
     ASHA,
@@ -217,9 +217,11 @@ def tune(
     searcher_kwargs:
         Keyword arguments for the named searcher's constructor.
     backend:
-        ``"simulated"`` (discrete-event clock driven by ``cost_fn``) or
-        ``"threads"`` (real wall-clock parallel execution; ``time_limit``
-        is then in seconds).
+        ``"simulated"`` (discrete-event clock driven by ``cost_fn``),
+        ``"processes"`` (the same simulated clock, but ``train_fn`` runs in
+        a fork-based process pool — GIL-free for CPU-bound training; states
+        returned by ``train_fn`` must pickle), or ``"threads"`` (real
+        wall-clock parallel execution; ``time_limit`` is then in seconds).
     time_limit:
         Backend time budget; defaults to ``50 * max_resource`` simulated
         units (or 60 s for the thread backend).
@@ -276,6 +278,12 @@ def tune(
             sched, objective, time_limit=limit, telemetry=hub,
             retry_policy=retry_policy, trace=trace,
         )
+    elif backend == "processes":
+        limit = time_limit if time_limit is not None else 50.0 * max_resource
+        result = ProcessPoolBackend(num_workers, seed=seed).run(
+            sched, objective, time_limit=limit, telemetry=hub,
+            retry_policy=retry_policy, trace=trace,
+        )
     elif backend == "threads":
         limit = time_limit if time_limit is not None else 60.0
         result = ThreadPoolBackend(num_workers).run(
@@ -283,7 +291,9 @@ def tune(
             retry_policy=retry_policy, trace=trace,
         )
     else:
-        raise KeyError(f"unknown backend {backend!r}; options: simulated, threads")
+        raise KeyError(
+            f"unknown backend {backend!r}; options: simulated, processes, threads"
+        )
     best = sched.best_trial()
     return TuneResult(
         best_config=best.config if best else None,

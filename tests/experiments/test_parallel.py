@@ -14,7 +14,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.experiments.methods import MethodSettings, standard_methods
-from repro.experiments.parallel import JOBS_ENV_VAR, parallel_map, resolve_jobs
+from repro.experiments.parallel import JOBS_ENV_VAR, chunk_spans, parallel_map, resolve_jobs
 from repro.experiments.runner import run_methods, run_trials, sequence_seeds
 from repro.objectives import sim_workload
 from repro.telemetry import TelemetryHub
@@ -57,6 +57,41 @@ def test_resolve_jobs_rejects_zero_and_garbage(monkeypatch):
         resolve_jobs(None)
 
 
+# ------------------------------------------------------------- chunk_spans
+
+
+def test_chunk_spans_default_one_dispatch_per_worker():
+    # The overhead contract: ceil(n/jobs)-sized chunks mean per-dispatch
+    # costs (submit, pipe round-trip, result pickle) are paid `jobs` times
+    # per pool, not `n` times.
+    assert chunk_spans(8, 2) == [(0, 4), (4, 8)]
+    assert chunk_spans(10, 4) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    assert chunk_spans(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_chunk_spans_cover_every_task_exactly_once():
+    for n_tasks in (0, 1, 7, 16, 23):
+        for jobs in (1, 2, 5, 8):
+            spans = chunk_spans(n_tasks, jobs)
+            covered = [i for start, stop in spans for i in range(start, stop)]
+            assert covered == list(range(n_tasks)), (n_tasks, jobs)
+            assert len(spans) <= max(jobs, 1) or n_tasks == 0
+
+
+def test_chunk_spans_explicit_chunksize():
+    assert chunk_spans(5, 2, chunksize=2) == [(0, 2), (2, 4), (4, 5)]
+    assert chunk_spans(4, 2, chunksize=10) == [(0, 4)]
+
+
+def test_chunk_spans_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        chunk_spans(-1, 2)
+    with pytest.raises(ValueError):
+        chunk_spans(4, 0)
+    with pytest.raises(ValueError):
+        chunk_spans(4, 2, chunksize=0)
+
+
 # ------------------------------------------------------------ parallel_map
 
 
@@ -79,6 +114,41 @@ def test_parallel_map_handles_closures():
 def test_parallel_map_task_errors_surface():
     with pytest.raises(RuntimeError, match="task 0 failed"):
         parallel_map(_boom, [0, 1], 2)
+
+
+def _boom_on_five(x: int) -> int:
+    if x == 5:
+        raise RuntimeError(f"task {x} failed")
+    return x * x
+
+
+def test_parallel_map_mid_chunk_error_reraised_at_failing_task():
+    # Task 5 sits mid-chunk (chunks of 4: [0..3], [4..7]); the failed chunk
+    # is recomputed in-process in task order, so the *original* error for
+    # the *right* task surfaces — not a pool error, not a neighbour's.
+    with pytest.raises(RuntimeError, match="task 5 failed"):
+        parallel_map(_boom_on_five, list(range(8)), 2)
+
+
+def test_parallel_map_explicit_chunksize_preserves_order():
+    tasks = list(range(17))
+    assert parallel_map(_square, tasks, 4, chunksize=3) == [x * x for x in tasks]
+
+
+def test_parallel_map_falls_back_when_fork_unavailable(monkeypatch):
+    import repro.experiments.parallel as parallel_mod
+
+    calls = []
+    monkeypatch.setattr(parallel_mod, "_can_fork", lambda: False)
+
+    def tracked(x):
+        calls.append(x)
+        return x * x
+
+    # No fork start method: the engine must run in-process (calls recorded
+    # in our interpreter prove it) and still return correct, ordered output.
+    assert parallel_map(tracked, [1, 2, 3, 4], 4) == [1, 4, 9, 16]
+    assert calls == [1, 2, 3, 4]
 
 
 def test_parallel_map_unpicklable_results_fall_back():

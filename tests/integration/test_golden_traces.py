@@ -22,6 +22,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.backend.process_pool import ProcessPoolBackend
 from repro.backend.simulation import SimulatedCluster
 from repro.core import (
     ASHA,
@@ -131,12 +132,12 @@ SCENARIOS = {
 }
 
 
-def record_trace(name: str) -> str:
+def record_trace(name: str, cluster_cls=SimulatedCluster, **extra_kwargs) -> str:
     """One seeded simulated run of a scenario, exported as canonical JSONL."""
     make_scheduler, cluster_kwargs, time_limit = SCENARIOS[name]
     buffer = io.StringIO()
     hub = TelemetryHub([JSONLSink(buffer)])
-    cluster = SimulatedCluster(4, **cluster_kwargs)
+    cluster = cluster_cls(4, **cluster_kwargs, **extra_kwargs)
     cluster.run(
         make_scheduler(), toy_objective(max_resource=9.0), time_limit=time_limit, telemetry=hub
     )
@@ -148,6 +149,18 @@ def record_trace(name: str) -> str:
 def test_trace_matches_pre_refactor_recording(name):
     golden = (GOLDEN_DIR / f"{name}.jsonl").read_text(encoding="utf-8")
     assert record_trace(name) == golden
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_process_pool_backend_trace_matches_golden(name):
+    """The process-pool backend must emit the byte-identical event stream.
+
+    ``n_procs=4`` forces the pool path even on small machines; speculative
+    training in worker processes may not move a single event, clock, or
+    serialised byte relative to the inline recordings.
+    """
+    golden = (GOLDEN_DIR / f"{name}.jsonl").read_text(encoding="utf-8")
+    assert record_trace(name, cluster_cls=ProcessPoolBackend, n_procs=4) == golden
 
 
 def test_traces_are_nontrivial():

@@ -26,6 +26,8 @@ REQUIRED_BENCHMARKS = {
     "simulator_churn_events",
     "end_to_end_asha",
     "parallel_speedup",
+    "parallel_speedup_4",
+    "parallel_speedup_8",
 }
 
 
@@ -48,15 +50,25 @@ def check_regression():
 
 def _validate_report(report: dict) -> None:
     assert REQUIRED_TOP_KEYS <= set(report)
-    assert report["schema_version"] == 1
+    assert report["schema_version"] == 2
     assert report["mode"] in ("quick", "full")
     assert report["calibration_ops_per_s"] > 0
     assert REQUIRED_BENCHMARKS <= set(report["benchmarks"])
     for name, entry in report["benchmarks"].items():
         assert REQUIRED_ENTRY_KEYS <= set(entry), name
-        assert entry["value"] > 0, name
-        assert entry["normalized"] > 0, name
         assert isinstance(entry["higher_is_better"], bool), name
+        if entry["meta"].get("skipped"):
+            # Schema v2: a machine that cannot take a measurement records
+            # null with an explicit reason — never a fake number.
+            assert entry["value"] is None, name
+            assert entry["normalized"] is None, name
+            assert entry["meta"]["skip_reason"], name
+        else:
+            assert entry["value"] > 0, name
+            assert entry["normalized"] > 0, name
+        if name.startswith("parallel_speedup"):
+            assert entry["meta"]["cpu_count"] >= 1, name
+            assert "n_jobs" in entry["meta"], name
 
 
 class TestCommittedArtifacts:
@@ -70,11 +82,25 @@ class TestCommittedArtifacts:
         _validate_report(baseline)
         assert baseline["mode"] == "quick"
 
-    def test_parallel_speedup_is_ungated(self):
-        # A 1-core runner legitimately reports ~1x speedup; the gate must
-        # never fail on it.
-        baseline = json.loads((PERF_DIR / "baseline.json").read_text())
-        assert baseline["benchmarks"]["parallel_speedup"]["meta"]["gated"] is False
+    def test_parallel_speedup_carries_hard_floor(self):
+        # The headline gate: parallel_speedup must be gated with a 1.3x
+        # floor on every committed artifact, measured or skipped (the floor
+        # binds whenever a machine with enough cores runs the suite).
+        for path in (PERF_DIR / "baseline.json", REPO_ROOT / "BENCH_perf.json"):
+            entry = json.loads(path.read_text())["benchmarks"]["parallel_speedup"]
+            assert entry["meta"]["gated"] is True, path
+            assert entry["meta"]["floor"] == 1.3, path
+            assert entry["meta"]["n_jobs"] == 2, path
+
+    def test_skipped_speedups_record_their_reason(self):
+        # Wherever a committed artifact skipped a speedup, the skip must be
+        # loud: reason recorded, cpu_count below the requirement.
+        for path in (PERF_DIR / "baseline.json", REPO_ROOT / "BENCH_perf.json"):
+            report = json.loads(path.read_text())
+            for name, entry in report["benchmarks"].items():
+                if entry["meta"].get("skipped"):
+                    assert "cores" in entry["meta"]["skip_reason"], name
+                    assert entry["meta"]["cpu_count"] < 8, name
 
 
 class TestNormalisation:
@@ -101,23 +127,43 @@ class TestNormalisation:
             )
 
 
-def _report_with(normalized: dict[str, float], gated: dict[str, bool] | None = None) -> dict:
+def _report_with(
+    normalized: dict[str, float],
+    gated: dict[str, bool] | None = None,
+    floors: dict[str, float] | None = None,
+    skipped: set[str] | None = None,
+) -> dict:
     gated = gated or {}
+    floors = floors or {}
+    skipped = skipped or set()
+    benchmarks = {}
+    for name, score in normalized.items():
+        meta: dict = {"gated": gated.get(name, True)}
+        if name in floors:
+            meta["floor"] = floors[name]
+        if name in skipped:
+            meta.update(skipped=True, skip_reason="requires >= 4 cores, machine has 1")
+            benchmarks[name] = {
+                "value": None,
+                "unit": "x",
+                "higher_is_better": True,
+                "normalized": None,
+                "meta": meta,
+            }
+            continue
+        benchmarks[name] = {
+            "value": score,
+            "unit": "x",
+            "higher_is_better": True,
+            "normalized": score,
+            "meta": meta,
+        }
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "mode": "quick",
         "python": "3.11",
         "calibration_ops_per_s": 1.0,
-        "benchmarks": {
-            name: {
-                "value": score,
-                "unit": "x",
-                "higher_is_better": True,
-                "normalized": score,
-                "meta": {"gated": gated.get(name, True)},
-            }
-            for name, score in normalized.items()
-        },
+        "benchmarks": benchmarks,
     }
 
 
@@ -161,3 +207,108 @@ class TestRegressionGate:
         baseline = _report_with({"a": 10.0, "b": 5.0})
         current = _report_with({"a": 10.0})
         assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+
+class TestFloorGate:
+    _run = TestRegressionGate._run
+
+    def test_value_below_floor_fails_with_named_benchmark(
+        self, check_regression, tmp_path, capsys
+    ):
+        baseline = _report_with({"parallel_speedup": 1.5}, floors={"parallel_speedup": 1.3})
+        current = _report_with({"parallel_speedup": 1.1}, floors={"parallel_speedup": 1.3})
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        err = capsys.readouterr().err
+        # Satellite: the failure message names the offending benchmark and
+        # its floor.
+        assert "parallel_speedup" in err
+        assert "1.3" in err
+        assert "floor" in err
+
+    def test_value_at_floor_passes(self, check_regression, tmp_path):
+        report = _report_with({"parallel_speedup": 1.3}, floors={"parallel_speedup": 1.3})
+        assert self._run(check_regression, tmp_path, report, report) == 0
+
+    def test_floor_binds_even_when_baseline_skipped(self, check_regression, tmp_path):
+        # The committed baseline may come from a small machine (skipped
+        # speedups); a 4-core CI runner measuring below the floor must
+        # still fail.
+        baseline = _report_with(
+            {"parallel_speedup": 0.0},
+            floors={"parallel_speedup": 1.3},
+            skipped={"parallel_speedup"},
+        )
+        current = _report_with({"parallel_speedup": 1.0}, floors={"parallel_speedup": 1.3})
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+
+    def test_skipped_current_never_fails(self, check_regression, tmp_path):
+        baseline = _report_with({"parallel_speedup": 1.5}, floors={"parallel_speedup": 1.3})
+        current = _report_with(
+            {"parallel_speedup": 0.0},
+            floors={"parallel_speedup": 1.3},
+            skipped={"parallel_speedup"},
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_ungated_floor_is_informational(self, check_regression, tmp_path):
+        report_kwargs = dict(
+            gated={"parallel_speedup_8": False}, floors={"parallel_speedup_8": 2.5}
+        )
+        baseline = _report_with({"parallel_speedup_8": 3.0}, **report_kwargs)
+        current = _report_with({"parallel_speedup_8": 2.0}, **report_kwargs)
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+
+class TestReporting:
+    def _run(self, check_regression, tmp_path, baseline, current, extra_args=()):
+        base_path = tmp_path / "baseline.json"
+        cur_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        return check_regression.main(
+            ["--baseline", str(base_path), "--current", str(cur_path), *extra_args]
+        )
+
+    def test_no_gate_reports_but_exits_zero(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 1.0})  # 10x regression
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        assert (
+            self._run(check_regression, tmp_path, baseline, current, ["--no-gate"]) == 0
+        )
+
+    def test_markdown_trend_table(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0, "parallel_speedup": 1.5})
+        current = _report_with({"a": 12.0, "parallel_speedup": 1.6})
+        md_path = tmp_path / "summary.md"
+        assert (
+            self._run(
+                check_regression,
+                tmp_path,
+                baseline,
+                current,
+                ["--markdown", str(md_path)],
+            )
+            == 0
+        )
+        table = md_path.read_text()
+        assert "| benchmark |" in table
+        assert "`parallel_speedup`" in table
+        assert "+20.0%" in table  # a's delta
+        assert "✅" in table
+
+    def test_markdown_marks_floor_failures(self, check_regression, tmp_path):
+        baseline = _report_with({"parallel_speedup": 1.5}, floors={"parallel_speedup": 1.3})
+        current = _report_with({"parallel_speedup": 1.0}, floors={"parallel_speedup": 1.3})
+        md_path = tmp_path / "summary.md"
+        assert (
+            self._run(
+                check_regression,
+                tmp_path,
+                baseline,
+                current,
+                ["--markdown", str(md_path), "--no-gate"],
+            )
+            == 0
+        )
+        assert "BELOW FLOOR" in md_path.read_text()
