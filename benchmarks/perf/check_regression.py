@@ -137,11 +137,19 @@ def render_markdown(rows: list[dict], threshold: float) -> str:
         "|---|---:|---:|---:|---|",
     ]
     for row in rows:
-        if row["ratio"] is not None:
+        status = row["status"]
+        if status.startswith("skipped on"):
+            # Small CI machines legitimately skip some benchmarks
+            # (``meta.skipped`` / ``value: null``); say so instead of
+            # rendering a row of null deltas that reads like missing data.
+            side, _, reason = status.partition(": ")
+            side = side.removeprefix("skipped on ")
+            delta = f"skipped on {side}"
+            status = f"⏭️ skipped: {reason or 'no reason recorded'}"
+        elif row["ratio"] is not None:
             delta = f"{(row['ratio'] - 1.0) * 100:+.1f}%"
         else:
             delta = "—"
-        status = row["status"]
         if status in ("REGRESSION", "BELOW FLOOR"):
             status = f"❌ {status}"
         elif status == "ok":

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""SIGKILL crash/resume acceptance check (used by the CI ``crash-resume`` job).
+
+Three runs of one seeded, fault-injected study (stragglers, dropped jobs,
+retries):
+
+1. **reference** — uninterrupted; records journal, telemetry, Chrome trace.
+2. **victim** — identical run in a subprocess whose journal SIGKILLs the
+   process after half the reference's ``tell`` records hit the disk.  The
+   subprocess must die with ``-SIGKILL`` — no cleanup handlers run.
+3. **resumed** — ``Study.resume`` on the victim's journal (scheduler rebuilt
+   from the journal header's recipe), run to completion.
+
+The check passes iff the resumed journal, telemetry stream, and Chrome
+trace are **byte-identical** to the reference's.
+
+Usage::
+
+    PYTHONPATH=src python scripts/crash_resume_check.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import RetryPolicy, SimulatedCluster
+from repro.core import build_scheduler
+from repro.experiments.toys import toy_objective, toy_space
+from repro.study import Journal, Study, build_spec, read_journal
+from repro.telemetry import JSONLSink, TelemetryHub
+
+SCENARIO = dict(min_resource=1.0, max_resource=9.0, eta=3, seed=7)
+SCHEDULER_KWARGS = {"max_trials": 8}
+CLUSTER = dict(straggler_std=0.3, drop_probability=0.05, seed=11)
+NUM_WORKERS = 2
+TIME_LIMIT = 200.0
+
+
+class KillingJournal(Journal):
+    """A journal that SIGKILLs its own process after N ``tell`` appends.
+
+    The kill happens *after* the append returns, i.e. after the record was
+    flushed — modelling a crash at the worst honest moment: the result is
+    durable, everything in memory is lost.
+    """
+
+    def __init__(self, path, kill_after_tells: int, **kwargs):
+        self._remaining = kill_after_tells
+        super().__init__(path, **kwargs)
+
+    def append(self, record):
+        super().append(record)
+        if record.get("kind") == "tell":
+            self._remaining -= 1
+            if self._remaining <= 0:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+
+def make_study(journal) -> Study:
+    scheduler = build_scheduler(
+        "asha",
+        toy_space(),
+        np.random.default_rng(SCENARIO["seed"]),
+        min_resource=SCENARIO["min_resource"],
+        max_resource=SCENARIO["max_resource"],
+        eta=SCENARIO["eta"],
+        kwargs=dict(SCHEDULER_KWARGS),
+    )
+    spec = build_spec(
+        scheduler="asha",
+        space=toy_space(),
+        seed=SCENARIO["seed"],
+        min_resource=SCENARIO["min_resource"],
+        max_resource=SCENARIO["max_resource"],
+        eta=SCENARIO["eta"],
+        scheduler_kwargs=SCHEDULER_KWARGS,
+    )
+    if isinstance(journal, Journal):
+        return Study(scheduler, journal=journal)
+    return Study(scheduler, journal=journal, spec=spec)
+
+
+def run(study: Study, events_path):
+    hub = TelemetryHub([JSONLSink(events_path)])
+    result = SimulatedCluster(NUM_WORKERS, **CLUSTER).run(
+        study,
+        toy_objective(),
+        time_limit=TIME_LIMIT,
+        telemetry=hub,
+        retry_policy=RetryPolicy(max_attempts=2, backoff=0.5),
+        trace=True,
+    )
+    hub.close()
+    study.close()
+    return json.dumps(result.trace.to_chrome_trace(), sort_keys=True)
+
+
+def child(workdir: Path, kill_after: int) -> None:
+    journal = KillingJournal(
+        workdir / "victim.journal.jsonl",
+        kill_after,
+        spec=build_spec(
+            scheduler="asha",
+            space=toy_space(),
+            seed=SCENARIO["seed"],
+            min_resource=SCENARIO["min_resource"],
+            max_resource=SCENARIO["max_resource"],
+            eta=SCENARIO["eta"],
+            scheduler_kwargs=SCHEDULER_KWARGS,
+        ),
+    )
+    run(make_study(journal), workdir / "victim.events.jsonl")
+    print("child survived its own kill switch", file=sys.stderr)
+    sys.exit(3)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", type=Path, default=None)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--kill-after", type=int, default=0, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    workdir = args.workdir or Path(tempfile.mkdtemp(prefix="crash-resume-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    if args.child:
+        child(workdir, args.kill_after)
+        return 3  # unreachable
+
+    # 1. Reference run.
+    ref_trace = run(make_study(workdir / "ref.journal.jsonl"), workdir / "ref.events.jsonl")
+    ref_journal = (workdir / "ref.journal.jsonl").read_bytes()
+    ref_events = (workdir / "ref.events.jsonl").read_bytes()
+    records, _, _ = read_journal(workdir / "ref.journal.jsonl")
+    tells = sum(1 for r in records if r.get("kind") == "tell")
+    kill_after = max(1, tells // 2)
+    print(f"reference: {len(records) - 1} records, {tells} tells; "
+          f"killing victim after tell #{kill_after}")
+
+    # 2. Victim run, SIGKILLed mid-flight.
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child",
+         "--kill-after", str(kill_after), "--workdir", str(workdir)],
+        env={**os.environ, "PYTHONPATH": os.environ.get("PYTHONPATH", "src")},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != -signal.SIGKILL:
+        print(f"FAIL: victim exited {proc.returncode}, expected {-signal.SIGKILL}")
+        print(proc.stderr)
+        return 1
+    victim_records, _, _ = read_journal(workdir / "victim.journal.jsonl")
+    print(f"victim: died with SIGKILL after {len(victim_records) - 1} records")
+    if len(victim_records) >= len(records):
+        print("FAIL: victim was not actually interrupted")
+        return 1
+
+    # 3. Resume from the victim's journal — scheduler rebuilt from the header.
+    resumed = Study.resume(workdir / "victim.journal.jsonl")
+    resumed_trace = run(resumed, workdir / "resumed.events.jsonl")
+
+    ok = True
+    for label, got, want in [
+        ("journal", (workdir / "victim.journal.jsonl").read_bytes(), ref_journal),
+        ("telemetry", (workdir / "resumed.events.jsonl").read_bytes(), ref_events),
+        ("chrome-trace", resumed_trace.encode(), ref_trace.encode()),
+    ]:
+        match = got == want
+        ok &= match
+        print(f"{label}: {'byte-identical' if match else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

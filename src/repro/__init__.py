@@ -25,6 +25,7 @@ from . import (
     objectives,
     searchers,
     searchspace,
+    study,
     telemetry,
 )
 from .backend import (
@@ -49,6 +50,7 @@ from .core import (
     VizierGP,
 )
 from .core import GridSearch
+from .core import SCHEDULERS, build_scheduler
 from .searchers import (
     SEARCHERS,
     GPEISearcher,
@@ -59,6 +61,7 @@ from .searchers import (
     build_searcher,
 )
 from .searchspace import Choice, IntUniform, LogUniform, QUniform, SearchSpace, Uniform
+from .study import Journal, Study
 from .telemetry import TelemetryHub
 from .tune import FunctionObjective, TuneResult, tune
 
@@ -79,6 +82,7 @@ __all__ = [
     "GridSearcher",
     "Hyperband",
     "IntUniform",
+    "Journal",
     "KDESearcher",
     "LogUniform",
     "PBT",
@@ -87,10 +91,13 @@ __all__ = [
     "RandomSearch",
     "RandomSearcher",
     "RetryPolicy",
+    "SCHEDULERS",
     "SEARCHERS",
     "Scheduler",
     "SearchSpace",
     "Searcher",
+    "Study",
+    "build_scheduler",
     "build_searcher",
     "SimulatedCluster",
     "SynchronousSHA",
@@ -108,5 +115,6 @@ __all__ = [
     "objectives",
     "searchers",
     "searchspace",
+    "study",
     "telemetry",
 ]

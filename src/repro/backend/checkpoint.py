@@ -23,6 +23,26 @@ from ..telemetry import NULL_HUB, EventKind
 __all__ = ["CheckpointStore"]
 
 
+class _ReplayedState:
+    """Placeholder checkpoint for a trial whose training was skipped.
+
+    Journal replay (:meth:`repro.study.Study.resume`) takes losses from the
+    journal instead of re-training, so the store holds just enough here —
+    the config and the resource trained to — for
+    :meth:`CheckpointStore.materialize` to rebuild the real state lazily if
+    a post-journal job ever resumes from it.
+    """
+
+    __slots__ = ("config", "resource")
+
+    def __init__(self, config: Any, resource: float):
+        self.config = config
+        self.resource = resource
+
+    def __repr__(self) -> str:
+        return f"_ReplayedState(resource={self.resource!r})"
+
+
 class CheckpointStore:
     """In-memory map of trial id -> (resource, opaque training state)."""
 
@@ -119,7 +139,80 @@ class CheckpointStore:
         """
         resource, state, event = self.resolve_start(job, objective)
         self.emit_restore(event)
-        return resource, state
+        return resource, self.materialize(state, objective)
+
+    def materialize(self, state: Any, objective: Objective) -> Any:
+        """Turn a replay placeholder into real training state (identity otherwise).
+
+        Objectives are deterministic functions of ``(config, resource)`` —
+        the checkpoint-equivalence contract — so retraining from scratch up
+        to the placeholder's resource reproduces exactly the state the
+        skipped training would have produced.
+        """
+        if not isinstance(state, _ReplayedState):
+            return state
+        real = objective.initial_state(state.config)
+        if state.resource > 0:
+            real, _ = objective.train(real, state.config, 0.0, state.resource)
+        return real
+
+    def replay_complete(self, job: Job) -> dict[str, Any] | None:
+        """Bookkeeping for a job whose loss came from a journal.
+
+        Mirrors :meth:`resolve_start`'s restore-event computation without
+        touching the objective (no ``initial_state``, no training), then
+        installs a :class:`_ReplayedState` placeholder as the trial's
+        checkpoint.  Returns the deferred ``checkpoint_restored`` payload
+        the caller should emit (``None`` for a from-scratch job), keeping
+        the telemetry stream byte-identical to a live run's.
+        """
+        if job.inherit_from is not None:
+            snapshot = self._snapshots.pop(job.job_id, None)
+            if snapshot is None:
+                if job.inherit_from not in self._store:
+                    raise KeyError(
+                        f"job {job.job_id} inherits from trial {job.inherit_from}, "
+                        "which has no checkpoint"
+                    )
+                snapshot = self._store[job.inherit_from]
+            event: dict[str, Any] | None = dict(
+                trial_id=job.trial_id,
+                job_id=job.job_id,
+                resource=snapshot[0],
+                inherited_from=job.inherit_from,
+            )
+        elif job.checkpoint_resource > 0:
+            if job.trial_id not in self._store:
+                raise KeyError(
+                    f"job {job.job_id} resumes trial {job.trial_id} at resource "
+                    f"{job.checkpoint_resource}, but no checkpoint exists"
+                )
+            event = dict(
+                trial_id=job.trial_id, job_id=job.job_id, resource=self._store[job.trial_id][0]
+            )
+        else:
+            event = None
+        self.replay_placeholder(job)
+        return event
+
+    def replay_placeholder(self, job: Job) -> None:
+        """Install the lazy placeholder checkpoint for a journal-replayed job."""
+        self._store[job.trial_id] = (job.resource, _ReplayedState(job.config, job.resource))
+
+    def seed_from_trials(self, trials: dict[int, Any]) -> None:
+        """Install placeholder checkpoints for already-measured trials.
+
+        A restored study's scheduler remembers its trials, but a fresh
+        backend's store is empty — jobs promoting those trials would find no
+        checkpoint.  Placeholders at each trial's furthest measured resource
+        let :meth:`materialize` rebuild the real state lazily on first use.
+        A no-op for fresh studies (no trials yet) and for replay-mode resume
+        (which re-executes from t=0 and installs placeholders as it goes).
+        """
+        for trial in trials.values():
+            if trial.measurements and trial.trial_id not in self._store:
+                resource = max(m.resource for m in trial.measurements)
+                self._store[trial.trial_id] = (resource, _ReplayedState(trial.config, resource))
 
     def put(self, trial_id: int, resource: float, state: Any) -> None:
         """Persist ``trial_id``'s checkpoint: trained to ``resource``, ``state``.

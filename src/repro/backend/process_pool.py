@@ -113,8 +113,18 @@ class _ProcessPoolExecution:
             initializer=_mark_proc_worker,
         )
 
-    def submit(self, job: Job) -> None:
+    def submit(self, job: Job, cached: bool = False) -> None:
         from_resource, state, restore_event = self.store.resolve_start(job, self.objective)
+        if cached:
+            # The study's journal already holds this job's loss (replay):
+            # keep the dispatch-time bookkeeping — the snapshot consumption
+            # and deferred restore event above — but skip the speculative
+            # training entirely; nothing is forked for an already-known job.
+            self._pending[job.job_id] = (None, restore_event, (from_resource, state))
+            return
+        # A replayed trial's checkpoint is a lazy placeholder; rebuild the
+        # real state before it crosses the process boundary.
+        state = self.store.materialize(state, self.objective)
         future: Future[tuple[Any, float]] | None = None
         if self._pool is not None:
             try:
@@ -140,10 +150,22 @@ class _ProcessPoolExecution:
                 state_loss = None
         if state_loss is None:
             from_resource, state = inputs
+            state = self.store.materialize(state, self.objective)
             state_loss = self.objective.train(state, job.config, from_resource, job.resource)
         state, loss = state_loss
         self.store.put(job.trial_id, job.resource, state)
         return loss
+
+    def collect_replayed(self, job: Job) -> None:
+        """A journal-replayed job completed: bookkeeping only, no training.
+
+        The restore event was resolved at dispatch (so donor snapshots were
+        consumed at the same clock as a live run); emit it now and install
+        the lazy placeholder checkpoint.
+        """
+        _, restore_event, _ = self._pending.pop(job.job_id)
+        self.store.emit_restore(restore_event)
+        self.store.replay_placeholder(job)
 
     def discard(self, job: Job) -> None:
         pending = self._pending.pop(job.job_id, None)

@@ -36,6 +36,7 @@ import numpy as np
 from ..core.scheduler import Scheduler
 from ..core.types import Job
 from ..objectives.base import Objective
+from ..study import Study
 from ..telemetry import EventKind, TelemetryHub
 from ..telemetry.tracing import TraceBuilder
 from .checkpoint import CheckpointStore
@@ -66,12 +67,25 @@ class _InlineExecution:
         self.store = store
         self.objective = objective
 
-    def submit(self, job: Job) -> None:  # noqa: ARG002 — strategy protocol
-        """A job was dispatched; the inline strategy defers all work."""
+    def submit(self, job: Job, cached: bool = False) -> None:  # noqa: ARG002 — strategy protocol
+        """A job was dispatched; the inline strategy defers all work.
+
+        ``cached`` flags a dispatch whose result the study's journal already
+        holds (replay) — irrelevant here since nothing runs until collect.
+        """
 
     def collect(self, job: Job) -> float:
         """Produce the completed job's loss (training happens right here)."""
         return self.store.run_job(job, self.objective)
+
+    def collect_replayed(self, job: Job) -> None:
+        """A journal-replayed job completed: bookkeeping only, no training.
+
+        Emits the same ``checkpoint_restored`` event the live path would and
+        installs the lazy placeholder checkpoint, keeping the telemetry
+        stream and store behaviour byte-identical to an uninterrupted run.
+        """
+        self.store.emit_restore(self.store.replay_complete(job))
 
     def discard(self, job: Job) -> None:
         """The dispatch was killed (drop/churn/timeout); nothing is pending."""
@@ -138,7 +152,7 @@ class SimulatedCluster:
 
     def run(
         self,
-        scheduler: Scheduler,
+        scheduler: Scheduler | Study,
         objective: Objective,
         *,
         time_limit: float,
@@ -150,6 +164,13 @@ class SimulatedCluster:
         trace: bool = False,
     ) -> BackendResult:
         """Drive ``scheduler`` against ``objective`` until the clock runs out.
+
+        ``scheduler`` may be a bare :class:`~repro.core.Scheduler` (wrapped
+        in an unjournalled :class:`~repro.study.Study` internally) or a
+        :class:`~repro.study.Study` — journal-backed for crash safety, or
+        armed for replay by :meth:`~repro.study.Study.resume`, in which case
+        journalled training is skipped and the recorded losses reused.  The
+        event loop itself only ever talks to the study's ask/tell surface.
 
         Parameters
         ----------
@@ -200,7 +221,10 @@ class SimulatedCluster:
         queue = EventQueue()
         store = CheckpointStore()
         result = BackendResult()
-        hub = telemetry if telemetry is not None else scheduler.telemetry
+        # The loop drives a Study (ask/tell + fault hooks); a bare scheduler
+        # gets an unjournalled wrapper so there is exactly one code path.
+        study = scheduler if isinstance(scheduler, Study) else Study(scheduler)
+        hub = telemetry if telemetry is not None else study.telemetry
         tracer = None
         if trace:
             tracer = TraceBuilder()
@@ -208,8 +232,11 @@ class SimulatedCluster:
                 hub = TelemetryHub()
             hub.add_sink(tracer)
         if telemetry is not None or tracer is not None:
-            scheduler.attach_telemetry(hub)
+            study.attach_telemetry(hub)
         store.telemetry = hub
+        # A snapshot-restored study arrives with trials already trained;
+        # give their checkpoints lazy placeholders (no-op for fresh runs).
+        store.seed_from_trials(study.trials)
         # Workers have stable identities so telemetry can attribute busy time;
         # the lowest-numbered free worker always takes the next job, which
         # keeps the assignment deterministic.  Churned workers retire their
@@ -290,8 +317,10 @@ class SimulatedCluster:
                     queue.push(queue.clock + deadline, "timeout", (job, gen))
             # Hand the dispatch to the execution strategy *after* duration and
             # deadline are computed: resolving the starting state may consume
-            # the dispatch snapshot that ``start_resource`` reads.
-            execution.submit(job)
+            # the dispatch snapshot that ``start_resource`` reads.  A job
+            # whose result the journal already holds needs no speculative
+            # training (the process pool would otherwise fork for nothing).
+            execution.submit(job, cached=study.has_cached_loss(job.job_id))
             if hub:
                 extra = {"attempt": attempt} if attempt > 1 else {}
                 hub.emit(
@@ -313,10 +342,10 @@ class SimulatedCluster:
             while free_ids:
                 if pending_retries:
                     job, attempt = pending_retries.popleft()
-                elif scheduler.is_done():
+                elif study.is_done():
                     break
                 else:
-                    job = scheduler.next_job()
+                    job = study.ask()
                     if job is None:
                         starved = True
                         break
@@ -370,7 +399,7 @@ class SimulatedCluster:
             if correction:
                 extra["busy_correction"] = correction
             if faults is None:
-                scheduler.on_job_failed(job)
+                study.on_job_failed(job)
                 result.failure_log.append(
                     FailureRecord(
                         time=queue.clock,
@@ -422,7 +451,7 @@ class SimulatedCluster:
                 )
             if decision.retry:
                 result.jobs_retried += 1
-                scheduler.on_job_requeued(job)
+                study.on_job_requeued(job)
                 retry_at = queue.clock + decision.delay
                 if hub:
                     hub.emit(
@@ -438,7 +467,7 @@ class SimulatedCluster:
                 queue.push(retry_at, "retry", (job, decision.failures + 1))
             else:
                 result.trials_abandoned += 1
-                scheduler.on_trial_abandoned(job)
+                study.on_trial_abandoned(job)
                 if hub:
                     hub.emit(
                         EventKind.TRIAL_ABANDONED,
@@ -515,17 +544,26 @@ class SimulatedCluster:
                     if worker is not None:
                         heapq.heappush(free_ids, worker)
                     if event.kind == "complete":
-                        try:
-                            loss = execution.collect(job)
-                        except Exception as exc:  # noqa: BLE001 — training crashed
-                            store.discard(job)
-                            handle_failure(
-                                job, worker, reason="exception", lost=credit, error=repr(exc)
-                            )
+                        failed = False
+                        loss = study.cached_loss(job)
+                        if loss is not None:
+                            # Replay: the journal's next record is this job's
+                            # tell — reuse the loss, skip training, keep the
+                            # checkpoint/restore bookkeeping identical.
+                            execution.collect_replayed(job)
                         else:
+                            try:
+                                loss = execution.collect(job)
+                            except Exception as exc:  # noqa: BLE001 — training crashed
+                                failed = True
+                                store.discard(job)
+                                handle_failure(
+                                    job, worker, reason="exception", lost=credit, error=repr(exc)
+                                )
+                        if not failed:
                             if faults is not None:
                                 faults.record_success(job)
-                            record_report(result, scheduler, job, loss, queue.clock, done_resource)
+                            record_report(result, study, job, loss, queue.clock, done_resource)
                             if hub:
                                 hub.emit(
                                     EventKind.REPORT,
@@ -549,6 +587,9 @@ class SimulatedCluster:
 
         finally:
             execution.close()
+            # End-of-run durability for the journal (flush + fsync); a crash
+            # after this point can never lose recorded interactions.
+            study.finalize()
         # Only a break on an over-budget event means the search consumed the
         # whole budget; draining the queue or stopping early (measurement cap,
         # first completion) ends the run at the current clock.

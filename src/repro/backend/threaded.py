@@ -31,6 +31,7 @@ import time as _time
 from ..core.scheduler import Scheduler
 from ..core.types import Job
 from ..objectives.base import Objective
+from ..study import Study
 from ..telemetry import EventKind, TelemetryHub
 from ..telemetry.tracing import TraceBuilder
 from .checkpoint import CheckpointStore
@@ -73,7 +74,7 @@ class ThreadPoolBackend:
 
     def run(
         self,
-        scheduler: Scheduler,
+        scheduler: Scheduler | Study,
         objective: Objective,
         *,
         time_limit: float,
@@ -113,7 +114,12 @@ class ThreadPoolBackend:
         stop = threading.Event()
         start = _time.monotonic()
         busy_time = [0.0]
-        hub = telemetry if telemetry is not None else scheduler.telemetry
+        # Workers drive a Study (ask/tell + fault hooks) under the backend
+        # lock; a bare scheduler gets an unjournalled wrapper.  Wall-clock
+        # journals replay in ``mode="restore"`` (see docs/study.md) — the
+        # thread backend's timings cannot be re-executed byte-identically.
+        study = scheduler if isinstance(scheduler, Study) else Study(scheduler)
+        hub = telemetry if telemetry is not None else study.telemetry
         tracer = None
         if trace:
             tracer = TraceBuilder()
@@ -121,8 +127,11 @@ class ThreadPoolBackend:
                 hub = TelemetryHub()
             hub.add_sink(tracer)
         if telemetry is not None or tracer is not None:
-            scheduler.attach_telemetry(hub)
+            study.attach_telemetry(hub)
         store.telemetry = hub
+        # A restored study arrives with trials already trained; give their
+        # checkpoints lazy placeholders (no-op for fresh runs).
+        store.seed_from_trials(study.trials)
         faults = FaultManager(retry_policy) if retry_policy is not None else None
         # Retries waiting out their backoff: (ready_at, job, attempt).
         retry_queue: list[tuple[float, Job, int]] = []
@@ -154,7 +163,7 @@ class ThreadPoolBackend:
             if hub:
                 hub.set_time(t)
             if faults is None:
-                scheduler.on_job_failed(job)
+                study.on_job_failed(job)
                 result.failure_log.append(
                     FailureRecord(
                         time=t,
@@ -210,7 +219,7 @@ class ThreadPoolBackend:
                 )
             if decision.retry:
                 result.jobs_retried += 1
-                scheduler.on_job_requeued(job)
+                study.on_job_requeued(job)
                 if hub:
                     hub.emit(
                         EventKind.JOB_RETRIED,
@@ -226,7 +235,7 @@ class ThreadPoolBackend:
                 retry_queue.append((t + decision.delay, job, decision.failures + 1))
             else:
                 result.trials_abandoned += 1
-                scheduler.on_trial_abandoned(job)
+                study.on_trial_abandoned(job)
                 if hub:
                     hub.emit(
                         EventKind.TRIAL_ABANDONED,
@@ -277,7 +286,7 @@ class ThreadPoolBackend:
                     ready = pop_ready_retry(now)
                     if ready is not None:
                         job, attempt = ready
-                    elif scheduler.is_done():
+                    elif study.is_done():
                         if not retry_queue:
                             return
                         job = None  # retries pending but still backing off
@@ -287,7 +296,7 @@ class ThreadPoolBackend:
                             # The scheduler emits under the backend lock, so
                             # its decision events interleave in dispatch order.
                             hub.set_time(now)
-                        job = scheduler.next_job()
+                        job = study.ask()
                         attempt = 1 if faults is None or job is None else faults.attempt_number(job)
                     if job is not None:
                         result.jobs_dispatched += 1
@@ -352,7 +361,7 @@ class ThreadPoolBackend:
                         if faults is not None:
                             faults.record_success(job)
                         store.put(job.trial_id, job.resource, state)
-                        record_report(result, scheduler, job, loss, t1, done_resource)
+                        record_report(result, study, job, loss, t1, done_resource)
                         if hub:
                             hub.emit(
                                 EventKind.REPORT,
@@ -388,6 +397,7 @@ class ThreadPoolBackend:
             t.join(timeout=max(grace_deadline - _time.monotonic(), 0.0))
         result.elapsed = clock()
         result.utilization = min(busy_time[0] / (self.num_workers * max(result.elapsed, 1e-9)), 1.0)
+        study.finalize()  # journal durability: flush + fsync
         if hub:
             result.telemetry = hub.finalize(
                 elapsed=max(result.elapsed, 1e-9), num_workers=self.num_workers

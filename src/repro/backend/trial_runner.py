@@ -98,12 +98,20 @@ def record_report(
     ``Scheduler.note_result``); the backend keeps its own timestamped log.
     """
     measurement = Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss, time=time)
-    scheduler.report(job, loss)
+    # A journal-backed Study journals the result before the scheduler sees
+    # it (write-ahead); a bare scheduler takes the report directly.
+    tell = getattr(scheduler, "tell", None)
+    if callable(tell):
+        tell(job, loss, time=time)
+    else:
+        scheduler.report(job, loss)
     result.measurements.append(measurement)
     # ``completed_brackets`` is an attribute on Hyperband but a method on
     # SynchronousSHA; resolve to a plain count so the snapshot log stays
     # scheduler-free (and therefore picklable for the parallel engine).
-    snapshot = getattr(scheduler, "completed_brackets", None)
+    # Only a Study exposes ``.scheduler``; unwrap it to reach the counter.
+    target = getattr(scheduler, "scheduler", scheduler)
+    snapshot = getattr(target, "completed_brackets", None)
     if callable(snapshot):
         snapshot = snapshot()
     result.bracket_snapshots.append(snapshot)

@@ -12,6 +12,7 @@ from .hyperband import Hyperband, hyperband_bracket_sizes
 from .parallel_hyperband import ParallelAsyncHyperband
 from .pbt import PBT
 from .random_search import RandomSearch
+from .registry import SCHEDULERS, build_scheduler, default_bracket_size
 from .rung import Rung
 from .scheduler import Scheduler
 from .sha import SynchronousSHA
@@ -45,6 +46,7 @@ __all__ = [
     "ParallelAsyncHyperband",
     "RandomSearch",
     "Rung",
+    "SCHEDULERS",
     "Scheduler",
     "StoppingRule",
     "StoppingWrapper",
@@ -52,6 +54,8 @@ __all__ = [
     "Trial",
     "TrialStatus",
     "VizierGP",
+    "build_scheduler",
+    "default_bracket_size",
     "hyperband_bracket_sizes",
     "sha_rung_schedule",
 ]

@@ -185,6 +185,14 @@ class ASHA(Scheduler):
             return False
         return not any(t.status == TrialStatus.RUNNING for t in self.trials.values())
 
+    # ------------------------------------------------------------ snapshots
+
+    def _state_extra(self) -> dict:
+        return {"bracket": self.bracket.state()}
+
+    def _load_extra(self, extra: dict) -> None:
+        self.bracket.load(extra["bracket"])
+
     # ------------------------------------------------------------ insight
 
     def rung_sizes(self) -> list[int]:

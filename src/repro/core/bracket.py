@@ -190,6 +190,28 @@ class Bracket:
         """Mark ``trial_id`` promoted out of ``from_rung``."""
         self.rung(from_rung).mark_promoted(trial_id)
 
+    # ------------------------------------------------------------ snapshots
+
+    def state(self) -> dict:
+        """JSON-safe snapshot of every materialised rung's leaderboard."""
+        return {"rungs": [rung.state() for rung in self._rungs]}
+
+    def load(self, state: dict) -> None:
+        """Restore :meth:`state` output into this (geometry-identical) bracket.
+
+        Finite-horizon brackets have all rungs materialised at construction;
+        infinite-horizon ladders regrow on demand here.  Rung loads fire
+        ``on_change``, so the promotion cache ends up invalidated.
+        """
+        rung_states = state["rungs"]
+        if self._s_max is not None and len(rung_states) != self.num_rungs:
+            raise ValueError(
+                f"snapshot has {len(rung_states)} rungs, bracket has {self.num_rungs}"
+            )
+        for i, rung_state in enumerate(rung_states):
+            self.rung(i).load(rung_state)
+        self._promotion_cache_valid = False
+
     # ------------------------------------------------------------- totals
 
     def total_budget(self, n: int) -> float:

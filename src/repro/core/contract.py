@@ -147,6 +147,22 @@ class ContractChecker(Scheduler):
     def num_trials(self) -> int:
         return self.inner.num_trials
 
+    def state_dict(self) -> dict:
+        """Delegate to the wrapped scheduler.
+
+        The checker's own audit tables (outstanding jobs, in-flight trials,
+        monotonic-done latch) describe the *run*, not the algorithm; a
+        restored study starts a fresh audit over the resumed interactions.
+        """
+        return self.inner.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.inner.load_state(state)
+        self._outstanding.clear()
+        self._in_flight_trials.clear()
+        self._abandoned_trials.clear()
+        self._was_done = False
+
     # ------------------------------------------------------------- helpers
 
     def _resolve(self, job: Job) -> None:

@@ -126,6 +126,29 @@ class Hyperband(Scheduler):
             and self._current is None
         )
 
+    # ------------------------------------------------------------ snapshots
+
+    def _state_extra(self) -> dict:
+        # The inner SHA shares this scheduler's trial table, id allocators,
+        # rng and searcher, so only its bracket-local extra is serialized —
+        # duplicating the shared tables would desync them on load.
+        return {
+            "completed_brackets": self.completed_brackets,
+            "current_s": self._current_s,
+            "loops": self._loops,
+            "current": None if self._current is None else self._current._state_extra(),
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self.completed_brackets = int(extra["completed_brackets"])
+        self._current_s = int(extra["current_s"])
+        self._loops = int(extra["loops"])
+        if extra["current"] is None:
+            self._current = None
+        else:
+            self._current = self._make_bracket(self._current_s)
+            self._current._load_extra(extra["current"])
+
     # ------------------------------------------------------------- helpers
 
     def _make_bracket(self, s: int) -> SynchronousSHA:

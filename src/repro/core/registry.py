@@ -1,0 +1,100 @@
+"""The scheduler registry: name -> constructor, mirroring ``SEARCHERS``.
+
+One canonical place maps the scheduler names accepted by
+:func:`repro.tune.tune` (and recorded in study journals) to constructed
+:class:`~repro.core.scheduler.Scheduler` instances.  ``tune`` delegates here
+instead of carrying its own if/elif ladder, and
+:meth:`repro.study.Study.resume` reconstructs the scheduler a journal was
+recorded under from the registered name in the journal header.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..searchers.base import Searcher
+from ..searchers.registry import SEARCHERS
+from ..searchspace import SearchSpace
+from .asha import ASHA
+from .async_hyperband import AsyncHyperband
+from .bohb import BOHB
+from .hyperband import Hyperband
+from .pbt import PBT
+from .random_search import RandomSearch
+from .scheduler import Scheduler
+from .sha import SynchronousSHA
+from .vizier import VizierGP
+
+__all__ = ["SCHEDULERS", "build_scheduler", "default_bracket_size"]
+
+#: Scheduler names accepted by :func:`build_scheduler` (``"vizier"`` aliases
+#: ``"gp"``).
+SCHEDULERS = ("asha", "sha", "hyperband", "async_hyperband", "bohb", "random", "pbt", "gp")
+
+
+def default_bracket_size(min_resource: float, max_resource: float, eta: int) -> int:
+    """Smallest ``n`` filling a full SHA bracket (one config reaching ``R``)."""
+    rungs = np.floor(np.log(max_resource / min_resource) / np.log(eta))
+    return max(int(eta**rungs), eta)
+
+
+def build_scheduler(
+    name: str,
+    space: SearchSpace,
+    rng: np.random.Generator,
+    *,
+    min_resource: float,
+    max_resource: float,
+    eta: int,
+    kwargs: dict | None = None,
+    searcher: Searcher | None = None,
+) -> Scheduler:
+    """Construct a registered scheduler by name.
+
+    ``kwargs`` is consumed destructively (defaults are filled in), so pass a
+    copy if the caller still needs it.
+    """
+    kwargs = {} if kwargs is None else kwargs
+    if name == "vizier":
+        name = "gp"
+    if searcher is not None:
+        if name in ("bohb", "pbt"):
+            raise ValueError(
+                f"scheduler {name!r} owns its own sampling and does not accept a "
+                "searcher; use scheduler='sha' or 'asha' with searcher='kde' for "
+                "the BOHB family"
+            )
+        kwargs.setdefault("searcher", searcher)
+    if name == "asha":
+        return ASHA(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "sha":
+        kwargs.setdefault("n", default_bracket_size(min_resource, max_resource, eta))
+        return SynchronousSHA(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "hyperband":
+        return Hyperband(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "async_hyperband":
+        return AsyncHyperband(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "bohb":
+        kwargs.setdefault("n", default_bracket_size(min_resource, max_resource, eta))
+        return BOHB(
+            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
+        )
+    if name == "random":
+        return RandomSearch(space, rng, max_resource=max_resource, **kwargs)
+    if name == "pbt":
+        kwargs.setdefault("interval", max_resource / 8.0)
+        return PBT(space, rng, max_resource=max_resource, **kwargs)
+    if name == "gp":
+        return VizierGP(space, rng, max_resource=max_resource, **kwargs)
+    raise KeyError(
+        f"unknown scheduler {name!r}; scheduler options: {sorted(SCHEDULERS)}, "
+        f"searcher options: {sorted(SEARCHERS)}"
+    )

@@ -144,6 +144,25 @@ class Rung:
             if self._on_change is not None:
                 self._on_change()
 
+    def state(self) -> dict:
+        """JSON-safe snapshot: the leaderboard and the promoted set.
+
+        The sorted indexes are derived data and are rebuilt by :meth:`load`.
+        """
+        return {
+            "losses": {str(tid): loss for tid, loss in self.losses.items()},
+            "promoted": sorted(self.promoted),
+        }
+
+    def load(self, state: dict) -> None:
+        """Restore :meth:`state` output, rebuilding the sorted indexes."""
+        self.losses = {int(tid): float(loss) for tid, loss in state["losses"].items()}
+        self.promoted = set(int(tid) for tid in state["promoted"])
+        self._sorted = sorted((_sort_loss(loss), tid) for tid, loss in self.losses.items())
+        self._unpromoted = [entry for entry in self._sorted if entry[1] not in self.promoted]
+        if self._on_change is not None:
+            self._on_change()
+
     def best(self) -> tuple[int, float] | None:
         """(trial_id, loss) of the current leader, or ``None`` if empty."""
         if not self._sorted:

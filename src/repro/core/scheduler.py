@@ -19,6 +19,7 @@ import numpy as np
 from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from ..telemetry import NULL_HUB, EventKind
+from .serialization import rng_state, set_rng_state, trial_from_state, trial_state
 from .types import Config, IdAllocator, Job, Measurement, Trial, TrialStatus
 
 __all__ = ["Scheduler"]
@@ -132,6 +133,70 @@ class Scheduler(ABC):
         fixed-budget algorithms (SHA) finish when their bracket completes.
         """
         return False
+
+    # ------------------------------------------------------------ snapshots
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialize the complete scheduler state as JSON-safe plain data.
+
+        The base class captures what every scheduler owns — rng stream, id
+        cursors, trial table, searcher state — and delegates algorithm
+        internals (rungs, brackets, pending queues) to :meth:`_state_extra`.
+        Restoring into a *freshly constructed* scheduler of the same type and
+        constructor arguments via :meth:`load_state` must resume the exact
+        decision sequence; :class:`~repro.study.Study` snapshots are built on
+        this contract.
+        """
+        return {
+            "type": type(self).__name__,
+            "rng": rng_state(self.rng),
+            "trial_ids": self._trial_ids.state(),
+            "job_ids": self._job_ids.state(),
+            "trials": {str(tid): trial_state(t) for tid, t in self.trials.items()},
+            "searcher": None if self.searcher is None else self.searcher.state_dict(),
+            "extra": self._state_extra(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output into this (fresh) scheduler.
+
+        The trial table is mutated in place rather than rebound — composite
+        schedulers (Hyperband) alias it across inner brackets.
+        """
+        expected = state["type"]
+        if expected != type(self).__name__:
+            raise ValueError(f"state is for scheduler {expected!r}, not {type(self).__name__!r}")
+        set_rng_state(self.rng, state["rng"])
+        self._trial_ids.load(state["trial_ids"])
+        self._job_ids.load(state["job_ids"])
+        self.trials.clear()
+        self.trials.update(
+            {int(tid): trial_from_state(ts) for tid, ts in state["trials"].items()}
+        )
+        if self.searcher is not None:
+            if state["searcher"] is None:
+                raise ValueError("state has no searcher but scheduler was built with one")
+            self.searcher.load_state(state["searcher"])
+        elif state["searcher"] is not None:
+            raise ValueError("state carries a searcher but scheduler was built without one")
+        self._load_extra(state["extra"])
+
+    def _state_extra(self) -> dict[str, Any]:
+        """Algorithm-specific state beyond the base tables (JSON-safe).
+
+        Schedulers that support snapshot/resume implement this together with
+        :meth:`_load_extra`; the base raises so unsupported algorithms fail
+        loudly at snapshot time instead of silently resuming corrupt.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state serialization"
+        )
+
+    def _load_extra(self, extra: dict[str, Any]) -> None:
+        """Restore :meth:`_state_extra` output; counterpart hook."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state serialization"
+        )
 
     # -------------------------------------------------------------- helpers
 

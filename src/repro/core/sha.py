@@ -226,6 +226,37 @@ class SynchronousSHA(Scheduler):
             return False
         return not self.grow_brackets or self.searcher_exhausted()
 
+    # ------------------------------------------------------------ snapshots
+
+    def _state_extra(self) -> dict:
+        return {
+            "runs": [
+                {
+                    "rung_index": run.rung_index,
+                    "pending": list(run.pending),
+                    "outstanding": sorted(run.outstanding),
+                    "done": run.done,
+                    "bracket": run.bracket.state(),
+                }
+                for run in self.runs
+            ],
+            "run_of_trial": {str(tid): run.index for tid, run in self._run_of_trial.items()},
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self.runs = []
+        for run_state in extra["runs"]:
+            self._start_run()
+            run = self.runs[-1]
+            run.rung_index = int(run_state["rung_index"])
+            run.pending = deque(None if e is None else int(e) for e in run_state["pending"])
+            run.outstanding = {int(tid) for tid in run_state["outstanding"]}
+            run.done = bool(run_state["done"])
+            run.bracket.load(run_state["bracket"])
+        self._run_of_trial = {
+            int(tid): self.runs[index] for tid, index in extra["run_of_trial"].items()
+        }
+
     # ------------------------------------------------------------- helpers
 
     def _start_run(self) -> None:

@@ -207,3 +207,18 @@ class StoppingWrapper(Scheduler):
     @property
     def num_trials(self) -> int:
         return self.inner.num_trials
+
+    def state_dict(self) -> dict:
+        """Delegate to the wrapped scheduler.
+
+        The rule's observation history and the ``stopped_early`` set are not
+        serialized: a restored study re-observes measurements as replay
+        feeds them back through :meth:`report`, and journal replay re-runs
+        the rule's votes deterministically.  A bare snapshot-restore resets
+        the rule — documented in ``docs/study.md``.
+        """
+        return self.inner.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.inner.load_state(state)
+        self.stopped_early.clear()

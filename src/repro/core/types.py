@@ -16,7 +16,6 @@ beyond ordering and arithmetic.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -117,10 +116,24 @@ class Job:
 
 
 class IdAllocator:
-    """Monotonic id source for trials and jobs (deterministic, no globals)."""
+    """Monotonic id source for trials and jobs (deterministic, no globals).
+
+    Backed by a plain integer so the allocation cursor can be captured in a
+    :meth:`~repro.study.Study.snapshot` and restored exactly.
+    """
 
     def __init__(self) -> None:
-        self._counter = itertools.count()
+        self._next = 0
 
     def next(self) -> int:
-        return next(self._counter)
+        value = self._next
+        self._next += 1
+        return value
+
+    def state(self) -> int:
+        """The next id that would be handed out."""
+        return self._next
+
+    def load(self, value: int) -> None:
+        """Restore the allocation cursor captured by :meth:`state`."""
+        self._next = int(value)

@@ -29,6 +29,7 @@ from ..backend.simulation import SimulatedCluster
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
 from ..objectives.surrogate import SurrogateObjective
+from ..study import Study
 from ..telemetry import JSONLSink, TelemetryHub
 from .parallel import parallel_map
 
@@ -38,6 +39,7 @@ __all__ = [
     "aggregate_methods",
     "sequence_seeds",
     "telemetry_event_path",
+    "journal_path",
     "SchedulerFactory",
     "ObjectiveFactory",
     "TrialTask",
@@ -74,6 +76,9 @@ class TrialTask:
     #: Directory for a per-trial JSONL event export (one file per
     #: ``(method, seed)``); mutually exclusive with ``telemetry``.
     telemetry_out: str | None = None
+    #: Directory for a per-trial crash-safety journal (one write-ahead JSONL
+    #: file per ``(method, seed)``); see ``docs/study.md``.
+    journal_out: str | None = None
     #: Execution backend for the trial's cluster: ``"simulated"`` (inline
     #: training) or ``"processes"`` (:class:`ProcessPoolBackend` — training
     #: increments run in a fork-based process pool, byte-identical output).
@@ -84,6 +89,12 @@ def telemetry_event_path(directory: str | Path, method: str, seed: int) -> Path:
     """Canonical event-file location for one ``(method, seed)`` trial."""
     slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in method)
     return Path(directory) / f"{slug}-seed{seed}.jsonl"
+
+
+def journal_path(directory: str | Path, method: str, seed: int) -> Path:
+    """Canonical journal location for one ``(method, seed)`` trial."""
+    slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in method)
+    return Path(directory) / f"{slug}-seed{seed}.journal.jsonl"
 
 
 def run_trial_task(task: TrialTask) -> RunRecord:
@@ -109,8 +120,13 @@ def run_trial_task(task: TrialTask) -> RunRecord:
         path = telemetry_event_path(task.telemetry_out, task.method, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
         hub = owned_hub = TelemetryHub.with_metrics(JSONLSink(path))
+    runnable: Scheduler | Study = scheduler
+    if task.journal_out is not None:
+        jpath = journal_path(task.journal_out, task.method, seed)
+        jpath.parent.mkdir(parents=True, exist_ok=True)
+        runnable = Study(scheduler, journal=jpath)
     backend_result = cluster.run(
-        scheduler,
+        runnable,
         objective,
         time_limit=task.time_limit,
         max_measurements=task.max_measurements,
@@ -142,6 +158,7 @@ def run_trials(
     max_measurements: int | None = None,
     telemetry: TelemetryFactory | None = None,
     telemetry_out: str | Path | None = None,
+    journal_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
     backend: str = "simulated",
@@ -173,6 +190,12 @@ def run_trials(
         span/timeline trace can be rebuilt from any experiment run with
         ``python -m repro.telemetry.trace``.  Ignored when a ``telemetry``
         factory is given (the factory owns sink placement then).
+    journal_out:
+        Directory to write one crash-safety journal per ``(method, seed)``
+        trial into (``<method>-seed<N>.journal.jsonl``, created on demand).
+        Each trial then runs through a journal-backed
+        :class:`~repro.study.Study`, so an interrupted experiment can be
+        resumed per trial with ``Study.resume``; see ``docs/study.md``.
     n_jobs:
         Trials to run concurrently in separate processes.  ``None`` defers
         to ``$REPRO_JOBS`` (default 1); ``-1`` means all cores.  Records
@@ -206,6 +229,7 @@ def run_trials(
             max_measurements=max_measurements,
             telemetry=telemetry,
             telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
+            journal_out=str(journal_out) if journal_out is not None else None,
             backend=backend,
         )
         for seed in seeds
@@ -227,6 +251,7 @@ def run_methods(
     max_measurements: int | None = None,
     telemetry: TelemetryFactory | None = None,
     telemetry_out: str | Path | None = None,
+    journal_out: str | Path | None = None,
     n_jobs: int | None = None,
     executor=None,
     backend: str = "simulated",
@@ -254,6 +279,7 @@ def run_methods(
             max_measurements=max_measurements,
             telemetry=telemetry,
             telemetry_out=str(telemetry_out) if telemetry_out is not None else None,
+            journal_out=str(journal_out) if journal_out is not None else None,
             backend=backend,
         )
         for name, factory in methods.items()

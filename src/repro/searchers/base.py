@@ -153,3 +153,48 @@ class Searcher(ABC):
 
     def on_trial_error(self, trial: "Trial") -> None:
         """``trial`` was dropped without a usable result (default: ignore)."""
+
+    # ------------------------------------------------------------ snapshots
+
+    def state_dict(self) -> dict:
+        """Serialize proposal state as JSON-safe plain data.
+
+        The base captures the protocol counters and origin; model internals
+        go through :meth:`_searcher_state`.  Restoring into a freshly
+        constructed searcher (same constructor arguments, bound to the same
+        space) via :meth:`load_state` must resume the exact proposal
+        sequence given the same rng stream.
+        """
+        return {
+            "type": type(self).__name__,
+            "last_origin": self._last_origin,
+            "num_suggestions": self.num_suggestions,
+            "num_results": self.num_results,
+            "num_completions": self.num_completions,
+            "extra": self._searcher_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this searcher."""
+        expected = state["type"]
+        if expected != type(self).__name__:
+            raise SearcherError(
+                f"state is for searcher {expected!r}, not {type(self).__name__!r}"
+            )
+        self._last_origin = state["last_origin"]
+        self.num_suggestions = int(state["num_suggestions"])
+        self.num_results = int(state["num_results"])
+        self.num_completions = int(state["num_completions"])
+        self._load_searcher_state(state["extra"])
+
+    def _searcher_state(self) -> dict:
+        """Subclass hook: model internals beyond the base counters."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state serialization"
+        )
+
+    def _load_searcher_state(self, extra: dict) -> None:
+        """Subclass hook: restore :meth:`_searcher_state` output."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state serialization"
+        )

@@ -61,3 +61,19 @@ class GridSearcher(Searcher):
         config = self._queue[self._cursor]
         self._cursor += 1
         return config, ORIGIN_GRID
+
+    # ------------------------------------------------------------ snapshots
+
+    def _searcher_state(self) -> dict:
+        # The queue is serialized in its *current* (possibly shuffled) order,
+        # so restoring never replays the permutation draw.
+        return {
+            "queue": [dict(config) for config in self._queue],
+            "shuffled": self._shuffled,
+            "cursor": self._cursor,
+        }
+
+    def _load_searcher_state(self, extra: dict) -> None:
+        self._queue = [dict(config) for config in extra["queue"]]
+        self._shuffled = bool(extra["shuffled"])
+        self._cursor = int(extra["cursor"])

@@ -79,6 +79,35 @@ class KDESearcher(Searcher):
                 return self.encoder.decode(x), origin
         return self.encoder.decode(rng.random(self.encoder.dim)), ORIGIN_RANDOM
 
+    # ------------------------------------------------------------ snapshots
+
+    def _searcher_state(self) -> dict:
+        return {
+            "models": {
+                str(rung): {
+                    "x": [x.tolist() for x in model._x],
+                    "y": list(model._y),
+                    "last_proposal_was_model": model.last_proposal_was_model,
+                }
+                for rung, model in self.models.items()
+            }
+        }
+
+    def _load_searcher_state(self, extra: dict) -> None:
+        self.models = {}
+        for rung_key, model_state in extra["models"].items():
+            model = TPESampler(
+                self.encoder.dim if self.encoder is not None else len(model_state["x"][0]),
+                gamma=self.gamma,
+                num_candidates=self.num_candidates,
+                random_fraction=self.random_fraction,
+                min_points=self.min_points,
+            )
+            model._x = [np.asarray(x, dtype=float) for x in model_state["x"]]
+            model._y = [float(y) for y in model_state["y"]]
+            model.last_proposal_was_model = bool(model_state["last_proposal_was_model"])
+            self.models[int(rung_key)] = model
+
     # ------------------------------------------------------------- insight
 
     def num_observations(self, rung: int) -> int:

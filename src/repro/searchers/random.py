@@ -26,6 +26,12 @@ class RandomSearcher(Searcher):
         assert self.space is not None
         return self.space.sample(rng), ORIGIN_RANDOM
 
+    def _searcher_state(self) -> dict:
+        return {}
+
+    def _load_searcher_state(self, extra: dict) -> None:
+        pass
+
 
 class FunctionSearcher(Searcher):
     """Adapt a plain ``sampler(rng) -> config`` callable to the protocol.
@@ -49,3 +55,11 @@ class FunctionSearcher(Searcher):
 
     def _propose(self, rng: np.random.Generator) -> tuple[Config, str]:
         return self._fn(rng), ORIGIN_RANDOM
+
+    def _searcher_state(self) -> dict:
+        # The wrapped callable owns any state (scripted queues etc.); only a
+        # pure function of the rng round-trips — which is the documented use.
+        return {}
+
+    def _load_searcher_state(self, extra: dict) -> None:
+        pass

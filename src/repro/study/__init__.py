@@ -1,0 +1,34 @@
+"""Journal-backed studies: the crash-safe ask/tell core behind every backend.
+
+See ``docs/study.md`` for the full tour.  The short version::
+
+    from repro.study import Study
+
+    study = Study(scheduler, journal="run.jsonl")
+    while not study.is_done():
+        job = study.ask()
+        if job is None:
+            break
+        loss = train(job.config, job.resource)
+        study.tell(job, loss)
+
+    resumed = Study.resume("run.jsonl")   # after a crash
+"""
+
+from .journal import JOURNAL_VERSION, Journal, JournalError, encode_record, read_journal
+from .spec import build_spec, decode_space, encode_space, scheduler_from_spec
+from .study import JournalReplayError, Study
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "JournalReplayError",
+    "Study",
+    "build_spec",
+    "decode_space",
+    "encode_record",
+    "encode_space",
+    "read_journal",
+    "scheduler_from_spec",
+]

@@ -1,0 +1,173 @@
+"""Crash-safe JSONL journals: the write-ahead log behind :class:`repro.study.Study`.
+
+A journal is a plain JSONL file.  The first line is a header record
+(``kind="journal_header"``) carrying the format version and, when the study
+was built from registered names, the recipe needed to reconstruct its
+scheduler.  Every line after that is one typed study interaction (``ask``,
+``tell``, ``fail``, ``requeue``, ``abandon``) in the exact order it
+happened.
+
+Durability model:
+
+* :meth:`Journal.append` encodes canonically (sorted keys, fixed
+  separators, numpy scalars unwrapped) and flushes after every line, so a
+  crash loses at most the interaction that was mid-write.
+* :meth:`Journal.finalize` additionally ``fsync``\\ s, making a *completed*
+  run's log durable against power loss.
+* Re-opening with ``mode="a"`` self-heals the torn tail a crash can leave:
+  the file is truncated back to its last fully-parseable record (and the
+  trailing newline restored if the final flush lost it), after which
+  appends continue in place.
+
+Corruption anywhere *before* the tail is not recoverable and raises
+:class:`JournalError` — a mid-file scribble means the log can no longer
+vouch for the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any
+
+__all__ = ["JOURNAL_VERSION", "Journal", "JournalError", "encode_record", "read_journal"]
+
+#: Format version written into every journal header.
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is malformed beyond the recoverable torn tail."""
+
+
+def _json_default(value: Any) -> Any:
+    """Serialise numpy scalars (config values) without importing numpy here."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def encode_record(record: dict[str, Any]) -> str:
+    """Canonical one-line encoding: sorted keys, no spaces, numpy unwrapped.
+
+    The canonical form is what makes journals byte-comparable: a seeded run
+    and its resumed twin must produce identical bytes, and replay
+    verification compares records by their encodings (which also makes NaN
+    losses compare equal — Python's ``json`` round-trips them as literals).
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), default=_json_default)
+
+
+def read_journal(path: str | os.PathLike[str]) -> tuple[list[dict[str, Any]], int, bool]:
+    """Parse a journal, tolerating a torn tail.
+
+    Returns ``(records, valid_bytes, terminated)``: the parsed records, how
+    many leading bytes of the file they occupy (where crash recovery should
+    truncate to), and whether the last accepted record ended with a
+    newline.  A *final* line that does not parse is dropped — it is the
+    append a crash interrupted.  An unparseable line anywhere before the
+    tail raises :class:`JournalError`.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    records: list[dict[str, Any]] = []
+    valid = 0
+    terminated = True
+    lines = raw.split(b"\n")
+    last = len(lines) - 1
+    offset = 0
+    for i, line in enumerate(lines):
+        if i == last:
+            # Bytes after the final newline: empty when the file is cleanly
+            # terminated, otherwise a tail whose trailing newline (or more)
+            # never reached the disk.
+            if not line:
+                break
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break  # torn tail — the interrupted final append
+            records.append(record)
+            valid = offset + len(line)
+            terminated = False
+            break
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise JournalError(
+                f"{os.fspath(path)}: unparseable record on line {i + 1} "
+                "(only the final line of a journal may be torn)"
+            ) from exc
+        records.append(record)
+        offset += len(line) + 1
+        valid = offset
+    return records, valid, terminated
+
+
+class Journal:
+    """An append-only JSONL record stream with crash recovery.
+
+    Parameters
+    ----------
+    path:
+        Journal file; parent directories are created.
+    mode:
+        ``"w"`` truncates and writes a fresh header.  ``"a"`` reopens an
+        existing journal for continued appends, healing any torn tail in
+        place first (a missing file falls back to ``"w"`` behaviour).
+    spec:
+        Optional JSON-serialisable scheduler recipe recorded in the header
+        of a fresh journal (see :func:`repro.study.spec.build_spec`), used
+        by :meth:`repro.study.Study.resume` to rebuild the scheduler.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        mode: str = "w",
+        *,
+        spec: dict[str, Any] | None = None,
+    ):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
+        self.path = os.fspath(path)
+        self._closed = False
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if mode == "a" and os.path.exists(self.path):
+            _, valid, terminated = read_journal(self.path)
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid)
+                if valid and not terminated:
+                    fh.seek(0, os.SEEK_END)
+                    fh.write(b"\n")
+            self._file: IO[str] = open(self.path, "a", encoding="utf-8")
+        else:
+            self._file = open(self.path, "w", encoding="utf-8")
+            self.append({"kind": "journal_header", "version": JOURNAL_VERSION, "spec": spec})
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Write one record and flush — the study's write-ahead guarantee."""
+        if self._closed:
+            raise ValueError("Journal is closed")
+        self._file.write(encode_record(record) + "\n")
+        self._file.flush()
+
+    def finalize(self) -> None:
+        """End-of-run durability: flush and fsync the journal to disk."""
+        if self._closed:
+            return
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except (OSError, ValueError):
+            pass  # not a real file descriptor (tests passing pipes, ...)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.flush()
+        self._file.close()

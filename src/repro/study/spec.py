@@ -1,0 +1,141 @@
+"""Journal-header specs: the recipe to rebuild a study's scheduler by name.
+
+A journal can only bring a scheduler back to its recorded state if an
+*identically constructed* scheduler exists to replay against.  When a study
+is built from registered names (``tune(scheduler="asha", searcher="kde",
+seed=7, ...)``) that construction is a pure function of JSON-serialisable
+ingredients, so the journal header records them and
+:meth:`repro.study.Study.resume` can reconstruct the scheduler unaided.
+Anything bespoke — a custom :class:`~repro.searchspace.domains.Domain`
+subclass, a pre-built searcher instance, non-JSON kwargs — yields a
+``None`` spec, and resume then requires the caller to pass the
+reconstructed scheduler explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..core.registry import build_scheduler
+from ..core.scheduler import Scheduler
+from ..searchers.registry import build_searcher
+from ..searchspace import Choice, IntUniform, LogUniform, QUniform, SearchSpace, Uniform
+
+__all__ = ["build_spec", "decode_space", "encode_space", "scheduler_from_spec"]
+
+
+def encode_space(space: SearchSpace) -> dict[str, dict[str, Any]] | None:
+    """JSON form of a search space, or ``None`` for unknown domain types."""
+    out: dict[str, dict[str, Any]] = {}
+    for name in space.names:
+        dom = space[name]
+        if isinstance(dom, Uniform):
+            out[name] = {"type": "uniform", "low": dom.low, "high": dom.high}
+        elif isinstance(dom, LogUniform):
+            out[name] = {"type": "loguniform", "low": dom.low, "high": dom.high}
+        elif isinstance(dom, IntUniform):
+            out[name] = {"type": "intuniform", "low": dom.low, "high": dom.high}
+        elif isinstance(dom, QUniform):
+            out[name] = {"type": "quniform", "low": dom.low, "high": dom.high, "q": dom.q}
+        elif isinstance(dom, Choice):
+            values = list(dom.values)
+            try:
+                json.dumps(values)
+            except TypeError:
+                return None  # non-JSON categorical values (objects, ...)
+            out[name] = {"type": "choice", "values": values}
+        else:
+            return None  # custom Domain subclass — not name-reconstructable
+    return out
+
+
+def decode_space(state: dict[str, dict[str, Any]]) -> SearchSpace:
+    """Inverse of :func:`encode_space`."""
+    domains: dict[str, Any] = {}
+    for name, dom in state.items():
+        kind = dom["type"]
+        if kind == "uniform":
+            domains[name] = Uniform(dom["low"], dom["high"])
+        elif kind == "loguniform":
+            domains[name] = LogUniform(dom["low"], dom["high"])
+        elif kind == "intuniform":
+            domains[name] = IntUniform(int(dom["low"]), int(dom["high"]))
+        elif kind == "quniform":
+            domains[name] = QUniform(dom["low"], dom["high"], dom["q"])
+        elif kind == "choice":
+            domains[name] = Choice(dom["values"])
+        else:
+            raise ValueError(f"unknown domain type {kind!r} in journal spec")
+    return SearchSpace(domains)
+
+
+def _strict_default(value: Any) -> Any:
+    """Unwrap numpy scalars; refuse anything else (keeps specs honest)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serialisable: {value!r}")
+
+
+def build_spec(
+    *,
+    scheduler: str,
+    space: SearchSpace,
+    seed: int,
+    min_resource: float,
+    max_resource: float,
+    eta: int,
+    scheduler_kwargs: dict[str, Any] | None = None,
+    searcher: str | None = None,
+    searcher_kwargs: dict[str, Any] | None = None,
+) -> dict[str, Any] | None:
+    """The journal-header recipe for a name-built scheduler, or ``None``.
+
+    ``None`` means some ingredient cannot round-trip through JSON; the
+    journal then carries no recipe and resume needs an explicit scheduler.
+    """
+    encoded = encode_space(space)
+    if encoded is None:
+        return None
+    spec = {
+        "scheduler": scheduler,
+        "space": encoded,
+        "seed": seed,
+        "min_resource": min_resource,
+        "max_resource": max_resource,
+        "eta": eta,
+        "scheduler_kwargs": dict(scheduler_kwargs or {}),
+        "searcher": searcher,
+        "searcher_kwargs": dict(searcher_kwargs or {}),
+    }
+    try:
+        return json.loads(json.dumps(spec, default=_strict_default))
+    except (TypeError, ValueError):
+        return None
+
+
+def scheduler_from_spec(spec: dict[str, Any]) -> Scheduler:
+    """Reconstruct the exact scheduler a journal was recorded under.
+
+    Mirrors the construction order in :func:`repro.tune.tune`: the RNG is
+    seeded first, the searcher built from its name, then the scheduler from
+    the registry — so a replayed run draws the identical random stream.
+    """
+    space = decode_space(spec["space"])
+    rng = np.random.default_rng(spec["seed"])
+    searcher = None
+    if spec.get("searcher"):
+        searcher = build_searcher(spec["searcher"], dict(spec.get("searcher_kwargs") or {}))
+    return build_scheduler(
+        spec["scheduler"],
+        space,
+        rng,
+        min_resource=spec["min_resource"],
+        max_resource=spec["max_resource"],
+        eta=int(spec["eta"]),
+        kwargs=dict(spec.get("scheduler_kwargs") or {}),
+        searcher=searcher,
+    )

@@ -1,0 +1,385 @@
+"""Study: the ask/tell core every backend drives, with a crash-safe journal.
+
+A :class:`Study` owns a scheduler (its searcher, RNG, and trial table
+included) and exposes the handful of interactions a backend needs — ``ask``
+for the next job, ``tell`` for a finished one, and the three fault hooks —
+while appending one typed record per interaction to a JSONL
+:class:`~repro.study.journal.Journal`.  The ``tell`` append happens
+*before* the scheduler sees the loss (write-ahead), so a crash can lose
+work, but never a recorded result.
+
+Two resume modes exist because the two kinds of backend differ in what can
+be re-executed:
+
+* ``mode="replay"`` (simulated clock: :class:`~repro.backend.SimulatedCluster`
+  and :class:`~repro.backend.ProcessPoolBackend`) re-runs the experiment
+  from t=0 against a freshly constructed scheduler/cluster/objective and
+  *verifies* every interaction against the journal instead of re-appending
+  it.  Training whose loss the journal already holds is skipped (the
+  backends consult :meth:`cached_loss` / :meth:`has_cached_loss`), and once
+  the cursor is exhausted the run continues live, appending to the same
+  file — the resumed journal, telemetry stream, and trace are
+  byte-identical to an uninterrupted run's.
+* ``mode="restore"`` (wall-clock :class:`~repro.backend.ThreadPoolBackend`,
+  whose timings cannot be reproduced) eagerly drives the scheduler through
+  the journalled interactions once; jobs that were asked but never resolved
+  are handed out again by the next :meth:`ask` calls.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from ..core.scheduler import Scheduler
+from ..core.serialization import config_state
+from ..core.types import Job, Trial
+from ..searchers.base import Searcher
+from .journal import JOURNAL_VERSION, Journal, JournalError, encode_record, read_journal
+from .spec import scheduler_from_spec
+
+__all__ = ["JournalReplayError", "Study"]
+
+
+class JournalReplayError(JournalError):
+    """Replay diverged from the journal (wrong scheduler, seed, or scenario)."""
+
+
+class Study:
+    """Ask/tell facade over a scheduler, with an optional write-ahead journal.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`~repro.core.Scheduler` (wrappers like
+        :class:`~repro.core.ContractChecker` included).
+    journal:
+        ``None`` (no journaling), a path (a fresh :class:`Journal` is
+        created there), or an already-open :class:`Journal`.
+    spec:
+        Header recipe recorded when ``journal`` is a path — see
+        :func:`repro.study.spec.build_spec`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        journal: Journal | str | os.PathLike[str] | None = None,
+        spec: dict[str, Any] | None = None,
+    ):
+        self.scheduler = scheduler
+        self.paused = False
+        if journal is None or isinstance(journal, Journal):
+            self.journal = journal
+        else:
+            self.journal = Journal(journal, spec=spec)
+        # Replay cursor: records still to be verified against live re-execution.
+        self._cursor: list[dict[str, Any]] = []
+        self._cursor_pos = 0
+        # job_id -> journalled loss for every tell the cursor has not consumed.
+        self._replay_tells: dict[int, float] = {}
+        # Restore-mode asks the crash left unresolved; re-dispatched by ask().
+        self._orphaned: list[Job] = []
+
+    # ------------------------------------------------------------- ask/tell
+
+    def ask(self) -> Job | None:
+        """The next job to run, or ``None`` (paused, rung barrier, or done).
+
+        Every job handed out is journalled as an ``ask`` record; a ``None``
+        is not an event and never journalled.
+        """
+        if self.paused:
+            return None
+        if self._orphaned:
+            # Restore mode: the crash left this job in flight.  Its ask
+            # record is already on disk, so hand it out without journaling.
+            return self._orphaned.pop(0)
+        job = self.scheduler.next_job()
+        if job is None:
+            return None
+        self._record(
+            {
+                "kind": "ask",
+                "job_id": job.job_id,
+                "trial_id": job.trial_id,
+                "config": config_state(job.config),
+                "resource": job.resource,
+                "checkpoint_resource": job.checkpoint_resource,
+                "rung": job.rung,
+                "bracket": job.bracket,
+                "inherit_from": job.inherit_from,
+            }
+        )
+        return job
+
+    def tell(self, job: Job, loss: float, *, time: float = 0.0) -> None:
+        """Report a finished job's loss.
+
+        The journal append precedes ``scheduler.report`` (write-ahead): a
+        crash between the two re-applies the tell on resume instead of
+        losing it.
+        """
+        self._record(
+            {
+                "kind": "tell",
+                "job_id": job.job_id,
+                "trial_id": job.trial_id,
+                "loss": loss,
+                "resource": job.resource,
+                "time": time,
+            }
+        )
+        self.scheduler.report(job, loss)
+
+    def on_job_failed(self, job: Job) -> None:
+        """A job crashed with no retry policy — the attempt is forfeited."""
+        self._record({"kind": "fail", "job_id": job.job_id, "trial_id": job.trial_id})
+        self.scheduler.on_job_failed(job)
+
+    def on_job_requeued(self, job: Job) -> None:
+        """A failed job will be re-dispatched verbatim after backoff."""
+        self._record({"kind": "requeue", "job_id": job.job_id, "trial_id": job.trial_id})
+        self.scheduler.on_job_requeued(job)
+
+    def on_trial_abandoned(self, job: Job) -> None:
+        """A trial exhausted its retry budget and is quarantined."""
+        self._record({"kind": "abandon", "job_id": job.job_id, "trial_id": job.trial_id})
+        self.scheduler.on_trial_abandoned(job)
+
+    def _record(self, record: dict[str, Any]) -> None:
+        """Verify against the replay cursor, or append live."""
+        if self._cursor_pos < len(self._cursor):
+            expected = self._cursor[self._cursor_pos]
+            if encode_record(record) != encode_record(expected):
+                raise JournalReplayError(
+                    f"replay diverged at journal line {self._cursor_pos + 2}: "
+                    f"journal has {encode_record(expected)}, "
+                    f"re-execution produced {encode_record(record)}; "
+                    "was the study reconstructed with the same scheduler, "
+                    "seed, and backend scenario?"
+                )
+            self._cursor_pos += 1
+            if record["kind"] == "tell":
+                self._replay_tells.pop(record["job_id"], None)
+            return
+        if self.journal is not None:
+            self.journal.append(record)
+
+    # --------------------------------------------------------- replay peeks
+
+    @property
+    def replaying(self) -> bool:
+        """Whether a resume cursor is still verifying against the journal."""
+        return self._cursor_pos < len(self._cursor)
+
+    def cached_loss(self, job: Job) -> float | None:
+        """The journalled loss for ``job`` iff its tell is the next record.
+
+        Backends call this when a job completes during replay: a hit means
+        training can be skipped outright and the recorded loss reported.
+        """
+        if self._cursor_pos < len(self._cursor):
+            nxt = self._cursor[self._cursor_pos]
+            if nxt.get("kind") == "tell" and nxt.get("job_id") == job.job_id:
+                return float(nxt["loss"])
+        return None
+
+    def has_cached_loss(self, job_id: int) -> bool:
+        """Whether the journal still holds a result for this job (peek-ahead).
+
+        Used at *dispatch* time: a job whose result is anywhere later in
+        the journal need not be trained speculatively.
+        """
+        return job_id in self._replay_tells
+
+    # ------------------------------------------------------ snapshot/resume
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministically serializable study state (JSON-compatible)."""
+        return {
+            "version": JOURNAL_VERSION,
+            "scheduler": self.scheduler.state_dict(),
+            "paused": self.paused,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict[str, Any],
+        *,
+        scheduler: Scheduler,
+        journal: Journal | str | os.PathLike[str] | None = None,
+        spec: dict[str, Any] | None = None,
+    ) -> Study:
+        """Rebuild a study from :meth:`snapshot` onto a same-shape scheduler."""
+        scheduler.load_state(snapshot["scheduler"])
+        study = cls(scheduler, journal=journal, spec=spec)
+        study.paused = bool(snapshot.get("paused", False))
+        return study
+
+    @classmethod
+    def resume(
+        cls,
+        journal_path: str | os.PathLike[str],
+        *,
+        scheduler: Scheduler | None = None,
+        mode: str = "replay",
+    ) -> Study:
+        """Reopen a journal and bring a scheduler back to its recorded state.
+
+        The journal's torn tail (if the previous process died mid-append)
+        is healed in place.  With ``scheduler=None`` the scheduler is
+        reconstructed from the recipe in the journal header, which exists
+        whenever the study was built from registered names.
+
+        ``mode="replay"`` arms the verification cursor and returns
+        immediately; hand the study to the same simulated backend and the
+        run re-executes deterministically, skipping journalled training.
+        ``mode="restore"`` drives the scheduler through the records eagerly
+        (for the wall-clock thread backend, whose timings cannot replay).
+        """
+        if mode not in ("replay", "restore"):
+            raise ValueError(f"mode must be 'replay' or 'restore', got {mode!r}")
+        records, _, _ = read_journal(journal_path)
+        if not records or records[0].get("kind") != "journal_header":
+            raise JournalError(f"{os.fspath(journal_path)}: missing journal header")
+        header = records[0]
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{os.fspath(journal_path)}: journal version "
+                f"{header.get('version')!r} not supported (expected {JOURNAL_VERSION})"
+            )
+        if scheduler is None:
+            spec = header.get("spec")
+            if spec is None:
+                raise JournalError(
+                    f"{os.fspath(journal_path)}: journal header has no scheduler "
+                    "recipe; pass the reconstructed scheduler explicitly"
+                )
+            scheduler = scheduler_from_spec(spec)
+        body = records[1:]
+        # Opening in append mode truncates the torn tail on disk, so `body`
+        # is exactly what remains in the file.
+        journal = Journal(journal_path, mode="a")
+        study = cls(scheduler, journal=journal)
+        if mode == "replay":
+            study._cursor = body
+            study._replay_tells = {
+                int(record["job_id"]): float(record["loss"])
+                for record in body
+                if record.get("kind") == "tell"
+            }
+        else:
+            study._restore(body)
+        return study
+
+    def _restore(self, body: list[dict[str, Any]]) -> None:
+        """Eagerly re-drive the scheduler through the journalled records."""
+        outstanding: dict[int, Job] = {}
+
+        def resolve(record: dict[str, Any], index: int, *, keep: bool = False) -> Job:
+            job = outstanding.get(record["job_id"]) if keep else outstanding.pop(
+                record["job_id"], None
+            )
+            if job is None:
+                raise JournalReplayError(
+                    f"restore diverged at journal line {index + 2}: "
+                    f"{record['kind']} for job {record['job_id']} which is not in flight"
+                )
+            return job
+
+        for i, record in enumerate(body):
+            kind = record.get("kind")
+            if kind == "ask":
+                job = self.scheduler.next_job()
+                if job is None or job.job_id != record["job_id"]:
+                    produced = "nothing" if job is None else f"job {job.job_id}"
+                    raise JournalReplayError(
+                        f"restore diverged at journal line {i + 2}: journal asked "
+                        f"job {record['job_id']}, scheduler produced {produced}"
+                    )
+                outstanding[job.job_id] = job
+            elif kind == "tell":
+                self.scheduler.report(resolve(record, i), float(record["loss"]))
+            elif kind == "fail":
+                self.scheduler.on_job_failed(resolve(record, i))
+            elif kind == "requeue":
+                self.scheduler.on_job_requeued(resolve(record, i, keep=True))
+            elif kind == "abandon":
+                self.scheduler.on_trial_abandoned(resolve(record, i))
+            else:
+                raise JournalError(f"unknown journal record kind {kind!r} on line {i + 2}")
+        self._orphaned = list(outstanding.values())
+
+    @property
+    def orphaned_jobs(self) -> list[Job]:
+        """Restore-mode jobs asked before the crash but never resolved."""
+        return list(self._orphaned)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def pause(self) -> None:
+        """Stop handing out jobs; in-flight results are still accepted."""
+        self.paused = True
+
+    def unpause(self) -> None:
+        """Resume handing out jobs."""
+        self.paused = False
+
+    def finalize(self) -> None:
+        """Make the journal durable (flush + fsync); call at end of run."""
+        if self.journal is not None:
+            self.journal.finalize()
+
+    def close(self) -> None:
+        """Close the journal file (the study itself stays usable unjournalled)."""
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    # ---------------------------------------------------------- passthrough
+
+    def is_done(self) -> bool:
+        """Whether the scheduler will never produce another job."""
+        return self.scheduler.is_done()
+
+    @property
+    def telemetry(self):
+        return self.scheduler.telemetry
+
+    def attach_telemetry(self, hub) -> Study:
+        """Forward the hub to the scheduler (events come from it)."""
+        self.scheduler.attach_telemetry(hub)
+        return self
+
+    @property
+    def searcher(self) -> Searcher | None:
+        return self.scheduler.searcher
+
+    @property
+    def space(self):
+        return self.scheduler.space
+
+    @property
+    def rng(self):
+        return self.scheduler.rng
+
+    @property
+    def trials(self) -> dict[int, Trial]:
+        return self.scheduler.trials
+
+    @property
+    def num_trials(self) -> int:
+        return self.scheduler.num_trials
+
+    def best_trial(self) -> Trial | None:
+        return self.scheduler.best_trial()
+
+    def __repr__(self) -> str:
+        journal = self.journal.path if self.journal is not None else None
+        return (
+            f"Study({type(self.scheduler).__name__}, journal={journal!r}, "
+            f"trials={self.num_trials})"
+        )

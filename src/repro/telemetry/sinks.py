@@ -93,6 +93,25 @@ class JSONLSink:
         if not self._closed:
             self._file.flush()
 
+    def finalize(self, **_: Any) -> None:
+        """End-of-run durability: flush and fsync the file to disk.
+
+        The hub duck-types ``finalize`` onto any sink exposing it; for a
+        JSONL stream the useful end-of-run action is making the bytes
+        durable, so a crash *after* a run completes can never lose the tail
+        of its event log.  In-memory buffers (``io.StringIO``) have no file
+        descriptor and skip the fsync.
+        """
+        if self._closed:
+            return
+        self._file.flush()
+        fileno = getattr(self._file, "fileno", None)
+        if fileno is not None:
+            try:
+                os.fsync(fileno())
+            except (OSError, ValueError):
+                pass  # not a real file (StringIO, closed pipe, ...)
+
     def close(self) -> None:
         if self._closed:
             return

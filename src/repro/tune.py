@@ -25,6 +25,7 @@ False}`` for SHA-family schedulers so budgets are accounted correctly).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -32,20 +33,11 @@ import numpy as np
 
 from .backend import ProcessPoolBackend, RetryPolicy, SimulatedCluster, ThreadPoolBackend
 from .backend.trial_runner import BackendResult
-from .core import (
-    ASHA,
-    BOHB,
-    PBT,
-    AsyncHyperband,
-    Hyperband,
-    RandomSearch,
-    Scheduler,
-    SynchronousSHA,
-    VizierGP,
-)
+from .core import SCHEDULERS, Scheduler, build_scheduler
 from .objectives.base import Objective
 from .searchers import SEARCHERS, Searcher, build_searcher
 from .searchspace import Config, SearchSpace
+from .study import Journal, Study, build_spec
 from .telemetry import TelemetryHub
 
 __all__ = ["tune", "TuneResult", "FunctionObjective", "SCHEDULERS"]
@@ -91,70 +83,9 @@ class FunctionObjective(Objective):
         return super().cost(config, from_resource, to_resource)
 
 
-def _default_bracket_size(min_resource: float, max_resource: float, eta: int) -> int:
-    """Smallest ``n`` filling a full SHA bracket (one config reaching ``R``)."""
-    rungs = np.floor(np.log(max_resource / min_resource) / np.log(eta))
-    return max(int(eta**rungs), eta)
-
-
-def _build_scheduler(
-    name: str,
-    space: SearchSpace,
-    rng: np.random.Generator,
-    *,
-    min_resource: float,
-    max_resource: float,
-    eta: int,
-    kwargs: dict,
-    searcher: Searcher | None = None,
-) -> Scheduler:
-    if name == "vizier":
-        name = "gp"
-    if searcher is not None:
-        if name in ("bohb", "pbt"):
-            raise ValueError(
-                f"scheduler {name!r} owns its own sampling and does not accept a "
-                "searcher; use scheduler='sha' or 'asha' with searcher='kde' for "
-                "the BOHB family"
-            )
-        kwargs.setdefault("searcher", searcher)
-    if name == "asha":
-        return ASHA(
-            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
-        )
-    if name == "sha":
-        kwargs.setdefault("n", _default_bracket_size(min_resource, max_resource, eta))
-        return SynchronousSHA(
-            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
-        )
-    if name == "hyperband":
-        return Hyperband(
-            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
-        )
-    if name == "async_hyperband":
-        return AsyncHyperband(
-            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
-        )
-    if name == "bohb":
-        kwargs.setdefault("n", _default_bracket_size(min_resource, max_resource, eta))
-        return BOHB(
-            space, rng, min_resource=min_resource, max_resource=max_resource, eta=eta, **kwargs
-        )
-    if name == "random":
-        return RandomSearch(space, rng, max_resource=max_resource, **kwargs)
-    if name == "pbt":
-        kwargs.setdefault("interval", max_resource / 8.0)
-        return PBT(space, rng, max_resource=max_resource, **kwargs)
-    if name == "gp":
-        return VizierGP(space, rng, max_resource=max_resource, **kwargs)
-    raise KeyError(
-        f"unknown scheduler {name!r}; scheduler options: {sorted(SCHEDULERS)}, "
-        f"searcher options: {sorted(SEARCHERS)}"
-    )
-
-
-#: Scheduler names accepted by :func:`tune` (``"vizier"`` aliases ``"gp"``).
-SCHEDULERS = ("asha", "sha", "hyperband", "async_hyperband", "bohb", "random", "pbt", "gp")
+# Scheduler construction lives in :mod:`repro.core.registry` (one canonical
+# name -> constructor map, shared with journal resume); :data:`SCHEDULERS` is
+# re-exported above for backwards compatibility.
 
 
 @dataclass
@@ -170,6 +101,9 @@ class TuneResult:
     #: The hub used for the run (``None`` when telemetry was off); its sinks
     #: hold the raw event stream, ``backend_result.telemetry`` the metrics.
     telemetry: TelemetryHub | None = None
+    #: The :class:`~repro.study.Study` that drove the run — journal-backed
+    #: when ``tune(..., journal=...)`` was given, unjournalled otherwise.
+    study: Study | None = None
 
     @property
     def trace(self):
@@ -199,6 +133,8 @@ def tune(
     telemetry: TelemetryHub | bool | None = None,
     retry_policy: RetryPolicy | None = None,
     trace: bool = False,
+    journal: str | os.PathLike[str] | Journal | None = None,
+    resume: bool = False,
 ) -> TuneResult:
     """Tune ``train_fn`` over ``space`` and return the best configuration.
 
@@ -241,9 +177,23 @@ def tune(
         straggler attribution, Chrome-trace export — on
         ``result.backend_result.trace`` (also reachable as
         ``result.trace``).  See ``docs/tracing.md``.
+    journal:
+        Optional crash-safety journal: a path (a fresh JSONL journal is
+        written there) or an open :class:`~repro.study.Journal`.  Every
+        scheduler interaction is logged write-ahead; see ``docs/study.md``.
+    resume:
+        With ``resume=True`` and ``journal`` pointing at an interrupted
+        run's file, the study picks up where the journal ends.  Call with
+        the *same arguments* as the original run (scheduler, seed, workers,
+        backend, ...): the simulated backends re-execute deterministically,
+        reusing journalled losses instead of re-training, and the finished
+        journal/telemetry/trace are byte-identical to an uninterrupted
+        run's.  The thread backend catches the scheduler up eagerly instead
+        (wall-clock timings cannot replay).
     """
     objective = FunctionObjective(train_fn, space, max_resource, cost_fn)
     rng = np.random.default_rng(seed)
+    spec = None
     if isinstance(scheduler, Scheduler):
         if scheduler_kwargs or searcher is not None:
             raise ValueError(
@@ -255,7 +205,7 @@ def tune(
         built_searcher = (
             build_searcher(searcher, dict(searcher_kwargs or {})) if searcher is not None else None
         )
-        sched = _build_scheduler(
+        sched = build_scheduler(
             scheduler,
             space,
             rng,
@@ -265,6 +215,29 @@ def tune(
             kwargs=dict(scheduler_kwargs or {}),
             searcher=built_searcher,
         )
+        if journal is not None and not resume and (searcher is None or isinstance(searcher, str)):
+            # Record the construction recipe in the journal header so a
+            # bare ``Study.resume(path)`` can rebuild this scheduler.
+            spec = build_spec(
+                scheduler=scheduler,
+                space=space,
+                seed=seed,
+                min_resource=min_resource,
+                max_resource=max_resource,
+                eta=eta,
+                scheduler_kwargs=scheduler_kwargs,
+                searcher=searcher,
+                searcher_kwargs=searcher_kwargs,
+            )
+    if resume:
+        if journal is None or isinstance(journal, Journal):
+            raise ValueError(
+                "resume=True requires journal to be the interrupted run's file path"
+            )
+        mode = "restore" if backend == "threads" else "replay"
+        study = Study.resume(journal, scheduler=sched, mode=mode)
+    else:
+        study = Study(sched, journal=journal, spec=spec)
     hub: TelemetryHub | None
     if telemetry is True:
         hub = TelemetryHub.with_metrics()
@@ -275,19 +248,19 @@ def tune(
     if backend == "simulated":
         limit = time_limit if time_limit is not None else 50.0 * max_resource
         result = SimulatedCluster(num_workers, seed=seed).run(
-            sched, objective, time_limit=limit, telemetry=hub,
+            study, objective, time_limit=limit, telemetry=hub,
             retry_policy=retry_policy, trace=trace,
         )
     elif backend == "processes":
         limit = time_limit if time_limit is not None else 50.0 * max_resource
         result = ProcessPoolBackend(num_workers, seed=seed).run(
-            sched, objective, time_limit=limit, telemetry=hub,
+            study, objective, time_limit=limit, telemetry=hub,
             retry_policy=retry_policy, trace=trace,
         )
     elif backend == "threads":
         limit = time_limit if time_limit is not None else 60.0
         result = ThreadPoolBackend(num_workers).run(
-            sched, objective, time_limit=limit, telemetry=hub,
+            study, objective, time_limit=limit, telemetry=hub,
             retry_policy=retry_policy, trace=trace,
         )
     else:
@@ -302,4 +275,5 @@ def tune(
         backend_result=result,
         num_trials=sched.num_trials,
         telemetry=hub,
+        study=study,
     )

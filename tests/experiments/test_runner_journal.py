@@ -1,0 +1,55 @@
+"""``journal_out`` threading through the experiment engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_scheduler
+from repro.experiments.runner import journal_path, run_trials
+from repro.experiments.toys import toy_objective
+from repro.study import read_journal
+
+
+def _make_scheduler(objective, rng):
+    return build_scheduler(
+        "asha", objective.space, rng,
+        min_resource=1.0, max_resource=9.0, eta=3, kwargs={"max_trials": 6},
+    )
+
+
+def _make_objective(seed):
+    return toy_objective()
+
+
+def test_run_trials_writes_one_journal_per_seed(tmp_path):
+    run_trials(
+        "asha", _make_scheduler, _make_objective,
+        num_workers=2, time_limit=60.0, seeds=[0, 1], journal_out=tmp_path,
+    )
+    for seed in (0, 1):
+        records, _, terminated = read_journal(journal_path(tmp_path, "asha", seed))
+        assert terminated
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "journal_header"
+        assert kinds.count("tell") >= 6
+
+
+def test_parallel_fanout_journals_match_sequential(tmp_path):
+    sequential, parallel = tmp_path / "seq", tmp_path / "par"
+    run_trials(
+        "asha", _make_scheduler, _make_objective,
+        num_workers=2, time_limit=60.0, seeds=[0, 1], journal_out=sequential,
+    )
+    run_trials(
+        "asha", _make_scheduler, _make_objective,
+        num_workers=2, time_limit=60.0, seeds=[0, 1], journal_out=parallel, n_jobs=2,
+    )
+    for seed in (0, 1):
+        assert (
+            journal_path(parallel, "asha", seed).read_bytes()
+            == journal_path(sequential, "asha", seed).read_bytes()
+        )
+
+
+def test_method_slug_sanitised(tmp_path):
+    assert journal_path(tmp_path, "asha/eta=3", 0).name == "asha_eta_3-seed0.journal.jsonl"

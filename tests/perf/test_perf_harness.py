@@ -312,3 +312,52 @@ class TestReporting:
             == 0
         )
         assert "BELOW FLOOR" in md_path.read_text()
+
+    def test_markdown_renders_skipped_rows_with_reason(self, check_regression, tmp_path):
+        # Satellite: a benchmark skipped on the current machine (small CI
+        # runner) must show up as "skipped: <reason>", not as a row of null
+        # deltas that reads like missing data.
+        baseline = _report_with({"a": 10.0, "parallel_speedup": 1.5})
+        current = _report_with(
+            {"a": 10.0, "parallel_speedup": 0.0}, skipped={"parallel_speedup"}
+        )
+        md_path = tmp_path / "summary.md"
+        assert (
+            self._run(
+                check_regression,
+                tmp_path,
+                baseline,
+                current,
+                ["--markdown", str(md_path)],
+            )
+            == 0
+        )
+        table = md_path.read_text()
+        row = next(line for line in table.splitlines() if "`parallel_speedup`" in line)
+        assert "skipped: requires >= 4 cores, machine has 1" in row
+        # The delta column says why it is empty instead of a bare null.
+        assert "| skipped on current |" in row
+
+    def test_markdown_renders_baseline_skips_with_reason(self, check_regression, tmp_path):
+        baseline = _report_with(
+            {"a": 10.0, "parallel_speedup": 0.0}, skipped={"parallel_speedup"}
+        )
+        current = _report_with({"a": 10.0, "parallel_speedup": 1.5})
+        md_path = tmp_path / "summary.md"
+        assert (
+            self._run(
+                check_regression,
+                tmp_path,
+                baseline,
+                current,
+                ["--markdown", str(md_path)],
+            )
+            == 0
+        )
+        row = next(
+            line
+            for line in md_path.read_text().splitlines()
+            if "`parallel_speedup`" in line
+        )
+        assert "skipped: requires >= 4 cores, machine has 1" in row
+        assert "skipped on baseline" in row

@@ -1,0 +1,168 @@
+"""Unit tests for the write-ahead journal file format and its healing rules."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.study import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    encode_record,
+    read_journal,
+)
+from repro.telemetry import JSONLSink
+
+RECORDS = [
+    {"kind": "ask", "job_id": 0, "trial_id": 0, "resource": 1.0},
+    {"kind": "tell", "job_id": 0, "trial_id": 0, "loss": 0.5, "time": 1.0},
+    {"kind": "ask", "job_id": 1, "trial_id": 1, "resource": 1.0},
+]
+
+
+def write_journal(path, records=RECORDS, spec=None):
+    journal = Journal(path, spec=spec)
+    for record in records:
+        journal.append(record)
+    journal.close()
+
+
+def test_append_read_round_trip(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    records, valid, terminated = read_journal(path)
+    assert records[0]["kind"] == "journal_header"
+    assert records[0]["version"] == JOURNAL_VERSION
+    assert records[1:] == RECORDS
+    assert terminated
+    assert valid == path.stat().st_size
+
+
+def test_encoding_is_canonical(tmp_path):
+    """Sorted keys, no whitespace — byte-comparable across runs."""
+    line = encode_record({"b": 1, "a": {"d": 2, "c": 3}})
+    assert line == '{"a":{"c":3,"d":2},"b":1}'
+
+
+def test_append_flushes_immediately(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    journal = Journal(path)
+    journal.append(RECORDS[0])
+    # Visible on disk before close: the WAL property a crash relies on.
+    on_disk, _, _ = read_journal(path)
+    assert on_disk[1:] == RECORDS[:1]
+    journal.close()
+
+
+def test_torn_trailing_line_is_dropped(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    whole = path.read_bytes()
+    lines = whole.splitlines(keepends=True)
+    path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+    records, valid, terminated = read_journal(path)
+    assert records[1:] == RECORDS[:-1]
+    assert valid == sum(len(line) for line in lines[:-1])
+    assert terminated
+
+
+def test_unterminated_parseable_tail_is_accepted(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    path.write_bytes(path.read_bytes().rstrip(b"\n"))
+    records, valid, terminated = read_journal(path)
+    assert records[1:] == RECORDS
+    assert not terminated
+    assert valid == path.stat().st_size
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b"{garbage\n"
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(JournalError, match="line 2"):
+        read_journal(path)
+
+
+def test_reopen_append_heals_torn_tail(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    path.write_bytes(b"".join(lines) + b'{"kind":"tel')  # torn mid-record
+    journal = Journal(path, mode="a")
+    journal.append({"kind": "tell", "job_id": 1, "trial_id": 1, "loss": 0.25, "time": 2.0})
+    journal.close()
+    records, _, terminated = read_journal(path)
+    assert records[1:] == RECORDS + [
+        {"kind": "tell", "job_id": 1, "trial_id": 1, "loss": 0.25, "time": 2.0}
+    ]
+    assert terminated
+
+
+def test_reopen_append_terminates_unterminated_tail(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    path.write_bytes(path.read_bytes().rstrip(b"\n"))
+    journal = Journal(path, mode="a")
+    journal.append({"kind": "abandon", "job_id": 2, "trial_id": 2})
+    journal.close()
+    records, _, _ = read_journal(path)
+    assert records[-2] == RECORDS[-1]
+    assert records[-1] == {"kind": "abandon", "job_id": 2, "trial_id": 2}
+
+
+def test_append_mode_on_missing_file_writes_fresh_header(tmp_path):
+    path = tmp_path / "fresh.journal.jsonl"
+    journal = Journal(path, mode="a", spec={"scheduler": "asha"})
+    journal.close()
+    records, _, _ = read_journal(path)
+    assert records == [
+        {"kind": "journal_header", "version": JOURNAL_VERSION, "spec": {"scheduler": "asha"}}
+    ]
+
+
+def test_header_spec_round_trips(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    spec = {"scheduler": "asha", "seed": 7, "eta": 3}
+    write_journal(path, spec=spec)
+    records, _, _ = read_journal(path)
+    assert records[0]["spec"] == spec
+
+
+def test_append_after_close_raises(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    journal = Journal(path)
+    journal.close()
+    with pytest.raises(ValueError):
+        journal.append(RECORDS[0])
+
+
+def test_finalize_fsyncs_and_is_idempotent(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    journal = Journal(path)
+    journal.append(RECORDS[0])
+    journal.finalize()
+    journal.finalize()  # second call must not raise
+    journal.close()
+    journal.finalize()  # nor after close
+    records, _, _ = read_journal(path)
+    assert records[1:] == RECORDS[:1]
+
+
+def test_jsonl_sink_finalize_flushes_and_survives_close(tmp_path):
+    """Satellite: JSONLSink.finalize makes the event file durable."""
+    from repro.telemetry.events import EventKind, TelemetryEvent
+
+    path = tmp_path / "events.jsonl"
+    sink = JSONLSink(path)
+    sink.write(TelemetryEvent(seq=0, kind=EventKind.JOB_STARTED, time=0.0, wall_time=0.0))
+    sink.finalize()
+    assert json.loads(path.read_text().splitlines()[0])["seq"] == 0
+    sink.close()
+    sink.finalize()  # finalize after close must be a harmless no-op
+    os.stat(path)  # file still present and intact

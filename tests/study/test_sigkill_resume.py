@@ -1,0 +1,34 @@
+"""Drive ``scripts/crash_resume_check.py``: a real SIGKILL, then resume.
+
+This is the whole-process version of the in-process sweep in
+``test_resume.py`` — the victim dies with no cleanup handlers, exactly like
+a preempted worker or an OOM kill.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "crash_resume_check.py"
+
+
+def test_sigkill_mid_run_then_resume_is_byte_identical(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--workdir", str(tmp_path)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=280,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "died with SIGKILL" in proc.stdout
+    assert proc.stdout.count("byte-identical") == 3
+    # The victim's partial artefacts are really there (it did do work).
+    assert (tmp_path / "victim.journal.jsonl").exists()
+    assert (tmp_path / "victim.events.jsonl").exists()
