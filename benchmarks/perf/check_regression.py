@@ -71,7 +71,10 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[list[dict]
         meta = {**base_entry.get("meta", {}), **cur_entry.get("meta", {})}
         gated = meta.get("gated", True)
         if _is_skipped(cur_entry):
-            reason = cur_entry["meta"].get("skip_reason", "no reason recorded")
+            # ``meta`` is optional on skipped entries (hand-pruned baselines
+            # and older recorders omit it); indexing it directly raised
+            # KeyError before the comparison could report the skip.
+            reason = cur_entry.get("meta", {}).get("skip_reason", "no reason recorded")
             row["status"] = f"skipped on current: {reason}"
             row["base"] = None if _is_skipped(base_entry) else base_entry["normalized"]
             continue
@@ -91,7 +94,7 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[list[dict]
             else:
                 row["status"] = f"below informational floor {floor}"
         if _is_skipped(base_entry):
-            reason = base_entry["meta"].get("skip_reason", "no reason recorded")
+            reason = base_entry.get("meta", {}).get("skip_reason", "no reason recorded")
             if row["status"] == "ok":
                 row["status"] = f"skipped on baseline: {reason}"
             continue

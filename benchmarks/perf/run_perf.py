@@ -7,10 +7,18 @@ experiment runs — and writes a stable-schema ``BENCH_perf.json``:
 * ``scheduler_asha_ops`` — ASHA ``next_job``/``report``/``is_done`` cycles
   per second, driven directly with synthetic losses (no simulator).  This
   is where the promotion-scan caching shows up.
+* ``scheduler_asha_ops_batched`` — the same workload through the batched
+  surface (``next_job_batch``/``report_batch``, batch 32): what a backend
+  filling many free workers per ask actually pays.  The gap between this
+  and ``scheduler_asha_ops`` is the per-call overhead batching amortises.
 * ``simulator_events`` / ``simulator_churn_events`` — simulated job
   completions per second on the PTB LSTM surrogate at 100 workers, without
   and with worker churn.  This is where the event queue, churn victim
   selection, and config-seed caching show up.
+* ``simulator_events_calendar`` — the calendar-queue ``EventQueue`` alone
+  under a hold-model churn (pop one event, push its successor) at a deep
+  pending set, isolating the simulator core from scheduler and surrogate
+  costs.
 * ``end_to_end_asha`` — a multi-seed ASHA experiment at (reduced)
   Figure-5 scale through :func:`repro.experiments.runner.run_trials`,
   sequential.
@@ -42,6 +50,7 @@ import time
 
 import numpy as np
 
+from repro.backend.events import EventQueue
 from repro.backend.simulation import SimulatedCluster
 from repro.core import ASHA
 from repro.experiments.runner import run_trials
@@ -78,6 +87,56 @@ def bench_scheduler_ops(num_jobs: int) -> tuple[float, int]:
         scheduler.report(job, 1.0 + seeded_uniform(job.trial_id, float(job.rung)))
         dispatched += 1
     return time.perf_counter() - start, dispatched
+
+
+def bench_scheduler_ops_batched(num_jobs: int, batch: int = 32) -> tuple[float, int]:
+    """(seconds, jobs dispatched) driving ASHA through the batched surface.
+
+    Same seeded workload as :func:`bench_scheduler_ops` — the batched API
+    contract guarantees an identical job stream — but asked and reported
+    ``batch`` jobs at a time, the way a backend filling free workers does.
+    """
+    objective = ptb_lstm.make_objective(seed_salt=0)
+    rng = np.random.default_rng(0)
+    r_max = ptb_lstm.R
+    scheduler = ASHA(
+        objective.space, rng, min_resource=r_max / 64.0, max_resource=r_max, eta=4
+    )
+    start = time.perf_counter()
+    dispatched = 0
+    while dispatched < num_jobs:
+        if scheduler.is_done():
+            break
+        jobs = scheduler.next_job_batch(min(batch, num_jobs - dispatched))
+        if not jobs:
+            break
+        scheduler.report_batch(
+            [(job, 1.0 + seeded_uniform(job.trial_id, float(job.rung))) for job in jobs]
+        )
+        dispatched += len(jobs)
+    return time.perf_counter() - start, dispatched
+
+
+def bench_event_queue(num_ops: int, pending: int) -> tuple[float, int]:
+    """(seconds, operations) of hold-model churn on the calendar EventQueue.
+
+    Seeds ``pending`` events, then repeatedly pops the earliest and pushes
+    its successor at ``popped.time + delta`` — the classic *hold* workload
+    every event-driven simulator core reduces to.  Deltas are precomputed so
+    the timed region is queue operations only; each hold counts as two
+    operations (one pop, one push).
+    """
+    rng = np.random.default_rng(3)
+    deltas = [float(d) for d in rng.exponential(1.0, size=8192)]
+    queue = EventQueue()
+    for t in rng.uniform(0.0, 50.0, size=pending):
+        queue.push(float(t), "seed")
+    n_deltas = len(deltas)
+    start = time.perf_counter()
+    for i in range(num_ops):
+        event = queue.pop()
+        queue.push(event.time + deltas[i % n_deltas], "hold")
+    return time.perf_counter() - start, num_ops * 2
 
 
 def _simulate(num_workers: int, horizon: float, churn: bool) -> int:
@@ -210,6 +269,16 @@ def run_suite(quick: bool) -> dict:
         meta={"jobs": dispatched},
     )
 
+    print("[perf] scheduler_asha_ops_batched...", flush=True)
+    seconds, dispatched = bench_scheduler_ops_batched(scheduler_jobs)
+    benchmarks["scheduler_asha_ops_batched"] = benchmark_entry(
+        dispatched / seconds,
+        "jobs/s",
+        higher_is_better=True,
+        calibration_ops_per_s=calibration,
+        meta={"jobs": dispatched, "batch": 32},
+    )
+
     print("[perf] simulator_events...", flush=True)
     seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=False)
     benchmarks["simulator_events"] = benchmark_entry(
@@ -228,6 +297,18 @@ def run_suite(quick: bool) -> dict:
         higher_is_better=True,
         calibration_ops_per_s=calibration,
         meta={"workers": sim_workers, "measurements": measurements},
+    )
+
+    print("[perf] simulator_events_calendar...", flush=True)
+    queue_ops = 50_000 if quick else 200_000
+    queue_pending = 1024 if quick else 4096
+    seconds, ops = bench_event_queue(queue_ops, queue_pending)
+    benchmarks["simulator_events_calendar"] = benchmark_entry(
+        ops / seconds,
+        "ops/s",
+        higher_is_better=True,
+        calibration_ops_per_s=calibration,
+        meta={"pending": queue_pending, "ops": ops},
     )
 
     print("[perf] end_to_end_asha (sequential)...", flush=True)

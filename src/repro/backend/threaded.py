@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
+from collections import deque
 
 from ..core.scheduler import Scheduler
 from ..core.types import Job
@@ -56,6 +57,14 @@ class ThreadPoolBackend:
         flag is raised, how many extra seconds to wait for straggler threads
         before returning with them still running (they are daemons and hold
         no locks at that point).
+    ask_batch_size:
+        Jobs pulled per scheduler ask.  The default ``1`` asks once per free
+        worker (the historical behaviour, byte-identical event streams).
+        Larger values route through :meth:`~repro.study.Study.ask_batch` and
+        park the surplus in a prefetch queue shared by all workers under the
+        backend lock — amortising the scheduler's per-ask cost at the price
+        of slightly staler decisions (prefetched jobs were chosen before
+        results that complete in the meantime).  Opt-in.
     """
 
     def __init__(
@@ -63,14 +72,18 @@ class ThreadPoolBackend:
         num_workers: int,
         poll_interval: float = 0.005,
         shutdown_grace: float = 5.0,
+        ask_batch_size: int = 1,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if shutdown_grace < 0:
             raise ValueError(f"shutdown_grace must be >= 0, got {shutdown_grace}")
+        if ask_batch_size < 1:
+            raise ValueError(f"ask_batch_size must be >= 1, got {ask_batch_size}")
         self.num_workers = num_workers
         self.poll_interval = poll_interval
         self.shutdown_grace = shutdown_grace
+        self.ask_batch_size = ask_batch_size
 
     def run(
         self,
@@ -133,6 +146,9 @@ class ThreadPoolBackend:
         # checkpoints lazy placeholders (no-op for fresh runs).
         store.seed_from_trials(study.trials)
         faults = FaultManager(retry_policy) if retry_policy is not None else None
+        # Jobs asked in a batch but not yet taken by a worker; shared under
+        # the backend lock.  Empty forever when ``ask_batch_size == 1``.
+        prefetch: deque[Job] = deque()
         # Retries waiting out their backoff: (ready_at, job, attempt).
         retry_queue: list[tuple[float, Job, int]] = []
         # Dispatch tokens for in-flight jobs — a retried job reuses its job
@@ -286,6 +302,12 @@ class ThreadPoolBackend:
                     ready = pop_ready_retry(now)
                     if ready is not None:
                         job, attempt = ready
+                    elif prefetch:
+                        # Batched-ahead work takes priority over the is_done
+                        # check: these jobs are already journalled/dispatched
+                        # from the study's point of view.
+                        job = prefetch.popleft()
+                        attempt = 1 if faults is None else faults.attempt_number(job)
                     elif study.is_done():
                         if not retry_queue:
                             return
@@ -296,7 +318,12 @@ class ThreadPoolBackend:
                             # The scheduler emits under the backend lock, so
                             # its decision events interleave in dispatch order.
                             hub.set_time(now)
-                        job = study.ask()
+                        if self.ask_batch_size > 1:
+                            batch = study.ask_batch(self.ask_batch_size)
+                            job = batch[0] if batch else None
+                            prefetch.extend(batch[1:])
+                        else:
+                            job = study.ask()
                         attempt = 1 if faults is None or job is None else faults.attempt_number(job)
                     if job is not None:
                         result.jobs_dispatched += 1

@@ -18,6 +18,41 @@ from ..telemetry.tracing import Trace
 __all__ = ["BackendResult", "FailureRecord", "record_report"]
 
 
+# Per-scheduler report plumbing (Study.tell vs bare report; the
+# ``completed_brackets`` counter as a method on SynchronousSHA vs a plain
+# attribute on Hyperband), resolved once per scheduler object instead of
+# re-running three getattr/callable probes per completion —
+# ``record_report`` sits in the simulator's hottest loop.  The scheduler
+# reference in the value keeps the id-key honest across gc reuse.
+_REPORT_PLUMBING: dict[int, tuple[object, object, object]] = {}
+_REPORT_PLUMBING_CAP = 64
+
+
+def _report_plumbing(scheduler: Scheduler) -> tuple[object, object]:
+    hit = _REPORT_PLUMBING.get(id(scheduler))
+    if hit is not None and hit[0] is scheduler:
+        return hit[1], hit[2]
+    tell = getattr(scheduler, "tell", None)
+    if not callable(tell):
+        tell = None
+    # Only a Study exposes ``.scheduler``; unwrap it to reach the counter.
+    target = getattr(scheduler, "scheduler", scheduler)
+    counter = getattr(target, "completed_brackets", None)
+    if callable(counter):
+        snapshot = counter  # bound method: call per report
+    elif counter is None:
+        snapshot = None
+    else:
+        # Mutable data attribute: re-read it on every report.
+        def snapshot(target=target):  # noqa: ANN001
+            return target.completed_brackets
+
+    if len(_REPORT_PLUMBING) >= _REPORT_PLUMBING_CAP:
+        _REPORT_PLUMBING.clear()
+    _REPORT_PLUMBING[id(scheduler)] = (scheduler, tell, snapshot)
+    return tell, snapshot
+
+
 @dataclass(frozen=True)
 class FailureRecord:
     """One failed job attempt, with everything the fault layer knew about it.
@@ -100,20 +135,14 @@ def record_report(
     measurement = Measurement(trial_id=job.trial_id, resource=job.resource, loss=loss, time=time)
     # A journal-backed Study journals the result before the scheduler sees
     # it (write-ahead); a bare scheduler takes the report directly.
-    tell = getattr(scheduler, "tell", None)
-    if callable(tell):
+    tell, snapshot = _report_plumbing(scheduler)
+    if tell is not None:
         tell(job, loss, time=time)
     else:
         scheduler.report(job, loss)
     result.measurements.append(measurement)
-    # ``completed_brackets`` is an attribute on Hyperband but a method on
-    # SynchronousSHA; resolve to a plain count so the snapshot log stays
-    # scheduler-free (and therefore picklable for the parallel engine).
-    # Only a Study exposes ``.scheduler``; unwrap it to reach the counter.
-    target = getattr(scheduler, "scheduler", scheduler)
-    snapshot = getattr(target, "completed_brackets", None)
-    if callable(snapshot):
-        snapshot = snapshot()
-    result.bracket_snapshots.append(snapshot)
+    # ``completed_brackets`` resolves to a plain count so the snapshot log
+    # stays scheduler-free (and therefore picklable for the parallel engine).
+    result.bracket_snapshots.append(None if snapshot is None else snapshot())
     if max_resource is not None and job.resource >= max_resource:
         result.completions.append((time, job.trial_id))

@@ -10,17 +10,30 @@ answers the two questions the schedulers ask:
   promoted? (Algorithm 2's ``get_job``)
 
 ASHA in the large-scale regime polls the promotion question once per free
-worker, and base rungs grow to tens of thousands of entries in the
-500-worker benchmark, so the promotion query must not rescan the
-leaderboard.  The rung keeps two sorted lists — all entries, and the
-not-yet-promoted entries — and answers in O(log n): the best unpromoted
-entry is promotable iff its rank in the full leaderboard is within the
-``len//eta`` quota.
+worker and records one result per completion, and base rungs grow to tens
+of thousands of entries in the 500-worker benchmark — so *both* operations
+must avoid O(n) work.  A sorted leaderboard answers queries fast but pays
+an O(n) memmove per insert, which turns the 100k-job benchmark
+superlinear.  Instead the rung keeps:
+
+* ``_unpromoted_heap`` — a lazy-deletion min-heap of ``(loss, trial_id)``
+  keys over not-yet-promoted entries: O(log n) insert, amortised O(1)
+  best-unpromoted peek (stale keys — overwritten losses or promoted
+  trials — are dropped when they surface);
+* ``_promoted_keys`` — a small sorted list of promoted entries' keys.
+
+The promotion query needs the best unpromoted entry's *rank in the full
+leaderboard*; every other unpromoted entry sorts after it, so its rank is
+exactly the number of promoted entries with smaller keys — one bisect of
+``_promoted_keys``.  Promoted counts stay tiny (≤ len/eta), so the insort
+there is cheap.  Full-leaderboard views (``top_k``, ``best``) are off the
+hot path and recompute on demand.
 """
 
 from __future__ import annotations
 
 import bisect
+import heapq
 import math
 from typing import Callable
 
@@ -45,16 +58,20 @@ class Rung:
     """
 
     def __init__(
-        self, index: int, resource: float, *, on_change: Callable[[], None] | None = None
+        self, index: int, resource: float, *, on_change: Callable[[int], None] | None = None
     ):
         self.index = index
         self.resource = resource
         self.losses: dict[int, float] = {}
         self.promoted: set[int] = set()
-        # Entries sorted by (loss, trial_id); ties broken by trial id for
-        # determinism.  NaN is mapped to +inf at insertion.
-        self._sorted: list[tuple[float, int]] = []
-        self._unpromoted: list[tuple[float, int]] = []
+        # Lazy-deletion heap of (loss, trial_id) keys over unpromoted
+        # entries; ties broken by trial id for determinism, NaN mapped to
+        # +inf at insertion.  May hold stale keys — entries re-recorded,
+        # promoted, or duplicated by unmark/mark cycles — which are
+        # validated against ``losses``/``promoted`` when they reach the top.
+        self._unpromoted_heap: list[tuple[float, int]] = []
+        # Sorted keys of the promoted entries (small: at most len//eta).
+        self._promoted_keys: list[tuple[float, int]] = []
         # Owner notification: the bracket holding this rung registers a
         # callback so it can invalidate its cached promotion scan whenever
         # the leaderboard (and therefore promotability) changes.
@@ -63,36 +80,41 @@ class Rung:
     def __len__(self) -> int:
         return len(self.losses)
 
+    def _key(self, trial_id: int) -> tuple[float, int]:
+        return (_sort_loss(self.losses[trial_id]), trial_id)
+
     def record(self, trial_id: int, loss: float) -> None:
         """File ``trial_id``'s loss at this rung.
 
         Re-reporting overwrites — relevant for PBT-style re-evaluation, and
         harmless for SHA/ASHA where each trial reaches a rung once.
         """
-        if trial_id in self.losses:
-            old = (_sort_loss(self.losses[trial_id]), trial_id)
-            self._remove(self._sorted, old)
-            if trial_id not in self.promoted:
-                self._remove(self._unpromoted, old)
+        promoted = trial_id in self.promoted
+        if promoted and trial_id in self.losses:
+            _remove_sorted(self._promoted_keys, self._key(trial_id))
         self.losses[trial_id] = loss
         key = (_sort_loss(loss), trial_id)
-        bisect.insort(self._sorted, key)
-        if trial_id not in self.promoted:
-            bisect.insort(self._unpromoted, key)
+        if promoted:
+            bisect.insort(self._promoted_keys, key)
+        else:
+            # Any previous key for this trial goes stale and is dropped
+            # lazily when it surfaces at the heap top.
+            heapq.heappush(self._unpromoted_heap, key)
         if self._on_change is not None:
-            self._on_change()
-
-    @staticmethod
-    def _remove(entries: list[tuple[float, int]], key: tuple[float, int]) -> None:
-        pos = bisect.bisect_left(entries, key)
-        if pos < len(entries) and entries[pos] == key:
-            entries.pop(pos)
+            self._on_change(self.index)
 
     def top_k(self, k: int) -> list[int]:
-        """Ids of the ``k`` lowest-loss entries (ties broken by trial id)."""
+        """Ids of the ``k`` lowest-loss entries (ties broken by trial id).
+
+        Off the hot path (SHA calls it once per rung closure): recomputed
+        from the loss table rather than kept incrementally sorted.
+        """
         if k <= 0:
             return []
-        return [trial_id for _, trial_id in self._sorted[:k]]
+        keys = heapq.nsmallest(
+            k, ((_sort_loss(loss), tid) for tid, loss in self.losses.items())
+        )
+        return [trial_id for _, trial_id in keys]
 
     def promotion_quota(self, eta: int) -> int:
         """How many entries the top ``1/eta`` fraction currently holds."""
@@ -102,24 +124,34 @@ class Rung:
         """Best promotable trial id, or ``None`` (Algorithm 2, lines 14-16).
 
         A trial is promotable when it sits in the top ``|rung|/eta`` entries
-        by loss and has not already been promoted out of this rung.  O(log n):
-        the best unpromoted entry's rank in the full leaderboard decides.
+        by loss and has not already been promoted out of this rung.
+        Amortised O(log n): peek the best unpromoted key (discarding stale
+        heap entries), then rank it by bisecting the promoted keys.
         """
-        if not self._unpromoted:
-            return None
-        quota = self.promotion_quota(eta)
+        quota = len(self.losses) // eta
         if quota == 0:
             return None
-        best = self._unpromoted[0]
-        rank = bisect.bisect_left(self._sorted, best)
-        if rank < quota:
-            return best[1]
+        heap = self._unpromoted_heap
+        losses = self.losses
+        promoted = self.promoted
+        while heap:
+            loss_key, trial_id = heap[0]
+            if trial_id in promoted or _sort_loss(losses[trial_id]) != loss_key:
+                heapq.heappop(heap)
+                continue
+            # Rank of the best unpromoted entry in the full leaderboard:
+            # all other unpromoted entries sort after it, so only promoted
+            # entries with smaller keys precede it.
+            rank = bisect.bisect_left(self._promoted_keys, heap[0])
+            if rank < quota:
+                return trial_id
+            return None
         return None
 
     def promotable(self, eta: int) -> list[int]:
         """All promotable candidates, best first (used by tests/diagnostics)."""
         quota = self.promotion_quota(eta)
-        return [t for _, t in self._sorted[:quota] if t not in self.promoted]
+        return [t for t in self.top_k(quota) if t not in self.promoted]
 
     def mark_promoted(self, trial_id: int) -> None:
         """Record that ``trial_id`` has been promoted out of this rung."""
@@ -127,9 +159,9 @@ class Rung:
             raise KeyError(f"trial {trial_id} has no result in rung {self.index}")
         if trial_id not in self.promoted:
             self.promoted.add(trial_id)
-            self._remove(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+            bisect.insort(self._promoted_keys, self._key(trial_id))
             if self._on_change is not None:
-                self._on_change()
+                self._on_change(self.index)
 
     def unmark_promoted(self, trial_id: int) -> None:
         """Return a promoted entry to the promotable pool (failed promotion).
@@ -140,14 +172,17 @@ class Rung:
         """
         if trial_id in self.promoted:
             self.promoted.discard(trial_id)
-            bisect.insort(self._unpromoted, (_sort_loss(self.losses[trial_id]), trial_id))
+            key = self._key(trial_id)
+            _remove_sorted(self._promoted_keys, key)
+            heapq.heappush(self._unpromoted_heap, key)
             if self._on_change is not None:
-                self._on_change()
+                self._on_change(self.index)
 
     def state(self) -> dict:
         """JSON-safe snapshot: the leaderboard and the promoted set.
 
-        The sorted indexes are derived data and are rebuilt by :meth:`load`.
+        The heap and promoted-key index are derived data and are rebuilt by
+        :meth:`load`.
         """
         return {
             "losses": {str(tid): loss for tid, loss in self.losses.items()},
@@ -155,17 +190,25 @@ class Rung:
         }
 
     def load(self, state: dict) -> None:
-        """Restore :meth:`state` output, rebuilding the sorted indexes."""
+        """Restore :meth:`state` output, rebuilding the derived indexes."""
         self.losses = {int(tid): float(loss) for tid, loss in state["losses"].items()}
         self.promoted = set(int(tid) for tid in state["promoted"])
-        self._sorted = sorted((_sort_loss(loss), tid) for tid, loss in self.losses.items())
-        self._unpromoted = [entry for entry in self._sorted if entry[1] not in self.promoted]
+        keys = [(_sort_loss(loss), tid) for tid, loss in self.losses.items()]
+        self._unpromoted_heap = [key for key in keys if key[1] not in self.promoted]
+        heapq.heapify(self._unpromoted_heap)
+        self._promoted_keys = sorted(key for key in keys if key[1] in self.promoted)
         if self._on_change is not None:
-            self._on_change()
+            self._on_change(self.index)
 
     def best(self) -> tuple[int, float] | None:
         """(trial_id, loss) of the current leader, or ``None`` if empty."""
-        if not self._sorted:
+        if not self.losses:
             return None
-        _, trial_id = self._sorted[0]
+        _, trial_id = min((_sort_loss(loss), tid) for tid, loss in self.losses.items())
         return trial_id, self.losses[trial_id]
+
+
+def _remove_sorted(entries: list[tuple[float, int]], key: tuple[float, int]) -> None:
+    pos = bisect.bisect_left(entries, key)
+    if pos < len(entries) and entries[pos] == key:
+        entries.pop(pos)

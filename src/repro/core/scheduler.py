@@ -19,7 +19,7 @@ import numpy as np
 from ..searchers.base import Searcher
 from ..searchspace import SearchSpace
 from ..telemetry import NULL_HUB, EventKind
-from .serialization import rng_state, set_rng_state, trial_from_state, trial_state
+from .serialization import config_state, rng_state, set_rng_state, trial_from_state, trial_state
 from .types import Config, IdAllocator, Job, Measurement, Trial, TrialStatus
 
 __all__ = ["Scheduler"]
@@ -89,6 +89,38 @@ class Scheduler(ABC):
     @abstractmethod
     def report(self, job: Job, loss: float) -> None:
         """Ingest the validation loss of a completed job."""
+
+    def next_job_batch(self, k: int) -> list[Job]:
+        """Return up to ``k`` jobs for free workers.
+
+        Equivalent — job for job, rng draw for rng draw — to calling
+        :meth:`next_job` ``k`` times and dropping the trailing ``None``:
+        a short batch means the scheduler is (currently) blocked or
+        finished, exactly like a ``None`` from the single-job form.
+
+        The default loops; schedulers with per-call overhead worth
+        amortising (ASHA's promotion scan, rung bookkeeping) override.
+        Backends use this to fill all free workers in one call instead of
+        one ask per worker.
+        """
+        jobs: list[Job] = []
+        for _ in range(k):
+            job = self.next_job()
+            if job is None:
+                break
+            jobs.append(job)
+        return jobs
+
+    def report_batch(self, results: list[tuple[Job, float]]) -> None:
+        """Ingest a batch of completed-job losses, in order.
+
+        Equivalent to calling :meth:`report` per ``(job, loss)`` pair in
+        sequence; overrides may amortise shared bookkeeping but must keep
+        the per-result effects (trial status, telemetry, searcher updates)
+        identical and ordered.
+        """
+        for job, loss in results:
+            self.report(job, loss)
 
     def on_job_failed(self, job: Job) -> None:
         """Handle a dropped or crashed job.
@@ -241,8 +273,16 @@ class Scheduler(ABC):
         self.trials[trial.trial_id] = trial
         if self.telemetry:
             extra = {"origin": origin} if origin is not None else {}
+            # The interned canonical form, not a fresh copy: the same dict
+            # object later backs the journal's ask records and the trace
+            # builder, so each config is canonicalised exactly once.  The
+            # bytes every sink emits are unchanged (canonical encoders
+            # sort keys and unwrap numpy scalars either way).
             self.telemetry.emit(
-                EventKind.TRIAL_STARTED, trial_id=trial.trial_id, config=dict(config), **extra
+                EventKind.TRIAL_STARTED,
+                trial_id=trial.trial_id,
+                config=config_state(config),
+                **extra,
             )
         return trial
 

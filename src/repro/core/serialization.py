@@ -35,9 +35,39 @@ __all__ = [
 ]
 
 
+# Decoded canonical forms, interned by config identity like the payload
+# cache in objectives.base: the same config is re-stated at every rung's
+# ask record, in trial snapshots, and in trial-started telemetry.  Treat
+# returned dicts as immutable — they are shared.
+_STATE_CACHE: dict[int, tuple[dict[str, Any], dict[str, Any]]] = {}
+_STATE_CACHE_CAP = 65536
+_PLAIN_TYPES = frozenset((str, int, float, bool, type(None)))
+
+
 def config_state(config: dict[str, Any]) -> dict[str, Any]:
-    """Canonical JSON-safe form of a config (numpy scalars unwrapped)."""
-    return json.loads(config_payload(config))
+    """Canonical JSON-safe form of a config (numpy scalars unwrapped).
+
+    Interned per config object, and configs of plain Python scalars — the
+    overwhelmingly common case, every ``space.sample`` draw — skip the
+    JSON round-trip entirely: encode-then-decode of plain scalars is the
+    identity (canonical encoders re-sort keys themselves, so key order is
+    immaterial).  Exact ``type`` checks keep numpy scalars (which subclass
+    Python's ``float``/``int``) on the canonicalising path.
+    """
+    key = id(config)
+    hit = _STATE_CACHE.get(key)
+    if hit is not None and hit[0] is config:
+        return hit[1]
+    for value in config.values():
+        if type(value) not in _PLAIN_TYPES:
+            state = json.loads(config_payload(config))
+            break
+    else:
+        state = dict(config)
+    if len(_STATE_CACHE) >= _STATE_CACHE_CAP:
+        _STATE_CACHE.clear()
+    _STATE_CACHE[key] = (config, state)
+    return state
 
 
 def rng_state(rng: np.random.Generator) -> dict[str, Any]:

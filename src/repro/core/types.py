@@ -38,7 +38,7 @@ class TrialStatus(enum.Enum):
         return self in (TrialStatus.COMPLETED, TrialStatus.FAILED, TrialStatus.STOPPED)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Measurement:
     """One observed (resource, loss) point for a trial."""
 
@@ -48,7 +48,7 @@ class Measurement:
     time: float = 0.0  # backend clock when observed
 
 
-@dataclass
+@dataclass(slots=True)
 class Trial:
     """A hyperparameter configuration and its observation history."""
 
@@ -86,7 +86,7 @@ class Trial:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Job:
     """A unit of work: train ``trial_id`` from its checkpoint up to ``resource``.
 

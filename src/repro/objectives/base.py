@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 from abc import ABC, abstractmethod
+from json.encoder import encode_basestring_ascii as _escape
 from typing import Any
 
 from ..searchspace import Config, SearchSpace
@@ -32,16 +33,39 @@ from ..searchspace import Config, SearchSpace
 __all__ = ["Objective", "config_payload", "config_seed"]
 
 
+# Interned canonical encodings, keyed by config identity.  A configuration
+# dict is created once (at sampling) and then encoded repeatedly — journal
+# ask records at every rung, surrogate profile/noise seeds, scheduler
+# snapshots — so the canonicalisation is paid once and shared.  The config
+# reference in the value keeps the id stable (and guards against reuse);
+# the cache is cleared wholesale at a size cap to bound memory across many
+# studies in one process.
+_PAYLOAD_CACHE: dict[int, tuple[Config, bytes]] = {}
+_PAYLOAD_CACHE_CAP = 65536
+
+
 def config_payload(config: Config) -> bytes:
-    """The canonical JSON encoding of a configuration.
+    """The canonical JSON encoding of a configuration (interned).
 
     Callers that derive several seeds from the same configuration (e.g. a
     profile seed and a noise seed) encode once and pass the payload to
     :func:`config_seed` — the JSON canonicalisation dominates the hashing.
+    Repeat calls for the *same config object* return the cached bytes;
+    configurations are treated as immutable throughout.
     """
-    return json.dumps(
-        {k: _canonical(v) for k, v in config.items()}, sort_keys=True
-    ).encode()
+    key = id(config)
+    hit = _PAYLOAD_CACHE.get(key)
+    if hit is not None and hit[0] is config:
+        return hit[1]
+    payload = _encode_plain(config)
+    if payload is None:
+        payload = json.dumps(
+            {k: _canonical(v) for k, v in config.items()}, sort_keys=True
+        ).encode()
+    if len(_PAYLOAD_CACHE) >= _PAYLOAD_CACHE_CAP:
+        _PAYLOAD_CACHE.clear()
+    _PAYLOAD_CACHE[key] = (config, payload)
+    return payload
 
 
 def config_seed(config: Config, salt: int = 0, *, payload: bytes | None = None) -> int:
@@ -57,6 +81,47 @@ def config_seed(config: Config, salt: int = 0, *, payload: bytes | None = None) 
         payload = config_payload(config)
     digest = hashlib.blake2b(payload, digest_size=8, salt=salt.to_bytes(8, "little"))
     return int.from_bytes(digest.digest(), "little")
+
+
+_INF = float("inf")
+_NINF = float("-inf")
+
+
+def _encode_plain(config: Config) -> bytes | None:
+    """Canonical encoding fast path, or ``None`` if any value needs json.
+
+    Byte-identical to ``json.dumps(config, sort_keys=True).encode()`` for
+    dicts of plain Python scalars: ``repr`` of a float/int is exactly what
+    the C encoder emits (shortest-repr doubles, decimal ints), the default
+    separators are ``", "`` / ``": "``, and string escaping reuses json's
+    own C ``encode_basestring_ascii``.  Exact ``type`` checks (never
+    ``isinstance``) route numpy scalars — which subclass Python numerics but
+    encode via ``.item()`` — to the slow path, as well as non-finite floats
+    (json spells those ``Infinity``/``NaN``).  This is the hot path: one
+    fresh config per sampled trial, encoded for journal records and
+    surrogate seeds, and ``json.dumps`` overhead dominated the simulated
+    benchmarks' profile.
+    """
+    parts = []
+    for k in sorted(config):
+        v = config[k]
+        tv = type(v)
+        if tv is float:
+            if v != v or v == _INF or v == _NINF:
+                return None
+            s = repr(v)
+        elif tv is int:
+            s = repr(v)
+        elif tv is str:
+            s = _escape(v)
+        elif tv is bool:
+            s = "true" if v else "false"
+        elif v is None:
+            s = "null"
+        else:
+            return None
+        parts.append(_escape(k) + ": " + s)
+    return ("{" + ", ".join(parts) + "}").encode()
 
 
 def _canonical(value: Any) -> Any:

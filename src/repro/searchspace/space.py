@@ -34,6 +34,14 @@ class SearchSpace:
         if not domains:
             raise ValueError("SearchSpace requires at least one domain")
         self._domains: dict[str, Domain] = dict(domains)
+        # Pre-bound (name, sample) pairs: ``sample`` is the single hottest
+        # call in the simulated benchmarks, and the attribute lookups in the
+        # naive ``{name: dom.sample(rng) ...}`` dictcomp are pure overhead.
+        # Draw order per domain is unchanged, so seeded streams are
+        # bit-identical to the unspecialised loop.
+        self._samplers: list[tuple[str, Any]] = [
+            (name, dom.sample) for name, dom in self._domains.items()
+        ]
 
     @property
     def names(self) -> list[str]:
@@ -63,7 +71,7 @@ class SearchSpace:
 
     def sample(self, rng: np.random.Generator) -> Config:
         """Draw one configuration uniformly at random."""
-        return {name: dom.sample(rng) for name, dom in self._domains.items()}
+        return {name: draw(rng) for name, draw in self._samplers}
 
     def sample_batch(self, n: int, rng: np.random.Generator) -> list[Config]:
         """Draw ``n`` i.i.d. configurations.

@@ -29,7 +29,8 @@ be re-executed:
 from __future__ import annotations
 
 import os
-from typing import Any
+from collections import deque
+from typing import Any, Iterable
 
 from ..core.scheduler import Scheduler
 from ..core.serialization import config_state
@@ -79,8 +80,10 @@ class Study:
         self._cursor_pos = 0
         # job_id -> journalled loss for every tell the cursor has not consumed.
         self._replay_tells: dict[int, float] = {}
-        # Restore-mode asks the crash left unresolved; re-dispatched by ask().
-        self._orphaned: list[Job] = []
+        # Restore-mode asks the crash left unresolved; re-dispatched by
+        # ask() in journal order.  A deque: a restore can leave hundreds of
+        # in-flight asks, and list.pop(0) made re-dispatch quadratic.
+        self._orphaned: deque[Job] = deque()
 
     # ------------------------------------------------------------- ask/tell
 
@@ -95,24 +98,54 @@ class Study:
         if self._orphaned:
             # Restore mode: the crash left this job in flight.  Its ask
             # record is already on disk, so hand it out without journaling.
-            return self._orphaned.pop(0)
+            return self._orphaned.popleft()
         job = self.scheduler.next_job()
         if job is None:
             return None
-        self._record(
-            {
-                "kind": "ask",
-                "job_id": job.job_id,
-                "trial_id": job.trial_id,
-                "config": config_state(job.config),
-                "resource": job.resource,
-                "checkpoint_resource": job.checkpoint_resource,
-                "rung": job.rung,
-                "bracket": job.bracket,
-                "inherit_from": job.inherit_from,
-            }
-        )
+        if self.journal is not None or self._cursor_pos < len(self._cursor):
+            # Unjournalled live studies skip building the record outright:
+            # the config round-trip through canonical JSON dominated the
+            # simulator's ask cost and the dict was thrown away unseen.
+            self._record(self._ask_record(job))
         return job
+
+    def ask_batch(self, k: int) -> list[Job]:
+        """Up to ``k`` jobs in one call; short means blocked/paused/done.
+
+        Equivalent to ``k`` :meth:`ask` calls with the trailing ``None``
+        dropped — same jobs, same journal bytes — but the scheduler fills
+        the batch through :meth:`~repro.core.Scheduler.next_job_batch` and
+        the journal takes the ask records as one appended block.
+        """
+        if self.paused or k <= 0:
+            return []
+        jobs: list[Job] = []
+        while self._orphaned and len(jobs) < k:
+            jobs.append(self._orphaned.popleft())
+        n_orphaned = len(jobs)
+        if n_orphaned < k:
+            jobs.extend(self.scheduler.next_job_batch(k - n_orphaned))
+        fresh = jobs[n_orphaned:]
+        if fresh:
+            if self._cursor_pos < len(self._cursor):
+                for job in fresh:
+                    self._record(self._ask_record(job))
+            elif self.journal is not None:
+                self.journal.append_batch([self._ask_record(job) for job in fresh])
+        return jobs
+
+    def _ask_record(self, job: Job) -> dict[str, Any]:
+        return {
+            "kind": "ask",
+            "job_id": job.job_id,
+            "trial_id": job.trial_id,
+            "config": config_state(job.config),
+            "resource": job.resource,
+            "checkpoint_resource": job.checkpoint_resource,
+            "rung": job.rung,
+            "bracket": job.bracket,
+            "inherit_from": job.inherit_from,
+        }
 
     def tell(self, job: Job, loss: float, *, time: float = 0.0) -> None:
         """Report a finished job's loss.
@@ -121,17 +154,42 @@ class Study:
         crash between the two re-applies the tell on resume instead of
         losing it.
         """
-        self._record(
-            {
-                "kind": "tell",
-                "job_id": job.job_id,
-                "trial_id": job.trial_id,
-                "loss": loss,
-                "resource": job.resource,
-                "time": time,
-            }
-        )
+        if self.journal is not None or self._cursor_pos < len(self._cursor):
+            self._record(self._tell_record(job, loss, time))
         self.scheduler.report(job, loss)
+
+    def tell_batch(
+        self, results: Iterable[tuple[Job, float]], *, time: float = 0.0
+    ) -> None:
+        """Report a batch of finished jobs' losses, in order.
+
+        Journal bytes and scheduler effects are identical to sequential
+        :meth:`tell` calls; the write-ahead property extends to the whole
+        batch (every record lands before any loss reaches the scheduler,
+        so a crash mid-batch re-applies the journalled tells on resume),
+        and the journal takes the block with a single flush.
+        """
+        results = list(results)
+        if not results:
+            return
+        if self._cursor_pos < len(self._cursor):
+            for job, loss in results:
+                self._record(self._tell_record(job, loss, time))
+        elif self.journal is not None:
+            self.journal.append_batch(
+                [self._tell_record(job, loss, time) for job, loss in results]
+            )
+        self.scheduler.report_batch(results)
+
+    def _tell_record(self, job: Job, loss: float, time: float) -> dict[str, Any]:
+        return {
+            "kind": "tell",
+            "job_id": job.job_id,
+            "trial_id": job.trial_id,
+            "loss": loss,
+            "resource": job.resource,
+            "time": time,
+        }
 
     def on_job_failed(self, job: Job) -> None:
         """A job crashed with no retry policy — the attempt is forfeited."""
@@ -311,7 +369,7 @@ class Study:
                 self.scheduler.on_trial_abandoned(resolve(record, i))
             else:
                 raise JournalError(f"unknown journal record kind {kind!r} on line {i + 2}")
-        self._orphaned = list(outstanding.values())
+        self._orphaned = deque(outstanding.values())
 
     @property
     def orphaned_jobs(self) -> list[Job]:

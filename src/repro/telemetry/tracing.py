@@ -637,7 +637,10 @@ class TraceBuilder:
         trial.sampled_at = event.time
         config = event.data.get("config")
         if config is not None:
-            trial.config = dict(config)
+            # Live events carry the scheduler's interned canonical config;
+            # share it rather than copying (the builder only reads it).
+            # JSONL-sourced events decode a fresh dict per line anyway.
+            trial.config = config
 
     def _on_job_started(self, event: TelemetryEvent) -> None:
         if event.trial_id is None or event.job_id is None:

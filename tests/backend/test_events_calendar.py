@@ -1,0 +1,143 @@
+"""Calendar-queue ``EventQueue`` vs the reference heap: lockstep equivalence.
+
+The calendar queue replaced the binary heap on the simulator's hottest path
+(PR: batched ask/tell + calendar core).  Its entire contract is
+*indistinguishability*: identical delivery order (strict ``(time, seq)``
+FIFO tie-break), identical clock advancement, and identical discard
+semantics under any interleaving of operations.  ``HeapEventQueue`` is kept
+in-tree as the behavioural oracle; hypothesis drives both in lockstep.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.events import EventQueue, HeapEventQueue, SimEvent
+
+# Times drawn tie-heavy (coarse grid) and wide (up to 1e9 simulated
+# seconds), plus sub-second jitter — covering one-giant-bucket,
+# many-sparse-buckets, and every-event-ties regimes.
+_times = st.one_of(
+    st.integers(min_value=0, max_value=20).map(float),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+)
+
+# An operation script: push a delta past the clock, or pop/peek/discard.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _times),
+        st.sampled_from([("pop", None), ("peek", None), ("discard", None)]),
+    ),
+    max_size=200,
+)
+
+
+def test_sim_event_is_hashable_consistent_with_eq():
+    # Regression: defining __eq__ on the slotted class silently dropped the
+    # inherited __hash__, so events could no longer live in sets or key the
+    # simulator's dead-event bookkeeping.
+    a = SimEvent(time=1.5, seq=3, kind="job_finished", payload={"job": 1})
+    b = SimEvent(time=1.5, seq=3, kind="worker_churn", payload=None)
+    c = SimEvent(time=1.5, seq=4, kind="job_finished", payload=None)
+    assert a == b and hash(a) == hash(b)  # kind/payload never participate
+    assert a != c
+    assert len({a, b, c}) == 2
+    assert {a: "x"}[b] == "x"
+
+
+@pytest.mark.parametrize("width", [1e-3, 1.0, 1e6])
+def test_drain_order_matches_heap(width):
+    heap, calendar = HeapEventQueue(), EventQueue(bucket_width=width)
+    times = [3.0, 1.0, 1.0, 2.5, 1.0, 0.0, 3.0, 2.5]
+    for i, t in enumerate(times):
+        heap.push(t, f"k{i}")
+        calendar.push(t, f"k{i}")
+    drained = []
+    while calendar:
+        a, b = heap.pop(), calendar.pop()
+        assert (a.time, a.seq, a.kind) == (b.time, b.seq, b.kind)
+        assert heap.clock == calendar.clock
+        drained.append(b.time)
+    assert drained == sorted(times)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_ops)
+def test_lockstep_equivalence_with_heap(ops):
+    heap, calendar = HeapEventQueue(), EventQueue()
+    for op, delta in ops:
+        if op == "push":
+            # Push relative to the clock so scripts stay valid after pops.
+            t = heap.clock + delta
+            a = heap.push(t, "k")
+            b = calendar.push(t, "k")
+            assert (a.time, a.seq) == (b.time, b.seq)
+        elif op == "pop":
+            if not heap:
+                with pytest.raises(IndexError):
+                    calendar.pop()
+                continue
+            a, b = heap.pop(), calendar.pop()
+            assert (a.time, a.seq) == (b.time, b.seq)
+        elif op == "peek":
+            a, b = heap.peek(), calendar.peek()
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.time, a.seq) == (b.time, b.seq)
+            assert heap.peek_time() == calendar.peek_time()
+        else:  # discard
+            if not heap:
+                with pytest.raises(IndexError):
+                    calendar.discard_next()
+                continue
+            heap.discard_next()
+            calendar.discard_next()
+        assert heap.clock == calendar.clock
+        assert len(heap) == len(calendar)
+    # Drain whatever is left: full delivery order must agree.
+    while heap:
+        a, b = heap.pop(), calendar.pop()
+        assert (a.time, a.seq) == (b.time, b.seq)
+    assert not calendar
+
+
+def test_rebucketing_preserves_order_across_resizes():
+    # Push far past the resize threshold (64) with a pathological initial
+    # width so the adaptive rebucketing fires repeatedly, then drain.
+    calendar, heap = EventQueue(bucket_width=1e9), HeapEventQueue()
+    for i in range(1000):
+        t = float((i * 7919) % 97) + (i % 13) * 0.125
+        calendar.push(t, "k")
+        heap.push(t, "k")
+    while heap:
+        a, b = heap.pop(), calendar.pop()
+        assert (a.time, a.seq) == (b.time, b.seq)
+    assert not calendar
+
+
+def test_push_below_active_bucket_reorders_correctly():
+    # Activate a far-future bucket, then push an earlier event: the active
+    # remainder must spill back and the earlier event must deliver first.
+    q = EventQueue(bucket_width=1.0)
+    q.push(10.0, "late")
+    q.push(10.5, "later")
+    assert q.peek().kind == "late"  # activates bucket 10
+    q.push(2.0, "early")
+    assert [q.pop().kind for _ in range(3)] == ["early", "late", "later"]
+    assert q.clock == 10.5
+
+
+def test_push_before_clock_rejected():
+    q = EventQueue()
+    q.push(5.0, "k")
+    q.pop()
+    with pytest.raises(ValueError):
+        q.push(4.0, "k")
+
+
+def test_invalid_bucket_width_rejected():
+    with pytest.raises(ValueError):
+        EventQueue(bucket_width=0.0)

@@ -258,6 +258,25 @@ class TestFloorGate:
         current = _report_with({"parallel_speedup_8": 2.0}, **report_kwargs)
         assert self._run(check_regression, tmp_path, baseline, current) == 0
 
+    def test_meta_less_skipped_entry_does_not_crash(self, check_regression, tmp_path):
+        # Bugfix: a skipped entry is anything with ``value: null`` — the
+        # ``meta`` block is optional (hand-pruned baselines drop it), but the
+        # comparison indexed ``entry["meta"]`` directly and raised KeyError
+        # before it could render "skipped: no reason recorded".
+        bare_skip = {
+            "value": None,
+            "unit": "x",
+            "higher_is_better": True,
+            "normalized": None,
+        }
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 10.0})
+        current["benchmarks"]["a"] = dict(bare_skip)
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+        baseline["benchmarks"]["a"] = dict(bare_skip)
+        current = _report_with({"a": 10.0})
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
 
 class TestReporting:
     def _run(self, check_regression, tmp_path, baseline, current, extra_args=()):
