@@ -19,10 +19,20 @@ Two independent checks run over every gated benchmark:
   the floor it missed.
 
 Benchmarks whose ``meta.gated`` is ``false`` are reported but never fail the
-gate, as are benchmarks present on only one side and benchmarks *skipped*
-on either side (``value: null`` with ``meta.skip_reason`` — e.g. parallel
-speedups on a runner with too few cores; the skip reason is printed so the
-gap is loud, per the schema-v2 contract).
+gate, as are benchmarks present only in the *baseline* (retired benches)
+and benchmarks *skipped* on either side (``value: null`` with
+``meta.skip_reason`` — e.g. parallel speedups on a runner with too few
+cores; the skip reason is printed so the gap is loud, per the schema-v2
+contract).
+
+A gated benchmark present in the *current* report but absent from the
+baseline is a clear gate error, not a silent "only in current" row: the
+baseline is stale (a new benchmark landed without regenerating it), and
+until it is regenerated the gate cannot vouch for that benchmark's ratio —
+and would silently skip its ``meta.floor``.  The failure message says
+exactly how to fix it.  Malformed entries (missing the schema's required
+keys) are likewise reported as named gate errors instead of crashing with
+a ``KeyError`` traceback.
 
 ``--markdown FILE`` appends the comparison as a GitHub-flavoured delta table
 (for ``$GITHUB_STEP_SUMMARY``); ``--no-gate`` prints everything but always
@@ -65,53 +75,108 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[list[dict]
         cur_entry = current["benchmarks"].get(name)
         row = {"name": name, "base": None, "cur": None, "ratio": None, "status": "ok"}
         rows.append(row)
-        if base_entry is None or cur_entry is None:
-            row["status"] = "only in " + ("current" if base_entry is None else "baseline")
-            continue
-        meta = {**base_entry.get("meta", {}), **cur_entry.get("meta", {})}
-        gated = meta.get("gated", True)
-        if _is_skipped(cur_entry):
-            # ``meta`` is optional on skipped entries (hand-pruned baselines
-            # and older recorders omit it); indexing it directly raised
-            # KeyError before the comparison could report the skip.
-            reason = cur_entry.get("meta", {}).get("skip_reason", "no reason recorded")
-            row["status"] = f"skipped on current: {reason}"
-            row["base"] = None if _is_skipped(base_entry) else base_entry["normalized"]
-            continue
-        row["cur"] = cur_entry["normalized"]
-        # The hard floor binds whenever *this* run measured the benchmark —
-        # a skipped baseline (recorded on a small machine) must not let a
-        # below-floor measurement through.
-        floor = meta.get("floor")
-        if floor is not None and cur_entry["value"] < floor:
-            if gated:
-                row["status"] = "BELOW FLOOR"
-                failures.append(
-                    f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is below "
-                    f"its hard floor of {floor}{cur_entry['unit']} "
-                    f"(n_jobs={meta.get('n_jobs', '?')}, cpu_count={meta.get('cpu_count', '?')})"
-                )
-            else:
-                row["status"] = f"below informational floor {floor}"
-        if _is_skipped(base_entry):
-            reason = base_entry.get("meta", {}).get("skip_reason", "no reason recorded")
-            if row["status"] == "ok":
-                row["status"] = f"skipped on baseline: {reason}"
-            continue
-        base_score = base_entry["normalized"]
-        cur_score = cur_entry["normalized"]
-        ratio = cur_score / base_score if base_score else float("inf")
-        row.update(base=base_score, ratio=ratio)
-        if ratio < 1.0 / threshold:
-            if gated and row["status"] != "BELOW FLOOR":
-                row["status"] = "REGRESSION"
-                failures.append(
-                    f"{name}: normalized {cur_score:.4f} vs baseline "
-                    f"{base_score:.4f} ({ratio:.2f}x, threshold {1 / threshold:.2f}x)"
-                )
-            elif not gated:
-                row["status"] = "ungated slowdown"
+        try:
+            _compare_one(name, base_entry, cur_entry, threshold, row, failures)
+        except KeyError as exc:
+            # A malformed entry (missing "value"/"normalized"/"unit") must
+            # name itself in the gate output, not die as a traceback.
+            row["status"] = "MALFORMED"
+            failures.append(
+                f"{name}: report entry is missing required key {exc} — "
+                "regenerate the file with benchmarks/perf/run_perf.py"
+            )
     return rows, failures
+
+
+def _compare_one(
+    name: str,
+    base_entry: dict | None,
+    cur_entry: dict | None,
+    threshold: float,
+    row: dict,
+    failures: list[str],
+) -> None:
+    """Fill one comparison row; append any gate failure for this benchmark."""
+    if cur_entry is None:
+        # A benchmark only the baseline knows was retired (or renamed):
+        # nothing to measure against, never a failure.
+        row["status"] = "only in baseline"
+        return
+    if base_entry is None:
+        # The current report measures a benchmark the baseline has never
+        # seen: the committed baseline is stale.  For a gated benchmark
+        # that is a hard error — the ratio check cannot run, and skipping
+        # silently would also skip any meta.floor the new benchmark
+        # carries.
+        meta = cur_entry.get("meta", {})
+        if _is_skipped(cur_entry):
+            reason = meta.get("skip_reason", "no reason recorded")
+            row["status"] = f"only in current (skipped: {reason})"
+            return
+        row["cur"] = cur_entry["normalized"]
+        floor = meta.get("floor")
+        if floor is not None and cur_entry["value"] < floor and meta.get("gated", True):
+            row["status"] = "BELOW FLOOR"
+            failures.append(
+                f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is below "
+                f"its hard floor of {floor}{cur_entry['unit']} (benchmark is also "
+                "missing from the baseline)"
+            )
+        elif meta.get("gated", True):
+            row["status"] = "MISSING FROM BASELINE"
+            failures.append(
+                f"{name}: present in the current report but missing from the "
+                "baseline — the committed baseline is stale.  Regenerate it "
+                "(python benchmarks/perf/run_perf.py --quick --output "
+                "benchmarks/perf/baseline.json) and commit the result so the "
+                "gate can track this benchmark."
+            )
+        else:
+            row["status"] = "only in current (ungated)"
+        return
+    meta = {**base_entry.get("meta", {}), **cur_entry.get("meta", {})}
+    gated = meta.get("gated", True)
+    if _is_skipped(cur_entry):
+        # ``meta`` is optional on skipped entries (hand-pruned baselines
+        # and older recorders omit it); indexing it directly raised
+        # KeyError before the comparison could report the skip.
+        reason = cur_entry.get("meta", {}).get("skip_reason", "no reason recorded")
+        row["status"] = f"skipped on current: {reason}"
+        row["base"] = None if _is_skipped(base_entry) else base_entry["normalized"]
+        return
+    row["cur"] = cur_entry["normalized"]
+    # The hard floor binds whenever *this* run measured the benchmark —
+    # a skipped baseline (recorded on a small machine) must not let a
+    # below-floor measurement through.
+    floor = meta.get("floor")
+    if floor is not None and cur_entry["value"] < floor:
+        if gated:
+            row["status"] = "BELOW FLOOR"
+            failures.append(
+                f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is below "
+                f"its hard floor of {floor}{cur_entry['unit']} "
+                f"(n_jobs={meta.get('n_jobs', '?')}, cpu_count={meta.get('cpu_count', '?')})"
+            )
+        else:
+            row["status"] = f"below informational floor {floor}"
+    if _is_skipped(base_entry):
+        reason = base_entry.get("meta", {}).get("skip_reason", "no reason recorded")
+        if row["status"] == "ok":
+            row["status"] = f"skipped on baseline: {reason}"
+        return
+    base_score = base_entry["normalized"]
+    cur_score = cur_entry["normalized"]
+    ratio = cur_score / base_score if base_score else float("inf")
+    row.update(base=base_score, ratio=ratio)
+    if ratio < 1.0 / threshold:
+        if gated and row["status"] != "BELOW FLOOR":
+            row["status"] = "REGRESSION"
+            failures.append(
+                f"{name}: normalized {cur_score:.4f} vs baseline "
+                f"{base_score:.4f} ({ratio:.2f}x, threshold {1 / threshold:.2f}x)"
+            )
+        elif not gated:
+            row["status"] = "ungated slowdown"
 
 
 def _fmt(score: float | None) -> str:
@@ -153,7 +218,7 @@ def render_markdown(rows: list[dict], threshold: float) -> str:
             delta = f"{(row['ratio'] - 1.0) * 100:+.1f}%"
         else:
             delta = "—"
-        if status in ("REGRESSION", "BELOW FLOOR"):
+        if status in ("REGRESSION", "BELOW FLOOR", "MISSING FROM BASELINE", "MALFORMED"):
             status = f"❌ {status}"
         elif status == "ok":
             status = "✅"

@@ -29,15 +29,28 @@ experiment runs — and writes a stable-schema ``BENCH_perf.json``:
   for the docs table.  On machines with fewer than 4 cores the speedups are
   *skipped with a reason* (``meta.skipped``) rather than mis-gated —
   ``meta.cpu_count`` always records what the machine had.
+* ``multiplex_studies`` — the service regime: one ``StudyMultiplexer``
+  hosting 10k (quick: 1k) concurrent crash-durable journaled studies in a
+  single process, reported as aggregate ask+tell operations per second.
+* ``multiplex_speedup`` — the same 1k-study workload through the naive
+  loop-per-study baseline (each study drives its own loop and fsyncs its
+  own journal on a per-study cadence) divided by the multiplexer's time
+  (group-commit WAL: one fsync per commit window).  Both sides provide the
+  same bounded-crash-window durability and produce byte-identical journals
+  (checked inside the benchmark).  Carries a hard gated floor of 2.0x.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] \
-        [--output BENCH_perf.json]
+        [--output BENCH_perf.json] [--only NAME[,NAME...]]
 
 ``--quick`` shrinks every workload for CI smoke runs; the schema (and the
 normalisation that makes scores comparable across machines) is identical in
-both modes.  Compare two reports with ``check_regression.py``.
+both modes.  ``--only`` runs a subset by name (substring match, e.g.
+``--only multiplex`` for the load-smoke CI job) — the report then contains
+just those entries, which ``check_regression.py`` treats as a partial
+report (missing-vs-baseline rows are benign).  Compare two reports with
+``check_regression.py``.
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 
 import numpy as np
@@ -54,8 +68,10 @@ from repro.backend.events import EventQueue
 from repro.backend.simulation import SimulatedCluster
 from repro.core import ASHA
 from repro.experiments.runner import run_trials
+from repro.experiments.toys import toy_objective, toy_space
 from repro.objectives import ptb_lstm
 from repro.objectives.surrogate import seeded_uniform
+from repro.study import Journal, Study, StudyMultiplexer
 
 from perf_utils import SCHEMA_VERSION, benchmark_entry, calibrate, skipped_entry, time_call
 
@@ -241,11 +257,132 @@ def bench_parallel_speedups(num_workers: int, horizon: float) -> dict[str, dict]
     return entries
 
 
+#: Per-study work in the multiplex benchmarks: small on purpose.  The
+#: service regime is many mostly-idle studies, where per-study overhead
+#: (driver loop, journal durability) dominates — exactly what the
+#: multiplexer amortises.
+_MUX_WORKERS = 2
+_MUX_MEASUREMENTS = 3
+#: The naive baseline's durability cadence: fsync its journal every this
+#: many records, bounding the crash window the same way the multiplexer's
+#: commit window does.
+_BASELINE_FSYNC_EVERY = 16
+
+
+class _CadenceJournal(Journal):
+    """A solo journal made crash-durable every ``_BASELINE_FSYNC_EVERY``
+    appends — the loop-per-study baseline's equivalent of the multiplexer's
+    per-window group commit.  Same bounded-loss guarantee, paid with one
+    fsync per study per cadence instead of one per window for all studies.
+    """
+
+    def append(self, record):
+        super().append(record)
+        self._cadence = getattr(self, "_cadence", 0) + 1
+        if self._cadence >= _BASELINE_FSYNC_EVERY:
+            self._cadence = 0
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def append_batch(self, records):
+        super().append_batch(records)
+        self._cadence = getattr(self, "_cadence", 0) + len(records)
+        if self._cadence >= _BASELINE_FSYNC_EVERY:
+            self._cadence = 0
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+
+def _mux_scheduler(seed: int):
+    return ASHA(
+        toy_space(), np.random.default_rng(seed), min_resource=1.0, max_resource=9.0, eta=3
+    )
+
+
+def _run_studies_baseline(directory: str, num_studies: int) -> tuple[float, int]:
+    """(seconds, ask+tell ops) of the naive loop-per-study driver."""
+    objective = toy_objective()
+    items = [
+        (
+            Study(_mux_scheduler(i), journal=_CadenceJournal(os.path.join(directory, f"solo_{i}.jsonl"))),
+            SimulatedCluster(_MUX_WORKERS, seed=10_000 + i),
+        )
+        for i in range(num_studies)
+    ]
+    start = time.perf_counter()
+    ops = 0
+    for study, cluster in items:
+        result = cluster.run(
+            study, objective, time_limit=200.0, max_measurements=_MUX_MEASUREMENTS
+        )
+        ops += result.jobs_dispatched + len(result.measurements)
+    return time.perf_counter() - start, ops
+
+
+def _run_studies_multiplexed(directory: str, num_studies: int) -> tuple[float, int]:
+    """(seconds, ask+tell ops) of the same studies through the multiplexer."""
+    objective = toy_objective()
+    mux = StudyMultiplexer(
+        commit_interval=256, wal_path=os.path.join(directory, "journals.wal")
+    )
+    for i in range(num_studies):
+        study = Study(
+            _mux_scheduler(i),
+            journal=Journal(os.path.join(directory, f"mux_{i}.jsonl"), writer=mux.journal_writer),
+        )
+        mux.add(
+            study,
+            objective,
+            cluster=SimulatedCluster(_MUX_WORKERS, seed=10_000 + i),
+            time_limit=200.0,
+            max_measurements=_MUX_MEASUREMENTS,
+        )
+    start = time.perf_counter()
+    results = mux.run()
+    seconds = time.perf_counter() - start
+    return seconds, sum(r.jobs_dispatched + len(r.measurements) for r in results)
+
+
+def bench_multiplex_studies(num_studies: int) -> tuple[float, int]:
+    """(seconds, ask+tell ops) hosting ``num_studies`` concurrent durable
+    studies in one multiplexer — the capacity benchmark."""
+    with tempfile.TemporaryDirectory(prefix="perf_mux_") as directory:
+        return _run_studies_multiplexed(directory, num_studies)
+
+
+def bench_multiplex_speedup(num_studies: int) -> float:
+    """Multiplexer speedup over the loop-per-study baseline, same durability.
+
+    Byte-identity between the two sides is asserted on sampled journals —
+    the benchmark refuses to report a speedup for diverging runs.
+    """
+    with tempfile.TemporaryDirectory(prefix="perf_mux_") as directory:
+        base_seconds, base_ops = _run_studies_baseline(directory, num_studies)
+        mux_seconds, mux_ops = _run_studies_multiplexed(directory, num_studies)
+        if base_ops != mux_ops:
+            raise RuntimeError(
+                f"multiplex_speedup: op counts diverged (baseline {base_ops}, "
+                f"multiplexed {mux_ops})"
+            )
+        for i in (0, num_studies // 2, num_studies - 1):
+            with open(os.path.join(directory, f"solo_{i}.jsonl"), "rb") as fh:
+                solo_bytes = fh.read()
+            with open(os.path.join(directory, f"mux_{i}.jsonl"), "rb") as fh:
+                mux_bytes = fh.read()
+            if solo_bytes != mux_bytes:
+                raise RuntimeError(
+                    f"multiplex_speedup: journal {i} diverged between baseline "
+                    "and multiplexed runs — byte-identity oracle violated"
+                )
+        return base_seconds / mux_seconds
+
+
 # ------------------------------------------------------------------- main
 
 
-def run_suite(quick: bool) -> dict:
-    """Run every microbench and return the BENCH_perf.json document."""
+def run_suite(quick: bool, only: list[str] | None = None) -> dict:
+    """Run every microbench (or the ``--only`` subset) and return the
+    BENCH_perf.json document."""
     mode = "quick" if quick else "full"
     scheduler_jobs = 20_000 if quick else 100_000
     sim_workers = 50 if quick else 100
@@ -253,75 +390,122 @@ def run_suite(quick: bool) -> dict:
     e2e_workers = 50 if quick else 200
     e2e_horizon = 1.0 if quick else 2.0
     e2e_seeds = range(2 if quick else 3)
+    mux_studies = 1_000 if quick else 10_000
+    # The ISSUE's acceptance pins the speedup baseline at 1k studies.
+    mux_speedup_studies = 1_000
+
+    def want(name: str) -> bool:
+        return only is None or any(token in name for token in only)
 
     print(f"[perf] calibrating ({mode} mode)...", flush=True)
     calibration = calibrate(iterations=500_000 if quick else 2_000_000)
 
     benchmarks: dict[str, dict] = {}
 
-    print("[perf] scheduler_asha_ops...", flush=True)
-    seconds, dispatched = bench_scheduler_ops(scheduler_jobs)
-    benchmarks["scheduler_asha_ops"] = benchmark_entry(
-        dispatched / seconds,
-        "jobs/s",
-        higher_is_better=True,
-        calibration_ops_per_s=calibration,
-        meta={"jobs": dispatched},
-    )
+    if want("scheduler_asha_ops"):
+        print("[perf] scheduler_asha_ops...", flush=True)
+        seconds, dispatched = bench_scheduler_ops(scheduler_jobs)
+        benchmarks["scheduler_asha_ops"] = benchmark_entry(
+            dispatched / seconds,
+            "jobs/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={"jobs": dispatched},
+        )
 
-    print("[perf] scheduler_asha_ops_batched...", flush=True)
-    seconds, dispatched = bench_scheduler_ops_batched(scheduler_jobs)
-    benchmarks["scheduler_asha_ops_batched"] = benchmark_entry(
-        dispatched / seconds,
-        "jobs/s",
-        higher_is_better=True,
-        calibration_ops_per_s=calibration,
-        meta={"jobs": dispatched, "batch": 32},
-    )
+    if want("scheduler_asha_ops_batched"):
+        print("[perf] scheduler_asha_ops_batched...", flush=True)
+        seconds, dispatched = bench_scheduler_ops_batched(scheduler_jobs)
+        benchmarks["scheduler_asha_ops_batched"] = benchmark_entry(
+            dispatched / seconds,
+            "jobs/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={"jobs": dispatched, "batch": 32},
+        )
 
-    print("[perf] simulator_events...", flush=True)
-    seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=False)
-    benchmarks["simulator_events"] = benchmark_entry(
-        measurements / seconds,
-        "measurements/s",
-        higher_is_better=True,
-        calibration_ops_per_s=calibration,
-        meta={"workers": sim_workers, "measurements": measurements},
-    )
+    if want("simulator_events"):
+        print("[perf] simulator_events...", flush=True)
+        seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=False)
+        benchmarks["simulator_events"] = benchmark_entry(
+            measurements / seconds,
+            "measurements/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={"workers": sim_workers, "measurements": measurements},
+        )
 
-    print("[perf] simulator_churn_events...", flush=True)
-    seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=True)
-    benchmarks["simulator_churn_events"] = benchmark_entry(
-        measurements / seconds,
-        "measurements/s",
-        higher_is_better=True,
-        calibration_ops_per_s=calibration,
-        meta={"workers": sim_workers, "measurements": measurements},
-    )
+    if want("simulator_churn_events"):
+        print("[perf] simulator_churn_events...", flush=True)
+        seconds, measurements = bench_simulator(sim_workers, sim_horizon, churn=True)
+        benchmarks["simulator_churn_events"] = benchmark_entry(
+            measurements / seconds,
+            "measurements/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={"workers": sim_workers, "measurements": measurements},
+        )
 
-    print("[perf] simulator_events_calendar...", flush=True)
-    queue_ops = 50_000 if quick else 200_000
-    queue_pending = 1024 if quick else 4096
-    seconds, ops = bench_event_queue(queue_ops, queue_pending)
-    benchmarks["simulator_events_calendar"] = benchmark_entry(
-        ops / seconds,
-        "ops/s",
-        higher_is_better=True,
-        calibration_ops_per_s=calibration,
-        meta={"pending": queue_pending, "ops": ops},
-    )
+    if want("simulator_events_calendar"):
+        print("[perf] simulator_events_calendar...", flush=True)
+        queue_ops = 50_000 if quick else 200_000
+        queue_pending = 1024 if quick else 4096
+        seconds, ops = bench_event_queue(queue_ops, queue_pending)
+        benchmarks["simulator_events_calendar"] = benchmark_entry(
+            ops / seconds,
+            "ops/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={"pending": queue_pending, "ops": ops},
+        )
 
-    print("[perf] end_to_end_asha (sequential)...", flush=True)
-    seconds, _ = time_call(lambda: _end_to_end(e2e_workers, e2e_horizon, e2e_seeds, 1))
-    benchmarks["end_to_end_asha"] = benchmark_entry(
-        seconds,
-        "s",
-        higher_is_better=False,
-        calibration_ops_per_s=calibration,
-        meta={"workers": e2e_workers, "seeds": len(e2e_seeds)},
-    )
+    if want("end_to_end_asha"):
+        print("[perf] end_to_end_asha (sequential)...", flush=True)
+        seconds, _ = time_call(lambda: _end_to_end(e2e_workers, e2e_horizon, e2e_seeds, 1))
+        benchmarks["end_to_end_asha"] = benchmark_entry(
+            seconds,
+            "s",
+            higher_is_better=False,
+            calibration_ops_per_s=calibration,
+            meta={"workers": e2e_workers, "seeds": len(e2e_seeds)},
+        )
 
-    benchmarks.update(bench_parallel_speedups(e2e_workers, e2e_horizon))
+    if want("parallel_speedup"):
+        benchmarks.update(bench_parallel_speedups(e2e_workers, e2e_horizon))
+
+    if want("multiplex_studies"):
+        print(f"[perf] multiplex_studies ({mux_studies} studies)...", flush=True)
+        seconds, ops = bench_multiplex_studies(mux_studies)
+        benchmarks["multiplex_studies"] = benchmark_entry(
+            ops / seconds,
+            "ops/s",
+            higher_is_better=True,
+            calibration_ops_per_s=calibration,
+            meta={
+                "studies": mux_studies,
+                "workers": _MUX_WORKERS,
+                "measurements_per_study": _MUX_MEASUREMENTS,
+                "ask_tell_ops": ops,
+            },
+        )
+
+    if want("multiplex_speedup"):
+        print(f"[perf] multiplex_speedup ({mux_speedup_studies} studies)...", flush=True)
+        speedup = bench_multiplex_speedup(mux_speedup_studies)
+        benchmarks["multiplex_speedup"] = benchmark_entry(
+            speedup,
+            "x",
+            higher_is_better=True,
+            # A machine-relative ratio, like the parallel speedups.
+            calibration_ops_per_s=1.0,
+            meta={
+                "studies": mux_speedup_studies,
+                "baseline": "loop-per-study",
+                "baseline_fsync_every": _BASELINE_FSYNC_EVERY,
+                "floor": 2.0,
+                "gated": True,
+            },
+        )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -336,9 +520,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="reduced CI-smoke workloads")
     parser.add_argument("--output", default=DEFAULT_OUTPUT, help="report path")
+    parser.add_argument(
+        "--only",
+        metavar="NAME[,NAME...]",
+        help="run only benchmarks whose name contains one of these tokens "
+        "(partial report; missing-vs-baseline rows are benign in the gate)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_suite(args.quick)
+    only = [token.strip() for token in args.only.split(",")] if args.only else None
+    report = run_suite(args.quick, only=only)
     output = os.path.abspath(args.output)
     with open(output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

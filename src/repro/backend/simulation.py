@@ -23,6 +23,16 @@ simulator models:
 A worker that receives no job stays idle and is re-polled after the next
 event — synchronous schedulers therefore waste exactly the worker-time their
 rung barriers imply, with no simulation artefacts.
+
+Since the multiplexer PR the event loop is *steppable*: all per-study state
+lives in a :class:`SimRun`, events carry their owning run in the payload,
+and :func:`drive_runs` delivers events from one
+:class:`~repro.backend.events.EventQueue` to whichever run owns them.
+:meth:`SimulatedCluster.run` drives a single run over a private queue —
+byte-identical to the historical inline loop — while
+:class:`~repro.study.multiplex.StudyMultiplexer` drives thousands of runs
+over one shared queue (a shared simulated clock) without changing any
+study's observable bytes.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import gc
 import heapq
 import math
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
@@ -45,7 +56,7 @@ from .events import EventQueue
 from .faults import FaultManager, RetryPolicy
 from .trial_runner import BackendResult, FailureRecord, record_report
 
-__all__ = ["SimulatedCluster"]
+__all__ = ["SimRun", "SimulatedCluster", "drive_runs"]
 
 
 class _InlineExecution:
@@ -93,6 +104,631 @@ class _InlineExecution:
 
     def close(self) -> None:
         """The run ended; nothing to tear down."""
+
+
+#: Event kinds that reference one in-flight dispatch (and can go stale).
+_JOB_EVENT_KINDS = frozenset(("complete", "drop", "timeout"))
+
+
+class SimRun:
+    """One study's complete event-loop state, steppable from outside.
+
+    All the bookkeeping :meth:`SimulatedCluster.run` historically kept in
+    closures — free workers, in-flight dispatches, busy-time credits, fault
+    routing — lives here, so a driver can interleave *many* runs over one
+    shared :class:`~repro.backend.events.EventQueue`.  Every event a run
+    pushes carries ``(run, payload)``; :func:`drive_runs` peeks the owner
+    and hands the event back to :meth:`dispatch`.
+
+    The run keeps its own ``clock`` (the time of the last event it
+    processed) rather than reading the shared queue's: during this run's
+    processing the two are equal, and between events other runs advance the
+    shared clock without touching this run's accounting — which is what
+    keeps a multiplexed study's records byte-identical to a solo run.
+
+    ``fill_cap`` bounds how many jobs one :meth:`fill_round` dispatches, so
+    a driver can round-robin fills across runs (the multiplexer's
+    fair-share knob); ``None`` fills every free worker in one round, the
+    solo behaviour.
+    """
+
+    def __init__(
+        self,
+        cluster: "SimulatedCluster",
+        scheduler: Scheduler | Study,
+        objective: Objective,
+        *,
+        queue: EventQueue,
+        time_limit: float,
+        max_resource: float | None = None,
+        max_measurements: int | None = None,
+        stop_on_first_completion: bool = False,
+        telemetry: TelemetryHub | None = None,
+        retry_policy: RetryPolicy | None = None,
+        trace: bool = False,
+        fill_cap: int | None = None,
+    ):
+        if time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {time_limit}")
+        if fill_cap is not None and fill_cap < 1:
+            raise ValueError(f"fill_cap must be >= 1, got {fill_cap}")
+        self.cluster = cluster
+        self.queue = queue
+        self.objective = objective
+        self.time_limit = time_limit
+        self.max_measurements = max_measurements
+        self.stop_on_first_completion = stop_on_first_completion
+        self.fill_cap = fill_cap
+        self.done_resource = (
+            max_resource if max_resource is not None else objective.max_resource
+        )
+        self.store = CheckpointStore()
+        self.result = BackendResult()
+        # The loop drives a Study (ask/tell + fault hooks); a bare scheduler
+        # gets an unjournalled wrapper so there is exactly one code path.
+        self.study = scheduler if isinstance(scheduler, Study) else Study(scheduler)
+        hub = telemetry if telemetry is not None else self.study.telemetry
+        self.tracer = None
+        if trace:
+            self.tracer = TraceBuilder()
+            if not hub:
+                hub = TelemetryHub()
+            hub.add_sink(self.tracer)
+        if telemetry is not None or self.tracer is not None:
+            self.study.attach_telemetry(hub)
+        self.hub = hub
+        self.store.telemetry = hub
+        # A snapshot-restored study arrives with trials already trained;
+        # give their checkpoints lazy placeholders (no-op for fresh runs).
+        self.store.seed_from_trials(self.study.trials)
+        # Workers have stable identities so telemetry can attribute busy
+        # time; the lowest-numbered free worker always takes the next job,
+        # which keeps the assignment deterministic.  Churned workers retire
+        # their id; rejoining workers get a fresh one.
+        self.free_ids: list[int] = list(range(cluster.num_workers))
+        self.next_worker_id = cluster.num_workers
+        self.worker_of_job: dict[int, int] = {}
+        self.busy_time = 0.0
+        # In-flight jobs plus per-dispatch bookkeeping.  ``generation``
+        # counts dispatches of the same job id (a retried job is re-issued
+        # verbatim), so completion/drop/timeout events scheduled for an
+        # attempt that was since killed are recognised as stale and ignored.
+        self.in_flight: dict[int, Job] = {}
+        self.generation: dict[int, int] = {}
+        self.dispatched_at: dict[int, float] = {}
+        self.credited: dict[int, float] = {}
+        # Swap-remove index of live job ids, so churn can pick a uniform
+        # random victim in O(1); the victim draw stays a single
+        # ``rng.integers(len)`` call per churn event, so the cluster's
+        # seeded draw sequence is unchanged.
+        self.live_ids: list[int] = []
+        self.live_pos: dict[int, int] = {}
+        self.faults = FaultManager(retry_policy) if retry_policy is not None else None
+        self.retry_policy = retry_policy
+        # Duck-typed objectives in tests may not subclass Objective.
+        self.nominal_cost = getattr(objective, "nominal_cost", objective.cost)
+        self.pending_retries: deque[tuple[Job, int]] = deque()
+        # Where training increments actually compute: inline at the
+        # completion event for the plain simulator, in worker processes for
+        # ProcessPoolBackend.  Closed (pool teardown) when the loop exits.
+        self.execution = cluster._make_execution(self.store, objective)
+        #: Time of the last event this run processed (== the shared queue
+        #: clock while this run's events are being handled).
+        self.clock = 0.0
+        #: No further events of this run will be processed (budget
+        #: exhausted, measurement cap, or first-completion stop); the
+        #: driver discards its stale queue entries lazily.
+        self.done = False
+        self.budget_exhausted = False
+
+    # --------------------------------------------------------- event wiring
+
+    def _push(self, time: float, kind: str, payload=None) -> None:
+        """Schedule one of this run's events on the (possibly shared) queue."""
+        self.queue.push(time, kind, (self, payload))
+
+    def begin(self) -> None:
+        """Zero the telemetry clock; the driver requests the first fill."""
+        if self.hub:
+            self.hub.set_time(0.0)
+
+    def schedule_churn(self) -> None:
+        cluster = self.cluster
+        if cluster.churn_rate > 0:
+            gap = float(cluster.rng.exponential(1.0 / cluster.churn_rate))
+            self._push(self.clock + gap, "churn", None)
+
+    # ------------------------------------------------------------- dispatch
+
+    def launch(self, job: Job, worker: int, attempt: int) -> None:
+        cluster = self.cluster
+        store = self.store
+        gen = self.generation.get(job.job_id, 0) + 1
+        self.generation[job.job_id] = gen
+        self.in_flight[job.job_id] = job
+        self.live_pos[job.job_id] = len(self.live_ids)
+        self.live_ids.append(job.job_id)
+        self.worker_of_job[job.job_id] = worker
+        store.prepare(job)  # snapshot donor state for inheriting jobs
+        duration = cluster._duration(store.job_cost(job, self.objective))
+        drop_at = cluster._drop_time(duration)
+        # Busy time is credited optimistically at dispatch (capped at the
+        # remaining budget); kills and early exits roll back the unspent
+        # part in ``kill``/``finish``.
+        credit = min(
+            drop_at if drop_at is not None else duration,
+            max(self.time_limit - self.clock, 0.0),
+        )
+        self.busy_time += credit
+        self.dispatched_at[job.job_id] = self.clock
+        self.credited[job.job_id] = credit
+        if drop_at is not None:
+            self._push(self.clock + drop_at, "drop", (job, gen))
+        else:
+            self._push(self.clock + duration, "complete", (job, gen))
+        if self.faults is not None and self.retry_policy is not None:
+            deadline = self.retry_policy.sim_deadline(
+                self.nominal_cost(job.config, store.start_resource(job), job.resource)
+            )
+            if deadline is not None:
+                self._push(self.clock + deadline, "timeout", (job, gen))
+        # Hand the dispatch to the execution strategy *after* duration and
+        # deadline are computed: resolving the starting state may consume
+        # the dispatch snapshot that ``start_resource`` reads.  A job
+        # whose result the journal already holds needs no speculative
+        # training (the process pool would otherwise fork for nothing).
+        self.execution.submit(job, cached=self.study.has_cached_loss(job.job_id))
+        if self.hub:
+            extra = {"attempt": attempt} if attempt > 1 else {}
+            self.hub.emit(
+                EventKind.JOB_STARTED,
+                trial_id=job.trial_id,
+                job_id=job.job_id,
+                worker_id=worker,
+                rung=job.rung,
+                bracket=job.bracket,
+                resource=job.resource,
+                checkpoint_resource=job.checkpoint_resource,
+                busy_credit=credit,
+                **extra,
+            )
+
+    def fill_round(self) -> bool:
+        """Fill free workers: queued retries first, then (batched) asks.
+
+        Dispatch order is identical to the historical one-ask-per-worker
+        loop — retries drain in FIFO order, then the study fills the
+        remaining workers.  With no event hub recording, the study sees
+        ``ask_batch`` calls instead of one ask per worker, which is where
+        the batched promotion scan and journal block append pay off; a
+        short batch means the same thing a ``None`` ask did (rung barrier
+        or finished).  When a hub *is* attached, dispatch events
+        (``job_started``) must interleave with the scheduler's own
+        ``trial_started`` emissions in per-job order — ``seq`` is assigned
+        at emit time — so the recorded path stays one ask per worker and
+        every golden trace keeps its bytes.
+
+        At most ``fill_cap`` jobs are dispatched per round (``None`` —
+        every free worker).  Returns ``True`` when the cap cut the round
+        short with free workers remaining — the caller should offer other
+        runs a turn and then come back (the multiplexer's round-robin
+        fairness).  Chunked rounds are byte-identical to one unbounded
+        fill: the batched-API contract pins ``ask_batch(j) + ask_batch(k)``
+        to the same jobs, journal bytes, and RNG draws as ``ask_batch(j+k)``.
+        """
+        free_ids = self.free_ids
+        study = self.study
+        cap = self.fill_cap
+        budget = len(free_ids) if cap is None else min(cap, len(free_ids))
+        result = self.result
+        faults = self.faults
+        while free_ids and self.pending_retries and budget > 0:
+            job, attempt = self.pending_retries.popleft()
+            worker = heapq.heappop(free_ids)
+            budget -= 1
+            result.jobs_dispatched += 1
+            self.launch(job, worker, attempt)
+        starved = False
+        hub = self.hub
+        if hub:
+            while free_ids and budget > 0:
+                if study.is_done():
+                    break
+                job = study.ask()
+                if job is None:
+                    starved = True
+                    break
+                attempt = 1 if faults is None else faults.attempt_number(job)
+                worker = heapq.heappop(free_ids)
+                budget -= 1
+                result.jobs_dispatched += 1
+                self.launch(job, worker, attempt)
+        else:
+            while free_ids and budget > 0:
+                if study.is_done():
+                    break
+                asked = min(budget, len(free_ids))
+                jobs = study.ask_batch(asked)
+                if not jobs:
+                    starved = True
+                    break
+                for job in jobs:
+                    attempt = 1 if faults is None else faults.attempt_number(job)
+                    worker = heapq.heappop(free_ids)
+                    budget -= 1
+                    result.jobs_dispatched += 1
+                    self.launch(job, worker, attempt)
+                if len(jobs) < asked:
+                    # The batch came back short: the next single ask would
+                    # have returned None.
+                    starved = not study.is_done()
+                    break
+        if hub and starved and free_ids:
+            hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
+        return budget == 0 and bool(free_ids)
+
+    # ------------------------------------------------------------ teardown
+
+    def kill(self, job: Job) -> tuple[int | None, float, float]:
+        """Tear down an in-flight dispatch killed before finishing.
+
+        Returns ``(worker, lost, correction)``: the worker id that held
+        the job, the busy time the attempt really consumed, and the
+        non-positive adjustment undoing the credit granted at dispatch
+        (killed jobs used to stay credited for their full duration,
+        inflating utilisation).
+        """
+        self.in_flight.pop(job.job_id, None)
+        self._live_discard(job.job_id)
+        worker = self.worker_of_job.pop(job.job_id, None)
+        started = self.dispatched_at.pop(job.job_id, self.clock)
+        credit = self.credited.pop(job.job_id, 0.0)
+        lost = min(max(self.clock - started, 0.0), credit)
+        correction = lost - credit
+        self.busy_time += correction
+        self.store.discard(job)
+        self.execution.discard(job)
+        return worker, lost, correction
+
+    def _live_discard(self, job_id: int) -> None:
+        pos = self.live_pos.pop(job_id, None)
+        if pos is None:
+            return
+        last = self.live_ids.pop()
+        if last != job_id:
+            self.live_ids[pos] = last
+            self.live_pos[last] = pos
+
+    def handle_failure(
+        self,
+        job: Job,
+        worker: int | None,
+        *,
+        reason: str,
+        lost: float,
+        correction: float = 0.0,
+        error: str | None = None,
+    ) -> None:
+        """Route one failed attempt: forfeit, retry, or abandon."""
+        result = self.result
+        study = self.study
+        hub = self.hub
+        faults = self.faults
+        result.failures.append((self.clock, job.trial_id))
+        result.time_lost_to_failures += lost
+        kind = EventKind.JOB_TIMEOUT if reason == "timeout" else EventKind.JOB_FAILED
+        extra: dict[str, object] = {}
+        if error is not None:
+            extra["error"] = error
+        if correction:
+            extra["busy_correction"] = correction
+        if faults is None:
+            study.on_job_failed(job)
+            result.failure_log.append(
+                FailureRecord(
+                    time=self.clock,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    reason=reason,
+                    action="forfeited",
+                    error=error,
+                    lost=lost,
+                )
+            )
+            if hub:
+                hub.emit(
+                    kind,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    worker_id=worker,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    reason=reason,
+                    **extra,
+                )
+            return
+        decision = faults.record_failure(job, reason=reason, lost=lost)
+        result.failure_log.append(
+            FailureRecord(
+                time=self.clock,
+                trial_id=job.trial_id,
+                job_id=job.job_id,
+                reason=reason,
+                action="retried" if decision.retry else "abandoned",
+                attempt=decision.failures,
+                error=error,
+                lost=lost,
+            )
+        )
+        if hub:
+            hub.emit(
+                kind,
+                trial_id=job.trial_id,
+                job_id=job.job_id,
+                worker_id=worker,
+                rung=job.rung,
+                bracket=job.bracket,
+                reason=reason,
+                attempt=decision.failures,
+                lost=lost,
+                **extra,
+            )
+        if decision.retry:
+            result.jobs_retried += 1
+            study.on_job_requeued(job)
+            retry_at = self.clock + decision.delay
+            if hub:
+                hub.emit(
+                    EventKind.JOB_RETRIED,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    attempt=decision.failures + 1,
+                    delay=decision.delay,
+                    retry_at=retry_at,
+                )
+            self._push(retry_at, "retry", (job, decision.failures + 1))
+        else:
+            result.trials_abandoned += 1
+            study.on_trial_abandoned(job)
+            if hub:
+                hub.emit(
+                    EventKind.TRIAL_ABANDONED,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    failures=decision.failures,
+                    reason=reason,
+                )
+
+    # -------------------------------------------------------------- events
+
+    def dispatch(self, event) -> bool:
+        """Process one delivered event; returns whether a fill is wanted.
+
+        The branch structure mirrors the historical inline loop exactly:
+        churn/rejoin/retry events re-fill and return; job events route to
+        completion or failure handling, then check the stop conditions
+        (measurement cap, first completion) *before* re-filling.
+        """
+        self.clock = event.time
+        hub = self.hub
+        if hub:
+            # NULL_HUB is falsy: skip even the no-op call, it runs once per
+            # event in the hottest loop of the simulator.
+            hub.set_time(event.time)
+        kind = event.kind
+        cluster = self.cluster
+        if kind == "churn":
+            if self.in_flight:
+                # Kill a random busy worker: its job fails.  O(1) pick from
+                # the swap-remove index — no per-event list copy.
+                victim_id = self.live_ids[cluster.rng.integers(len(self.live_ids))]
+                victim = self.in_flight[victim_id]
+                worker, lost, correction = self.kill(victim)  # id retires with the worker
+                self.handle_failure(
+                    victim, worker, reason="churn", lost=lost, correction=correction
+                )
+            elif self.free_ids:
+                heapq.heappop(self.free_ids)  # an idle worker goes away instead
+            self._push(self.clock + max(cluster.churn_downtime, 1e-9), "rejoin", None)
+            self.schedule_churn()
+            return True
+        if kind == "rejoin":
+            heapq.heappush(self.free_ids, self.next_worker_id)
+            self.next_worker_id += 1
+            return True
+        if kind == "retry":
+            job, attempt = event.payload[1]
+            self.pending_retries.append((job, attempt))
+            return True
+        job, gen = event.payload[1]  # liveness guaranteed by the driver's head check
+        if kind == "timeout":
+            worker, lost, correction = self.kill(job)
+            if worker is not None:
+                heapq.heappush(self.free_ids, worker)
+            self.handle_failure(
+                job, worker, reason="timeout", lost=lost, correction=correction
+            )
+        else:
+            self.in_flight.pop(job.job_id, None)
+            self._live_discard(job.job_id)
+            worker = self.worker_of_job.pop(job.job_id, None)
+            self.dispatched_at.pop(job.job_id, None)
+            credit = self.credited.pop(job.job_id, 0.0)
+            if worker is not None:
+                heapq.heappush(self.free_ids, worker)
+            if kind == "complete":
+                failed = False
+                study = self.study
+                loss = study.cached_loss(job)
+                if loss is not None:
+                    # Replay: the journal's next record is this job's tell —
+                    # reuse the loss, skip training, keep the
+                    # checkpoint/restore bookkeeping identical.
+                    self.execution.collect_replayed(job)
+                else:
+                    try:
+                        loss = self.execution.collect(job)
+                    except Exception as exc:  # noqa: BLE001 — training crashed
+                        failed = True
+                        self.store.discard(job)
+                        self.handle_failure(
+                            job, worker, reason="exception", lost=credit, error=repr(exc)
+                        )
+                if not failed:
+                    if self.faults is not None:
+                        self.faults.record_success(job)
+                    record_report(
+                        self.result, study, job, loss, self.clock, self.done_resource
+                    )
+                    if hub:
+                        hub.emit(
+                            EventKind.REPORT,
+                            trial_id=job.trial_id,
+                            job_id=job.job_id,
+                            worker_id=worker,
+                            rung=job.rung,
+                            bracket=job.bracket,
+                            loss=loss,
+                            resource=job.resource,
+                        )
+            else:  # drop
+                self.store.discard(job)
+                self.execution.discard(job)
+                self.handle_failure(job, worker, reason="dropped", lost=credit)
+        result = self.result
+        if (
+            self.max_measurements is not None
+            and len(result.measurements) >= self.max_measurements
+        ):
+            self.done = True
+            return False
+        if self.stop_on_first_completion and result.completions:
+            self.done = True
+            return False
+        return True
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Tear down the execution strategy and make the journal durable."""
+        self.execution.close()
+        # End-of-run durability for the journal (flush + fsync); a crash
+        # after this point can never lose recorded interactions.
+        self.study.finalize()
+
+    def finish(self) -> BackendResult:
+        """Final accounting once no more of this run's events will fire."""
+        result = self.result
+        # Only an over-budget event means the search consumed the whole
+        # budget; draining the queue or stopping early (measurement cap,
+        # first completion) ends the run at this run's own clock.
+        result.elapsed = (
+            self.time_limit if self.budget_exhausted else min(self.clock, self.time_limit)
+        )
+        # Jobs still in flight at the end only worked until the stop clock —
+        # roll back the optimistically-credited remainder (a no-op when the
+        # budget ran out, since credits were already capped at time_limit).
+        busy_time = self.busy_time
+        for job_id, started in self.dispatched_at.items():
+            credit = self.credited[job_id]
+            worked = min(max(result.elapsed - started, 0.0), credit)
+            busy_time += worked - credit
+        horizon = max(result.elapsed, 1e-12)
+        result.utilization = min(
+            busy_time / (self.cluster.num_workers * horizon), 1.0
+        )
+        if self.hub:
+            self.hub.set_time(result.elapsed)
+            result.telemetry = self.hub.finalize(
+                elapsed=result.elapsed, num_workers=self.cluster.num_workers
+            )
+        if self.tracer is not None:
+            result.trace = self.tracer.build()
+        return result
+
+
+def _drain_fills(ring: deque) -> None:
+    """Round-robin the pending fill requests until every run is satisfied.
+
+    Runs re-enter the ring while their ``fill_cap`` cuts a round short, so
+    no study dispatches more than a cap's worth of jobs while another is
+    waiting — the multiplexer's fair-share guarantee.  The whole drain
+    happens at one simulated instant (before the next event pop), which is
+    why chunked fills cannot change any study's observable behaviour.
+    """
+    while ring:
+        run = ring.popleft()
+        if run.done:
+            continue
+        if run.fill_round():
+            ring.append(run)
+
+
+def drive_runs(
+    queue: EventQueue,
+    runs: list[SimRun],
+    *,
+    on_tick: Callable[[], None] | None = None,
+) -> None:
+    """Deliver events from ``queue`` to their owning runs until all finish.
+
+    The startup sequence preserves each run's solo event order: every run's
+    initial fill happens (round-robin, fair-share-capped) before any churn
+    is scheduled, exactly as ``try_fill(); schedule_churn()`` did inline.
+    After that, the loop peeks the head event, discards it if its run is
+    finished or the dispatch it refers to was since killed (without
+    advancing the clock, so a far-future stale completion neither extends
+    any run nor counts as pending work), retires the run if the event is
+    past its time budget, and otherwise delivers it.
+
+    ``on_tick`` runs after each delivered event (and its fills) — the
+    multiplexer's group-commit hook.
+    """
+    ring: deque[SimRun] = deque()
+    for run in runs:
+        run.begin()
+        ring.append(run)
+    _drain_fills(ring)
+    for run in runs:
+        run.schedule_churn()
+    active = len(runs)
+    while queue and active:
+        head = queue.peek()
+        assert head is not None
+        run = head.payload[0]
+        if run.done:
+            queue.discard_next()
+            continue
+        if head.kind in _JOB_EVENT_KINDS:
+            job, gen = head.payload[1]
+            if run.generation.get(job.job_id) != gen or job.job_id not in run.in_flight:
+                # The dispatch this event belonged to was churned or timed
+                # out: the event is dead.  Discard it without advancing the
+                # clock.
+                queue.discard_next()
+                continue
+        if head.time > run.time_limit:
+            run.budget_exhausted = True
+            run.done = True
+            active -= 1
+            if not active:
+                break
+            queue.discard_next()
+            continue
+        event = queue.pop()
+        if run.dispatch(event):
+            ring.append(run)
+            _drain_fills(ring)
+        elif run.done:
+            active -= 1
+            if not active:
+                break
+        if on_tick is not None:
+            on_tick()
 
 
 class SimulatedCluster:
@@ -216,309 +852,20 @@ class SimulatedCluster:
             :attr:`BackendResult.trace`.  Purely observational — scheduling,
             RNG draws and timing are untouched.
         """
-        if time_limit <= 0:
-            raise ValueError(f"time_limit must be positive, got {time_limit}")
-        done_resource = max_resource if max_resource is not None else objective.max_resource
         queue = EventQueue()
-        store = CheckpointStore()
-        result = BackendResult()
-        # The loop drives a Study (ask/tell + fault hooks); a bare scheduler
-        # gets an unjournalled wrapper so there is exactly one code path.
-        study = scheduler if isinstance(scheduler, Study) else Study(scheduler)
-        hub = telemetry if telemetry is not None else study.telemetry
-        tracer = None
-        if trace:
-            tracer = TraceBuilder()
-            if not hub:
-                hub = TelemetryHub()
-            hub.add_sink(tracer)
-        if telemetry is not None or tracer is not None:
-            study.attach_telemetry(hub)
-        store.telemetry = hub
-        # A snapshot-restored study arrives with trials already trained;
-        # give their checkpoints lazy placeholders (no-op for fresh runs).
-        store.seed_from_trials(study.trials)
-        # Workers have stable identities so telemetry can attribute busy time;
-        # the lowest-numbered free worker always takes the next job, which
-        # keeps the assignment deterministic.  Churned workers retire their
-        # id; rejoining workers get a fresh one.
-        free_ids: list[int] = list(range(self.num_workers))
-        next_worker_id = self.num_workers
-        worker_of_job: dict[int, int] = {}
-        busy_time = 0.0
-        # In-flight jobs plus per-dispatch bookkeeping.  ``generation``
-        # counts dispatches of the same job id (a retried job is re-issued
-        # verbatim), so completion/drop/timeout events scheduled for an
-        # attempt that was since killed are recognised as stale and ignored.
-        in_flight: dict[int, Job] = {}
-        generation: dict[int, int] = {}
-        dispatched_at: dict[int, float] = {}
-        credited: dict[int, float] = {}
-        # Swap-remove index of live job ids, so churn can pick a uniform
-        # random victim in O(1) instead of materialising ``list(in_flight)``
-        # (an O(n) copy per churn event at 500-worker scale).  The victim
-        # draw stays a single ``rng.integers(len)`` call per churn event, so
-        # the cluster's seeded draw sequence is unchanged.
-        live_ids: list[int] = []
-        live_pos: dict[int, int] = {}
-
-        def live_add(job_id: int) -> None:
-            live_pos[job_id] = len(live_ids)
-            live_ids.append(job_id)
-
-        def live_discard(job_id: int) -> None:
-            pos = live_pos.pop(job_id, None)
-            if pos is None:
-                return
-            last = live_ids.pop()
-            if last != job_id:
-                live_ids[pos] = last
-                live_pos[last] = pos
-        faults = FaultManager(retry_policy) if retry_policy is not None else None
-        # Duck-typed objectives in tests may not subclass Objective.
-        nominal_cost = getattr(objective, "nominal_cost", objective.cost)
-        pending_retries: deque[tuple[Job, int]] = deque()
-        # Where training increments actually compute: inline at the
-        # completion event for the plain simulator, in worker processes for
-        # ProcessPoolBackend.  Closed (pool teardown) when the loop exits.
-        execution = self._make_execution(store, objective)
-
-        def schedule_churn() -> None:
-            if self.churn_rate > 0:
-                gap = float(self.rng.exponential(1.0 / self.churn_rate))
-                queue.push(queue.clock + gap, "churn", None)
-
-        def launch(job: Job, worker: int, attempt: int) -> None:
-            nonlocal busy_time
-            gen = generation.get(job.job_id, 0) + 1
-            generation[job.job_id] = gen
-            in_flight[job.job_id] = job
-            live_add(job.job_id)
-            worker_of_job[job.job_id] = worker
-            store.prepare(job)  # snapshot donor state for inheriting jobs
-            duration = self._duration(store.job_cost(job, objective))
-            drop_at = self._drop_time(duration)
-            # Busy time is credited optimistically at dispatch (capped at the
-            # remaining budget); kills and early exits roll back the unspent
-            # part below.
-            credit = min(drop_at if drop_at is not None else duration,
-                         max(time_limit - queue.clock, 0.0))
-            busy_time += credit
-            dispatched_at[job.job_id] = queue.clock
-            credited[job.job_id] = credit
-            if drop_at is not None:
-                queue.push(queue.clock + drop_at, "drop", (job, gen))
-            else:
-                queue.push(queue.clock + duration, "complete", (job, gen))
-            if faults is not None and retry_policy is not None:
-                deadline = retry_policy.sim_deadline(
-                    nominal_cost(job.config, store.start_resource(job), job.resource)
-                )
-                if deadline is not None:
-                    queue.push(queue.clock + deadline, "timeout", (job, gen))
-            # Hand the dispatch to the execution strategy *after* duration and
-            # deadline are computed: resolving the starting state may consume
-            # the dispatch snapshot that ``start_resource`` reads.  A job
-            # whose result the journal already holds needs no speculative
-            # training (the process pool would otherwise fork for nothing).
-            execution.submit(job, cached=study.has_cached_loss(job.job_id))
-            if hub:
-                extra = {"attempt": attempt} if attempt > 1 else {}
-                hub.emit(
-                    EventKind.JOB_STARTED,
-                    trial_id=job.trial_id,
-                    job_id=job.job_id,
-                    worker_id=worker,
-                    rung=job.rung,
-                    bracket=job.bracket,
-                    resource=job.resource,
-                    checkpoint_resource=job.checkpoint_resource,
-                    busy_credit=credit,
-                    **extra,
-                )
-
-        def try_fill() -> int:
-            """Fill every free worker: queued retries first, then one batched ask.
-
-            Dispatch order is identical to the historical one-ask-per-worker
-            loop — retries drain in FIFO order, then the study fills the
-            remaining workers.  With no event hub recording, the study sees a
-            single ``ask_batch(len(free_ids))`` instead of one ask per
-            worker, which is where the batched promotion scan and journal
-            block append pay off; a short batch means the same thing a
-            ``None`` ask did (rung barrier or finished).  When a hub *is*
-            attached, dispatch events (``job_started``) must interleave with
-            the scheduler's own ``trial_started`` emissions in per-job order
-            — ``seq`` is assigned at emit time — so the recorded path stays
-            one ask per worker and every golden trace keeps its bytes.
-            """
-            filled = 0
-            starved = False
-            while free_ids and pending_retries:
-                job, attempt = pending_retries.popleft()
-                worker = heapq.heappop(free_ids)
-                filled += 1
-                result.jobs_dispatched += 1
-                launch(job, worker, attempt)
-            if hub:
-                while free_ids:
-                    if study.is_done():
-                        break
-                    job = study.ask()
-                    if job is None:
-                        starved = True
-                        break
-                    attempt = 1 if faults is None else faults.attempt_number(job)
-                    worker = heapq.heappop(free_ids)
-                    filled += 1
-                    result.jobs_dispatched += 1
-                    launch(job, worker, attempt)
-            else:
-                while free_ids:
-                    if study.is_done():
-                        break
-                    jobs = study.ask_batch(len(free_ids))
-                    if not jobs:
-                        starved = True
-                        break
-                    for job in jobs:
-                        attempt = 1 if faults is None else faults.attempt_number(job)
-                        worker = heapq.heappop(free_ids)
-                        filled += 1
-                        result.jobs_dispatched += 1
-                        launch(job, worker, attempt)
-                    if free_ids:
-                        # The batch came back short: the (k+1)-th single ask
-                        # would have returned None.
-                        starved = not study.is_done()
-                        break
-            if hub and starved and free_ids:
-                hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
-            return filled
-
-        def kill(job: Job) -> tuple[int | None, float, float]:
-            """Tear down an in-flight dispatch killed before finishing.
-
-            Returns ``(worker, lost, correction)``: the worker id that held
-            the job, the busy time the attempt really consumed, and the
-            non-positive adjustment undoing the credit granted at dispatch
-            (killed jobs used to stay credited for their full duration,
-            inflating utilisation).
-            """
-            nonlocal busy_time
-            in_flight.pop(job.job_id, None)
-            live_discard(job.job_id)
-            worker = worker_of_job.pop(job.job_id, None)
-            started = dispatched_at.pop(job.job_id, queue.clock)
-            credit = credited.pop(job.job_id, 0.0)
-            lost = min(max(queue.clock - started, 0.0), credit)
-            correction = lost - credit
-            busy_time += correction
-            store.discard(job)
-            execution.discard(job)
-            return worker, lost, correction
-
-        def handle_failure(
-            job: Job,
-            worker: int | None,
-            *,
-            reason: str,
-            lost: float,
-            correction: float = 0.0,
-            error: str | None = None,
-        ) -> None:
-            """Route one failed attempt: forfeit, retry, or abandon."""
-            result.failures.append((queue.clock, job.trial_id))
-            result.time_lost_to_failures += lost
-            kind = EventKind.JOB_TIMEOUT if reason == "timeout" else EventKind.JOB_FAILED
-            extra: dict[str, object] = {}
-            if error is not None:
-                extra["error"] = error
-            if correction:
-                extra["busy_correction"] = correction
-            if faults is None:
-                study.on_job_failed(job)
-                result.failure_log.append(
-                    FailureRecord(
-                        time=queue.clock,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        reason=reason,
-                        action="forfeited",
-                        error=error,
-                        lost=lost,
-                    )
-                )
-                if hub:
-                    hub.emit(
-                        kind,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        worker_id=worker,
-                        rung=job.rung,
-                        bracket=job.bracket,
-                        reason=reason,
-                        **extra,
-                    )
-                return
-            decision = faults.record_failure(job, reason=reason, lost=lost)
-            result.failure_log.append(
-                FailureRecord(
-                    time=queue.clock,
-                    trial_id=job.trial_id,
-                    job_id=job.job_id,
-                    reason=reason,
-                    action="retried" if decision.retry else "abandoned",
-                    attempt=decision.failures,
-                    error=error,
-                    lost=lost,
-                )
-            )
-            if hub:
-                hub.emit(
-                    kind,
-                    trial_id=job.trial_id,
-                    job_id=job.job_id,
-                    worker_id=worker,
-                    rung=job.rung,
-                    bracket=job.bracket,
-                    reason=reason,
-                    attempt=decision.failures,
-                    lost=lost,
-                    **extra,
-                )
-            if decision.retry:
-                result.jobs_retried += 1
-                study.on_job_requeued(job)
-                retry_at = queue.clock + decision.delay
-                if hub:
-                    hub.emit(
-                        EventKind.JOB_RETRIED,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        rung=job.rung,
-                        bracket=job.bracket,
-                        attempt=decision.failures + 1,
-                        delay=decision.delay,
-                        retry_at=retry_at,
-                    )
-                queue.push(retry_at, "retry", (job, decision.failures + 1))
-            else:
-                result.trials_abandoned += 1
-                study.on_trial_abandoned(job)
-                if hub:
-                    hub.emit(
-                        EventKind.TRIAL_ABANDONED,
-                        trial_id=job.trial_id,
-                        job_id=job.job_id,
-                        rung=job.rung,
-                        bracket=job.bracket,
-                        failures=decision.failures,
-                        reason=reason,
-                    )
-
-        if hub:
-            hub.set_time(0.0)
+        state = SimRun(
+            self,
+            scheduler,
+            objective,
+            queue=queue,
+            time_limit=time_limit,
+            max_resource=max_resource,
+            max_measurements=max_measurements,
+            stop_on_first_completion=stop_on_first_completion,
+            telemetry=telemetry,
+            retry_policy=retry_policy,
+            trace=trace,
+        )
         # Pause the cyclic-garbage collector for the duration of the event
         # loop: it allocates heavily (jobs, events, measurements) but creates
         # no cycles that need collecting mid-run, and the collector's young-
@@ -529,142 +876,13 @@ class SimulatedCluster:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
-        budget_exhausted = False
         try:
-            try_fill()
-            schedule_churn()
-            while queue:
-                head = queue.peek()
-                assert head is not None
-                if head.kind in ("complete", "drop", "timeout"):
-                    job, gen = head.payload
-                    if generation.get(job.job_id) != gen or job.job_id not in in_flight:
-                        # The dispatch this event belonged to was churned or
-                        # timed out: the event is dead.  Discard it without
-                        # advancing the clock so a far-future stale completion
-                        # neither extends the run nor counts as pending work.
-                        queue.discard_next()
-                        continue
-                if head.time > time_limit:
-                    budget_exhausted = True
-                    break
-                event = queue.pop()
-                if hub:
-                    # NULL_HUB is falsy: skip even the no-op call, it runs
-                    # once per event in the hottest loop of the simulator.
-                    hub.set_time(queue.clock)
-                if event.kind == "churn":
-                    if in_flight:
-                        # Kill a random busy worker: its job fails.  O(1) pick
-                        # from the swap-remove index — no per-event list copy.
-                        victim_id = live_ids[self.rng.integers(len(live_ids))]
-                        victim = in_flight[victim_id]
-                        worker, lost, correction = kill(victim)  # id retires with the worker
-                        handle_failure(
-                            victim, worker, reason="churn", lost=lost, correction=correction
-                        )
-                    elif free_ids:
-                        heapq.heappop(free_ids)  # an idle worker goes away instead
-                    queue.push(queue.clock + max(self.churn_downtime, 1e-9), "rejoin", None)
-                    schedule_churn()
-                    try_fill()
-                    continue
-                if event.kind == "rejoin":
-                    heapq.heappush(free_ids, next_worker_id)
-                    next_worker_id += 1
-                    try_fill()
-                    continue
-                if event.kind == "retry":
-                    job, attempt = event.payload
-                    pending_retries.append((job, attempt))
-                    try_fill()
-                    continue
-                job, gen = event.payload  # liveness guaranteed by the head check
-                if event.kind == "timeout":
-                    worker, lost, correction = kill(job)
-                    if worker is not None:
-                        heapq.heappush(free_ids, worker)
-                    handle_failure(
-                        job, worker, reason="timeout", lost=lost, correction=correction
-                    )
-                else:
-                    in_flight.pop(job.job_id, None)
-                    live_discard(job.job_id)
-                    worker = worker_of_job.pop(job.job_id, None)
-                    dispatched_at.pop(job.job_id, None)
-                    credit = credited.pop(job.job_id, 0.0)
-                    if worker is not None:
-                        heapq.heappush(free_ids, worker)
-                    if event.kind == "complete":
-                        failed = False
-                        loss = study.cached_loss(job)
-                        if loss is not None:
-                            # Replay: the journal's next record is this job's
-                            # tell — reuse the loss, skip training, keep the
-                            # checkpoint/restore bookkeeping identical.
-                            execution.collect_replayed(job)
-                        else:
-                            try:
-                                loss = execution.collect(job)
-                            except Exception as exc:  # noqa: BLE001 — training crashed
-                                failed = True
-                                store.discard(job)
-                                handle_failure(
-                                    job, worker, reason="exception", lost=credit, error=repr(exc)
-                                )
-                        if not failed:
-                            if faults is not None:
-                                faults.record_success(job)
-                            record_report(result, study, job, loss, queue.clock, done_resource)
-                            if hub:
-                                hub.emit(
-                                    EventKind.REPORT,
-                                    trial_id=job.trial_id,
-                                    job_id=job.job_id,
-                                    worker_id=worker,
-                                    rung=job.rung,
-                                    bracket=job.bracket,
-                                    loss=loss,
-                                    resource=job.resource,
-                                )
-                    else:  # drop
-                        store.discard(job)
-                        execution.discard(job)
-                        handle_failure(job, worker, reason="dropped", lost=credit)
-                if max_measurements is not None and len(result.measurements) >= max_measurements:
-                    break
-                if stop_on_first_completion and result.completions:
-                    break
-                try_fill()
-
+            drive_runs(queue, [state])
         finally:
             if gc_was_enabled:
                 gc.enable()
-            execution.close()
-            # End-of-run durability for the journal (flush + fsync); a crash
-            # after this point can never lose recorded interactions.
-            study.finalize()
-        # Only a break on an over-budget event means the search consumed the
-        # whole budget; draining the queue or stopping early (measurement cap,
-        # first completion) ends the run at the current clock.
-        result.elapsed = time_limit if budget_exhausted else min(queue.clock, time_limit)
-        # Jobs still in flight at the end only worked until the stop clock —
-        # roll back the optimistically-credited remainder (a no-op when the
-        # budget ran out, since credits were already capped at time_limit).
-        for job_id, started in dispatched_at.items():
-            credit = credited[job_id]
-            worked = min(max(result.elapsed - started, 0.0), credit)
-            busy_time += worked - credit
-        horizon = max(result.elapsed, 1e-12)
-        result.utilization = min(busy_time / (self.num_workers * horizon), 1.0)
-        if hub:
-            hub.set_time(result.elapsed)
-            result.telemetry = hub.finalize(
-                elapsed=result.elapsed, num_workers=self.num_workers
-            )
-        if tracer is not None:
-            result.trace = tracer.build()
-        return result
+            state.close()
+        return state.finish()
 
     # ------------------------------------------------------------ physics
 

@@ -432,3 +432,365 @@ class ThreadPoolBackend:
         if tracer is not None:
             result.trace = tracer.build()
         return result
+
+    def run_many(
+        self,
+        tasks: "list[tuple[Scheduler | Study, Objective]]",
+        *,
+        time_limit: float,
+        max_resource: float | None = None,
+        max_measurements: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> list[BackendResult]:
+        """Drive many studies through one shared worker pool.
+
+        The multiplexed sibling of :meth:`run`: ``tasks`` is a list of
+        ``(scheduler_or_study, objective)`` pairs, and the pool's workers
+        round-robin their asks across every study that still has work —
+        one process, one set of threads, N concurrent searches.  A study
+        whose scheduler is momentarily starved (rung barrier) simply cedes
+        its turn instead of parking a dedicated worker in a poll loop,
+        which is the whole point: worker threads are shared capacity, not
+        per-study property.
+
+        Semantics per study match :meth:`run`: asks/reports happen under
+        the backend lock against that study (journal-backed studies
+        journal exactly their own interactions — a study's journal is
+        byte-equivalent in *content* to a solo run, though wall-clock
+        timings naturally differ); ``retry_policy`` gives each study its
+        own :class:`FaultManager` with wall-clock backoff; telemetry hubs
+        attached to individual studies receive only their study's events,
+        stamped with the shared run clock.  ``ask_batch_size > 1`` keeps a
+        per-study prefetch queue.
+
+        Wall-clock timeouts (``retry_policy.timeout``) are not enforced
+        here — use solo :meth:`run` when a watchdog is needed.
+
+        Each study's :attr:`BackendResult.utilization` is its share of the
+        *pool's* capacity (busy time over ``num_workers x elapsed``), so
+        the values sum to at most 1 across studies.
+
+        Returns per-study results in task order.
+        """
+        if time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {time_limit}")
+        if not tasks:
+            raise ValueError("no tasks given")
+        if retry_policy is not None and retry_policy.timeout is not None:
+            raise ValueError(
+                "retry_policy.timeout (wall-clock watchdog) is not supported by "
+                "run_many; use run() for watchdog enforcement"
+            )
+
+        class _TaskState:
+            __slots__ = (
+                "study",
+                "objective",
+                "done_resource",
+                "store",
+                "result",
+                "hub",
+                "faults",
+                "prefetch",
+                "retry_queue",
+                "busy",
+                "capped",
+            )
+
+            def __init__(self, scheduler, objective) -> None:
+                self.study = (
+                    scheduler if isinstance(scheduler, Study) else Study(scheduler)
+                )
+                self.objective = objective
+                self.done_resource = (
+                    max_resource if max_resource is not None else objective.max_resource
+                )
+                self.store = CheckpointStore()
+                self.result = BackendResult()
+                self.hub = self.study.telemetry
+                self.store.telemetry = self.hub
+                self.store.seed_from_trials(self.study.trials)
+                self.faults = (
+                    FaultManager(retry_policy) if retry_policy is not None else None
+                )
+                self.prefetch: deque[Job] = deque()
+                self.retry_queue: list[tuple[float, Job, int]] = []
+                self.busy = 0.0
+                self.capped = False
+
+            def exhausted(self) -> bool:
+                """No dispatchable work and none coming from the scheduler."""
+                if self.capped:
+                    return not self.retry_queue
+                return (
+                    not self.prefetch
+                    and not self.retry_queue
+                    and self.study.is_done()
+                )
+
+        states = [_TaskState(scheduler, objective) for scheduler, objective in tasks]
+        lock = threading.Lock()
+        stop = threading.Event()
+        start = _time.monotonic()
+        rr = [0]  # shared round-robin cursor, advanced under the lock
+
+        def clock() -> float:
+            return _time.monotonic() - start
+
+        def fail_job(
+            ts: "_TaskState",
+            job: Job,
+            worker_id: int | None,
+            *,
+            reason: str,
+            lost: float,
+            t: float,
+            error: str | None = None,
+        ) -> None:
+            """Route one failed attempt for ``ts`` (caller holds the lock)."""
+            result = ts.result
+            study = ts.study
+            hub = ts.hub
+            faults = ts.faults
+            result.failures.append((t, job.trial_id))
+            result.time_lost_to_failures += lost
+            extra: dict[str, object] = {}
+            if error is not None:
+                extra["error"] = error
+            if hub:
+                hub.set_time(t)
+            if faults is None:
+                study.on_job_failed(job)
+                result.failure_log.append(
+                    FailureRecord(
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        reason=reason,
+                        action="forfeited",
+                        error=error,
+                        lost=lost,
+                    )
+                )
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_FAILED,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        reason=reason,
+                        busy=lost,
+                        **extra,
+                    )
+                return
+            decision = faults.record_failure(job, reason=reason, lost=lost)
+            result.failure_log.append(
+                FailureRecord(
+                    time=t,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    reason=reason,
+                    action="retried" if decision.retry else "abandoned",
+                    attempt=decision.failures,
+                    error=error,
+                    lost=lost,
+                )
+            )
+            if hub:
+                hub.emit(
+                    EventKind.JOB_FAILED,
+                    time=t,
+                    trial_id=job.trial_id,
+                    job_id=job.job_id,
+                    worker_id=worker_id,
+                    rung=job.rung,
+                    bracket=job.bracket,
+                    reason=reason,
+                    attempt=decision.failures,
+                    lost=lost,
+                    busy=lost,
+                    **extra,
+                )
+            if decision.retry:
+                result.jobs_retried += 1
+                study.on_job_requeued(job)
+                if hub:
+                    hub.emit(
+                        EventKind.JOB_RETRIED,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        attempt=decision.failures + 1,
+                        delay=decision.delay,
+                        retry_at=t + decision.delay,
+                    )
+                ts.retry_queue.append((t + decision.delay, job, decision.failures + 1))
+            else:
+                result.trials_abandoned += 1
+                study.on_trial_abandoned(job)
+                if hub:
+                    hub.emit(
+                        EventKind.TRIAL_ABANDONED,
+                        time=t,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        failures=decision.failures,
+                        reason=reason,
+                    )
+
+        def take_job(ts: "_TaskState", now: float) -> tuple[Job, int] | None:
+            """One dispatchable job from ``ts``, or None (caller holds the lock)."""
+            if (
+                max_measurements is not None
+                and len(ts.result.measurements) >= max_measurements
+            ):
+                ts.capped = True
+            for i, (ready_at, job, attempt) in enumerate(ts.retry_queue):
+                if ready_at <= now:
+                    ts.retry_queue.pop(i)
+                    return job, attempt
+            if ts.capped:
+                return None
+            if ts.prefetch:
+                job = ts.prefetch.popleft()
+            elif ts.study.is_done():
+                return None
+            else:
+                if ts.hub:
+                    ts.hub.set_time(now)
+                if self.ask_batch_size > 1:
+                    batch = ts.study.ask_batch(self.ask_batch_size)
+                    job = batch[0] if batch else None
+                    ts.prefetch.extend(batch[1:])
+                else:
+                    job = ts.study.ask()
+                if job is None:
+                    return None
+            attempt = 1 if ts.faults is None else ts.faults.attempt_number(job)
+            return job, attempt
+
+        def worker(worker_id: int) -> None:
+            was_idle = False
+            while not stop.is_set() and clock() < time_limit:
+                ts = None
+                job = None
+                attempt = 1
+                with lock:
+                    now = clock()
+                    n = len(states)
+                    for k in range(n):
+                        cand = states[(rr[0] + k) % n]
+                        taken = take_job(cand, now)
+                        if taken is not None:
+                            ts = cand
+                            job, attempt = taken
+                            # Next worker starts at the study after this one.
+                            rr[0] = (rr[0] + k + 1) % n
+                            break
+                    if job is None and all(s.exhausted() for s in states):
+                        return
+                    if job is not None:
+                        ts.result.jobs_dispatched += 1
+                        ts.store.prepare(job)
+                if job is None:
+                    if not was_idle:
+                        now = clock()
+                        for s in states:
+                            if s.hub:
+                                s.hub.emit(
+                                    EventKind.WORKER_IDLE, time=now, worker_id=worker_id
+                                )
+                    was_idle = True
+                    _time.sleep(self.poll_interval)
+                    continue
+                was_idle = False
+                t0 = clock()
+                if ts.hub:
+                    extra = {"attempt": attempt} if attempt > 1 else {}
+                    ts.hub.emit(
+                        EventKind.JOB_STARTED,
+                        time=t0,
+                        trial_id=job.trial_id,
+                        job_id=job.job_id,
+                        worker_id=worker_id,
+                        rung=job.rung,
+                        bracket=job.bracket,
+                        resource=job.resource,
+                        checkpoint_resource=job.checkpoint_resource,
+                        **extra,
+                    )
+                error: str | None = None
+                try:
+                    from_resource, state = ts.store.starting_state(job, ts.objective)
+                    state, loss = ts.objective.train(
+                        state, job.config, from_resource, job.resource
+                    )
+                except Exception as exc:  # noqa: BLE001 — any training crash forfeits
+                    error = repr(exc)
+                t1 = clock()
+                with lock:
+                    ts.busy += t1 - t0
+                    if error is not None:
+                        ts.store.discard(job)
+                        fail_job(
+                            ts,
+                            job,
+                            worker_id,
+                            reason="exception",
+                            lost=t1 - t0,
+                            t=t1,
+                            error=error,
+                        )
+                    else:
+                        if ts.faults is not None:
+                            ts.faults.record_success(job)
+                        ts.store.put(job.trial_id, job.resource, state)
+                        record_report(ts.result, ts.study, job, loss, t1, ts.done_resource)
+                        if ts.hub:
+                            ts.hub.emit(
+                                EventKind.REPORT,
+                                time=t1,
+                                trial_id=job.trial_id,
+                                job_id=job.job_id,
+                                worker_id=worker_id,
+                                rung=job.rung,
+                                bracket=job.bracket,
+                                loss=loss,
+                                resource=job.resource,
+                                busy=t1 - t0,
+                            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.num_workers)
+        ]
+        for t in threads:
+            t.start()
+        deadline = start + time_limit
+        for t in threads:
+            t.join(timeout=max(deadline - _time.monotonic(), 0.0))
+        stop.set()
+        grace_deadline = _time.monotonic() + self.shutdown_grace
+        for t in threads:
+            t.join(timeout=max(grace_deadline - _time.monotonic(), 0.0))
+        elapsed = clock()
+        results = []
+        for ts in states:
+            ts.result.elapsed = elapsed
+            ts.result.utilization = min(
+                ts.busy / (self.num_workers * max(elapsed, 1e-9)), 1.0
+            )
+            ts.study.finalize()
+            if ts.hub:
+                ts.result.telemetry = ts.hub.finalize(
+                    elapsed=max(elapsed, 1e-9), num_workers=self.num_workers
+                )
+            results.append(ts.result)
+        return results

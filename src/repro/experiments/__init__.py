@@ -3,7 +3,13 @@
 from . import figures
 from .methods import MethodSettings, standard_methods
 from .parallel import JOBS_ENV_VAR, parallel_map, resolve_jobs
-from .runner import aggregate_methods, run_methods, run_trials, sequence_seeds
+from .runner import (
+    aggregate_methods,
+    run_methods,
+    run_studies,
+    run_trials,
+    sequence_seeds,
+)
 from .specs import EXPERIMENTS, ExperimentSpec, get_spec
 
 __all__ = [
@@ -17,6 +23,7 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "run_methods",
+    "run_studies",
     "run_trials",
     "sequence_seeds",
     "standard_methods",

@@ -29,13 +29,14 @@ from ..backend.simulation import SimulatedCluster
 from ..core.scheduler import Scheduler
 from ..objectives.base import Objective
 from ..objectives.surrogate import SurrogateObjective
-from ..study import Study
+from ..study import Journal, Study, StudyMultiplexer
 from ..telemetry import JSONLSink, TelemetryHub
 from .parallel import parallel_map
 
 __all__ = [
     "run_trials",
     "run_methods",
+    "run_studies",
     "aggregate_methods",
     "sequence_seeds",
     "telemetry_event_path",
@@ -95,6 +96,19 @@ def journal_path(directory: str | Path, method: str, seed: int) -> Path:
     """Canonical journal location for one ``(method, seed)`` trial."""
     slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in method)
     return Path(directory) / f"{slug}-seed{seed}.journal.jsonl"
+
+
+def _ensure_output_dirs(*directories: str | Path | None) -> None:
+    """Create output directories once, before any parallel fan-out.
+
+    Forked trial workers used to each ``mkdir`` the telemetry/journal
+    output directory on first use; creating it up front (``exist_ok=True``)
+    removes the concurrent-mkdir window entirely, so workers only ever see
+    an existing directory.
+    """
+    for directory in directories:
+        if directory is not None:
+            Path(directory).mkdir(parents=True, exist_ok=True)
 
 
 def run_trial_task(task: TrialTask) -> RunRecord:
@@ -214,6 +228,9 @@ def run_trials(
         when there are many trials and ``backend="processes"`` when one
         expensive trial dominates.
     """
+    # An explicit telemetry factory wins over telemetry_out (per-task logic
+    # below), so only pre-create the directory when it will actually be used.
+    _ensure_output_dirs(telemetry_out if telemetry is None else None, journal_out)
     tasks = [
         TrialTask(
             method=method,
@@ -264,6 +281,7 @@ def run_methods(
     others.  Output is identical to calling :func:`run_trials` per method.
     """
     seeds = list(seeds)
+    _ensure_output_dirs(telemetry_out if telemetry is None else None, journal_out)
     tasks = [
         TrialTask(
             method=name,
@@ -290,6 +308,90 @@ def run_methods(
     for task, record in zip(tasks, records):
         out[task.method].append(record)
     return out
+
+
+def run_studies(
+    method: str,
+    make_scheduler: SchedulerFactory,
+    make_objective: ObjectiveFactory,
+    *,
+    num_workers: int,
+    time_limit: float,
+    seeds: Iterable[int],
+    straggler_std: float = 0.0,
+    drop_probability: float = 0.0,
+    accounting: str = "by_rung",
+    offline_validation: bool = False,
+    max_measurements: int | None = None,
+    journal_out: str | Path | None = None,
+    fair_share: int | None = None,
+    commit_interval: int = 64,
+) -> list[RunRecord]:
+    """Run one method's trials as concurrent studies in a single multiplexer.
+
+    The multiplexed sibling of :func:`run_trials`: instead of one driver
+    loop (or one forked process) per trial, every seed's study runs
+    concurrently over one shared simulated clock via
+    :class:`~repro.study.StudyMultiplexer` — one process, one event loop,
+    one group-commit journal writer.  Per-trial outputs are **identical**
+    to sequential :func:`run_trials` (same records in the same order, and
+    byte-identical journals when ``journal_out`` is set): the multiplexer's
+    contract is that co-hosted studies cannot observe each other.
+
+    Prefer this entry point when trials are cheap and numerous (the
+    service-scale regime: many small studies through one process);
+    :func:`run_trials` with ``n_jobs`` still wins when individual trials
+    are heavy enough to want real CPU parallelism.
+
+    ``fair_share`` and ``commit_interval`` are the multiplexer's knobs —
+    see :class:`~repro.study.StudyMultiplexer`.
+    """
+    _ensure_output_dirs(journal_out)
+    mux = StudyMultiplexer(fair_share=fair_share, commit_interval=commit_interval)
+    built: list[tuple[int, Scheduler, Objective]] = []
+    for seed in seeds:
+        objective = make_objective(seed)
+        rng = np.random.default_rng(seed)
+        scheduler = make_scheduler(objective, rng)
+        runnable: Scheduler | Study = scheduler
+        if journal_out is not None:
+            runnable = Study(
+                scheduler,
+                journal=Journal(
+                    journal_path(journal_out, method, seed), writer=mux.journal_writer
+                ),
+            )
+        # Same cluster construction as run_trial_task, so records match the
+        # sequential path bit for bit.
+        cluster = SimulatedCluster(
+            num_workers,
+            straggler_std=straggler_std,
+            drop_probability=drop_probability,
+            seed=seed + 10_000,
+        )
+        mux.add(
+            runnable,
+            objective,
+            cluster=cluster,
+            time_limit=time_limit,
+            max_measurements=max_measurements,
+        )
+        built.append((seed, scheduler, objective))
+    if not built:
+        return []
+    results = mux.run()
+    records = []
+    for (seed, scheduler, objective), backend_result in zip(built, results):
+        evaluate = None
+        if offline_validation and isinstance(objective, SurrogateObjective):
+            evaluate = objective.clean_loss_at
+        trace = trace_incumbent(
+            backend_result, scheduler, accounting=accounting, evaluate=evaluate
+        )
+        records.append(
+            RunRecord(method=method, seed=seed, trace=trace, backend=backend_result)
+        )
+    return records
 
 
 def aggregate_methods(

@@ -15,7 +15,16 @@ See ``docs/study.md`` for the full tour.  The short version::
     resumed = Study.resume("run.jsonl")   # after a crash
 """
 
-from .journal import JOURNAL_VERSION, Journal, JournalError, encode_record, read_journal
+from .journal import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    JournalWriter,
+    encode_record,
+    read_journal,
+    read_wal,
+)
+from .multiplex import MultiplexResult, StudyMultiplexer
 from .spec import build_spec, decode_space, encode_space, scheduler_from_spec
 from .study import JournalReplayError, Study
 
@@ -24,11 +33,15 @@ __all__ = [
     "Journal",
     "JournalError",
     "JournalReplayError",
+    "JournalWriter",
+    "MultiplexResult",
     "Study",
+    "StudyMultiplexer",
     "build_spec",
     "decode_space",
     "encode_record",
     "encode_space",
     "read_journal",
+    "read_wal",
     "scheduler_from_spec",
 ]

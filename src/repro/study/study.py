@@ -36,7 +36,14 @@ from ..core.scheduler import Scheduler
 from ..core.serialization import config_state
 from ..core.types import Job, Trial
 from ..searchers.base import Searcher
-from .journal import JOURNAL_VERSION, Journal, JournalError, encode_record, read_journal
+from .journal import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    JournalWriter,
+    encode_record,
+    read_journal,
+)
 from .spec import scheduler_from_spec
 
 __all__ = ["JournalReplayError", "Study"]
@@ -284,6 +291,7 @@ class Study:
         *,
         scheduler: Scheduler | None = None,
         mode: str = "replay",
+        journal_writer: "JournalWriter | None" = None,
     ) -> Study:
         """Reopen a journal and bring a scheduler back to its recorded state.
 
@@ -297,6 +305,10 @@ class Study:
         run re-executes deterministically, skipping journalled training.
         ``mode="restore"`` drives the scheduler through the records eagerly
         (for the wall-clock thread backend, whose timings cannot replay).
+
+        ``journal_writer`` switches the reopened journal into group-commit
+        mode (see :class:`~repro.study.journal.JournalWriter`), so a crashed
+        study can resume *inside* a :class:`~repro.study.StudyMultiplexer`.
         """
         if mode not in ("replay", "restore"):
             raise ValueError(f"mode must be 'replay' or 'restore', got {mode!r}")
@@ -320,7 +332,7 @@ class Study:
         body = records[1:]
         # Opening in append mode truncates the torn tail on disk, so `body`
         # is exactly what remains in the file.
-        journal = Journal(journal_path, mode="a")
+        journal = Journal(journal_path, mode="a", writer=journal_writer)
         study = cls(scheduler, journal=journal)
         if mode == "replay":
             study._cursor = body

@@ -7,10 +7,10 @@ no locking of their own.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import IO, Any, Protocol, runtime_checkable
 
+from ..canonical import encode_canonical
 from .events import TelemetryEvent
 from .metrics import MetricsCollector
 
@@ -51,21 +51,17 @@ class InMemorySink:
         return [e.kind.value for e in self.events]
 
 
-def _json_default(value: Any) -> Any:
-    """Serialise numpy scalars (config values) without importing numpy here."""
-    item = getattr(value, "item", None)
-    if callable(item):
-        return item()
-    return str(value)
-
-
 class JSONLSink:
     """Append one JSON object per event to a file (or file-like object).
 
     The serialisation is canonical — sorted keys, fixed separators, ``None``
     fields omitted, wall-clock excluded unless asked for — so a seeded
     simulation run exports a **byte-identical** file every time.  That is
-    the property regression tests and offline diffing lean on.
+    the property regression tests and offline diffing lean on.  Encoding
+    goes through the hand-rolled fast path in :mod:`repro.canonical`
+    (byte-identical to the historical ``json.dumps`` call, pinned by
+    ``tests/telemetry/test_canonical.py``) — one line per event makes this
+    the hottest serialisation site when a sink is attached.
     """
 
     def __init__(self, path: str | os.PathLike[str] | IO[str], *, include_wall_time: bool = False):
@@ -81,12 +77,7 @@ class JSONLSink:
     def write(self, event: TelemetryEvent) -> None:
         if self._closed:
             raise ValueError("JSONLSink is closed")
-        line = json.dumps(
-            event.to_dict(include_wall_time=self.include_wall_time),
-            sort_keys=True,
-            separators=(",", ":"),
-            default=_json_default,
-        )
+        line = encode_canonical(event.to_dict(include_wall_time=self.include_wall_time))
         self._file.write(line + "\n")
 
     def flush(self) -> None:

@@ -141,3 +141,141 @@ def test_push_before_clock_rejected():
 def test_invalid_bucket_width_rejected():
     with pytest.raises(ValueError):
         EventQueue(bucket_width=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Multiplexed regime: one queue, events tagged by study.  These pin the
+# contracts ``StudyMultiplexer`` leans on — per-study FIFO order survives
+# interleaving with other studies' events, and ``discard_next`` (the lazy
+# dead-event mechanism for finished studies) never perturbs what the
+# surviving studies observe.
+# ---------------------------------------------------------------------------
+
+# A tagged stream: each op carries the study id it belongs to.
+_tagged_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=0, max_value=3), _times),
+        st.tuples(st.just("pop"), st.just(None), st.just(None)),
+        st.tuples(st.just("discard"), st.just(None), st.just(None)),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_tagged_ops)
+def test_tagged_streams_lockstep_with_heap(ops):
+    """Study-tagged payloads ride through both queues untouched and in the
+    same order, and the per-study projection of the delivery stream is FIFO
+    in (time, seq) — exactly what byte-identical multiplexed journals need.
+    """
+    heap, calendar = HeapEventQueue(), EventQueue()
+    delivered: dict[int, list[tuple[float, int]]] = {s: [] for s in range(4)}
+    for op, study, delta in ops:
+        if op == "push":
+            t = heap.clock + delta
+            payload = (study, {"study": study})
+            a = heap.push(t, "job_finished", payload)
+            b = calendar.push(t, "job_finished", payload)
+            assert a.payload is payload and b.payload is payload
+        elif op == "pop":
+            if not heap:
+                continue
+            a, b = heap.pop(), calendar.pop()
+            assert (a.time, a.seq) == (b.time, b.seq)
+            assert a.payload == b.payload
+            tag = b.payload[0]
+            delivered[tag].append((b.time, b.seq))
+        else:  # discard
+            if not heap:
+                continue
+            heap.discard_next()
+            calendar.discard_next()
+        assert heap.clock == calendar.clock
+        assert len(heap) == len(calendar)
+    while heap:
+        a, b = heap.pop(), calendar.pop()
+        assert (a.time, a.seq) == (b.time, b.seq) and a.payload == b.payload
+        delivered[b.payload[0]].append((b.time, b.seq))
+    # Each study's projection of the shared stream is itself sorted: a
+    # study multiplexed with others sees its own events in solo order.
+    for stream in delivered.values():
+        assert stream == sorted(stream)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    widths=st.floats(min_value=1e-6, max_value=1e12, allow_nan=False),
+    times=st.lists(_times, min_size=65, max_size=300),
+)
+def test_resize_and_wraparound_preserve_order(widths, times):
+    """Any initial bucket width — including ones forcing repeated adaptive
+    resizes and year-ring wraparound (times far beyond width * num_buckets)
+    — yields heap-identical delivery."""
+    heap, calendar = HeapEventQueue(), EventQueue(bucket_width=widths)
+    for t in times:
+        heap.push(t, "k")
+        calendar.push(t, "k")
+    while heap:
+        a, b = heap.pop(), calendar.pop()
+        assert (a.time, a.seq) == (b.time, b.seq)
+        assert heap.clock == calendar.clock
+    assert not calendar
+
+
+def test_adaptive_resize_recomputes_width():
+    # White-box: crossing the resize threshold (64) with a pathological
+    # width must actually change ``_width`` — otherwise every event sits in
+    # one giant bucket and pop degrades to a full sort per activation.
+    q, heap = EventQueue(bucket_width=1e9), HeapEventQueue()
+    for i in range(65):
+        t = float(i)
+        q.push(t, "k")
+        heap.push(t, "k")
+    assert q._width != 1e9  # resize fired and fit the observed span
+    while heap:
+        a, b = heap.pop(), q.pop()
+        assert (a.time, a.seq) == (b.time, b.seq)
+
+
+def test_huge_times_with_tiny_width_stay_ordered():
+    # Bucket ids are int(time / width): huge times over a tiny width make
+    # astronomically large ids.  The rebucket guard (hi/width < 1e15)
+    # must refuse precision-losing widths while delivery stays exact.
+    q, heap = EventQueue(bucket_width=1e-6), HeapEventQueue()
+    times = [1e12, 3.0, 1e12 + 0.5, 7.0, 2e12, 0.25]
+    for t in times:
+        q.push(t, "k")
+        heap.push(t, "k")
+    drained = []
+    while q:
+        a, b = heap.pop(), q.pop()
+        assert (a.time, a.seq) == (b.time, b.seq)
+        drained.append(b.time)
+    assert drained == sorted(times)
+
+
+def test_discard_by_study_interleaving():
+    """The multiplexer's finished-study pattern: discard the head whenever
+    it belongs to a dead study.  Survivors' order and the clock must match
+    a queue that never contained the dead study at all."""
+    dead, live = 0, 1
+    witness = EventQueue()  # only ever sees the live study's events
+    q = EventQueue()
+    times = [1.0, 1.0, 2.0, 3.0, 3.0, 4.0, 5.0, 5.0]
+    for i, t in enumerate(times):
+        study = dead if i % 2 == 0 else live
+        q.push(t, "job_finished", (study, i))
+        if study == live:
+            witness.push(t, "job_finished", (study, i))
+    survivors = []
+    while q:
+        head = q.peek()
+        if head.payload[0] == dead:
+            before = q.clock
+            q.discard_next()
+            assert q.clock == before  # discard never advances the clock
+            continue
+        survivors.append(q.pop().payload)
+    assert survivors == [witness.pop().payload for _ in range(len(witness))]
+    assert q.clock == witness.clock == 5.0

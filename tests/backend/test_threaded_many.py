@@ -1,0 +1,93 @@
+"""ThreadPoolBackend.run_many: one worker pool serving many studies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.faults import FailureInjectingObjective, RetryPolicy
+from repro.backend.threaded import ThreadPoolBackend
+from repro.core import build_scheduler
+from repro.experiments.toys import toy_objective, toy_space
+from repro.study import Journal, Study, read_journal
+
+
+def make_scheduler(seed: int):
+    return build_scheduler(
+        "asha",
+        toy_space(),
+        np.random.default_rng(seed),
+        min_resource=1.0,
+        max_resource=9.0,
+        eta=3,
+    )
+
+
+def test_run_many_completes_every_study():
+    backend = ThreadPoolBackend(num_workers=4, poll_interval=0.001)
+    objective = toy_objective()
+    tasks = [(make_scheduler(i), objective) for i in range(5)]
+    results = backend.run_many(tasks, time_limit=30.0, max_measurements=12)
+    assert len(results) == 5
+    for result in results:
+        assert result.measurements
+        assert result.jobs_dispatched >= len(result.measurements)
+    # Per-study utilization is a share of the shared pool: sums to <= 1.
+    assert sum(r.utilization for r in results) <= 1.0 + 1e-9
+
+
+def test_run_many_journals_each_study_separately(tmp_path):
+    backend = ThreadPoolBackend(num_workers=3, poll_interval=0.001)
+    objective = toy_objective()
+    tasks = []
+    for i in range(3):
+        study = Study(make_scheduler(i), journal=Journal(tmp_path / f"s{i}.jsonl"))
+        tasks.append((study, objective))
+    results = backend.run_many(tasks, time_limit=30.0, max_measurements=8)
+    for i, result in enumerate(results):
+        records, _, terminated = read_journal(tmp_path / f"s{i}.jsonl")
+        assert terminated
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "journal_header"
+        # Every reported measurement has its tell in this study's journal.
+        assert kinds.count("tell") == len(result.measurements)
+
+
+def test_run_many_batched_asks():
+    backend = ThreadPoolBackend(num_workers=2, poll_interval=0.001, ask_batch_size=4)
+    objective = toy_objective()
+    results = backend.run_many(
+        [(make_scheduler(i), objective) for i in range(3)],
+        time_limit=30.0,
+        max_measurements=8,
+    )
+    assert all(r.measurements for r in results)
+
+
+def test_run_many_retries_crashed_jobs():
+    objective = FailureInjectingObjective(
+        toy_objective(), seed=0, crash_probability=0.3
+    )
+    backend = ThreadPoolBackend(num_workers=3, poll_interval=0.001)
+    results = backend.run_many(
+        [(make_scheduler(i), objective) for i in range(2)],
+        time_limit=30.0,
+        max_measurements=6,
+        retry_policy=RetryPolicy(max_attempts=5, backoff=0.0),
+    )
+    assert all(r.measurements for r in results)
+    assert sum(r.jobs_retried for r in results) > 0
+
+
+def test_run_many_validations():
+    backend = ThreadPoolBackend(num_workers=1)
+    with pytest.raises(ValueError, match="no tasks"):
+        backend.run_many([], time_limit=1.0)
+    with pytest.raises(ValueError, match="time_limit"):
+        backend.run_many([(make_scheduler(0), toy_objective())], time_limit=0.0)
+    with pytest.raises(ValueError, match="watchdog"):
+        backend.run_many(
+            [(make_scheduler(0), toy_objective())],
+            time_limit=1.0,
+            retry_policy=RetryPolicy(timeout=1.0),
+        )

@@ -1,0 +1,108 @@
+"""run_studies: the multiplexed fan-in entry point, pinned against run_trials."""
+
+from __future__ import annotations
+
+from repro.core import ASHA
+from repro.experiments.runner import journal_path, run_studies, run_trials
+from repro.experiments.toys import toy_objective
+from repro.study import read_journal
+
+
+def objective_factory(seed):
+    return toy_objective(constant=False)
+
+
+def make_scheduler(objective, rng):
+    return ASHA(objective.space, rng, min_resource=1.0, max_resource=9.0, eta=3)
+
+
+COMMON = dict(
+    num_workers=4,
+    time_limit=40.0,
+    seeds=[0, 1000, 2000],
+    straggler_std=0.2,
+    drop_probability=0.01,
+)
+
+
+def test_run_studies_matches_run_trials(tmp_path):
+    """Multiplexed trials produce the exact records of the sequential path."""
+    sequential = run_trials(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        journal_out=tmp_path / "seq",
+        **COMMON,
+    )
+    multiplexed = run_studies(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        journal_out=tmp_path / "mux",
+        fair_share=2,
+        **COMMON,
+    )
+    assert len(sequential) == len(multiplexed)
+    for seq, mux in zip(sequential, multiplexed):
+        assert seq.method == mux.method and seq.seed == mux.seed
+        assert seq.backend.measurements == mux.backend.measurements
+        assert seq.backend.elapsed == mux.backend.elapsed
+        assert seq.backend.utilization == mux.backend.utilization
+        assert seq.trace.times == mux.trace.times
+        assert seq.trace.values == mux.trace.values
+        assert seq.trace.trial_ids == mux.trace.trial_ids
+        seq_journal = journal_path(tmp_path / "seq", "ASHA", seq.seed).read_bytes()
+        mux_journal = journal_path(tmp_path / "mux", "ASHA", mux.seed).read_bytes()
+        assert seq_journal == mux_journal
+
+
+def test_run_studies_without_journals():
+    records = run_studies("ASHA", make_scheduler, objective_factory, **COMMON)
+    assert len(records) == 3
+    assert all(r.backend.measurements for r in records)
+
+
+def test_run_studies_journals_are_valid(tmp_path):
+    run_studies(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        journal_out=tmp_path,
+        commit_interval=1,
+        **COMMON,
+    )
+    for seed in COMMON["seeds"]:
+        records, _, terminated = read_journal(journal_path(tmp_path, "ASHA", seed))
+        assert terminated
+        assert records[0]["kind"] == "journal_header"
+
+
+def test_output_dirs_created_before_fanout(tmp_path):
+    """The journal/telemetry dirs exist even with zero trials to fan out.
+
+    Pins the satellite fix: directory creation happens once in the parent,
+    before the parallel map, not lazily inside forked workers.
+    """
+    out_j = tmp_path / "nested" / "journals"
+    out_t = tmp_path / "nested" / "events"
+    records = run_trials(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        num_workers=2,
+        time_limit=5.0,
+        seeds=[],
+        journal_out=out_j,
+        telemetry_out=out_t,
+    )
+    assert records == []
+    assert out_j.is_dir() and out_t.is_dir()
+    assert run_studies(
+        "ASHA",
+        make_scheduler,
+        objective_factory,
+        num_workers=2,
+        time_limit=5.0,
+        seeds=[],
+        journal_out=out_j,
+    ) == []

@@ -28,6 +28,8 @@ REQUIRED_BENCHMARKS = {
     "parallel_speedup",
     "parallel_speedup_4",
     "parallel_speedup_8",
+    "multiplex_studies",
+    "multiplex_speedup",
 }
 
 
@@ -91,6 +93,23 @@ class TestCommittedArtifacts:
             assert entry["meta"]["gated"] is True, path
             assert entry["meta"]["floor"] == 1.3, path
             assert entry["meta"]["n_jobs"] == 2, path
+
+    def test_multiplex_speedup_carries_hard_floor(self):
+        # The service-regime gate: the multiplexer must beat the naive
+        # loop-per-study baseline by >= 2x on every committed artifact.
+        for path in (PERF_DIR / "baseline.json", REPO_ROOT / "BENCH_perf.json"):
+            report = json.loads(path.read_text())
+            entry = report["benchmarks"]["multiplex_speedup"]
+            assert entry["meta"]["gated"] is True, path
+            assert entry["meta"]["floor"] == 2.0, path
+            assert entry["meta"]["studies"] == 1000, path
+            assert entry["value"] >= 2.0, path
+            # Capacity companion: the full-mode artifact hosted >= 10k
+            # concurrent studies in one process.
+            capacity = report["benchmarks"]["multiplex_studies"]
+            expected = 10_000 if report["mode"] == "full" else 1_000
+            assert capacity["meta"]["studies"] == expected, path
+            assert capacity["value"] > 0, path
 
     def test_skipped_speedups_record_their_reason(self):
         # Wherever a committed artifact skipped a speedup, the skip must be
@@ -276,6 +295,71 @@ class TestFloorGate:
         baseline["benchmarks"]["a"] = dict(bare_skip)
         current = _report_with({"a": 10.0})
         assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+
+class TestCandidateOnlyBenchmarks:
+    """A benchmark name present only in the candidate report (stale baseline).
+
+    Satellite: the gate must report a clear, named error — not a silent
+    "only in current" row (which would skip the new benchmark's ratio *and*
+    floor checks), and not a KeyError traceback.
+    """
+
+    _run = TestRegressionGate._run
+
+    def test_gated_candidate_only_fails_with_regenerate_hint(
+        self, check_regression, tmp_path, capsys
+    ):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 10.0, "multiplex_speedup": 3.0})
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        err = capsys.readouterr().err
+        assert "multiplex_speedup" in err
+        assert "missing from the baseline" in err
+        assert "run_perf.py" in err  # says how to fix it
+
+    def test_candidate_only_floor_still_binds(self, check_regression, tmp_path, capsys):
+        # A brand-new gated benchmark below its hard floor must fail on the
+        # floor (the stronger signal), not just on baseline staleness.
+        baseline = _report_with({"a": 10.0})
+        current = _report_with(
+            {"a": 10.0, "multiplex_speedup": 1.2}, floors={"multiplex_speedup": 2.0}
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        err = capsys.readouterr().err
+        assert "below" in err and "floor" in err and "multiplex_speedup" in err
+
+    def test_ungated_candidate_only_passes(self, check_regression, tmp_path):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with(
+            {"a": 10.0, "experimental": 1.0}, gated={"experimental": False}
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_skipped_candidate_only_passes(self, check_regression, tmp_path):
+        # A new benchmark that this machine cannot run (value: null) is a
+        # loud skip, not a staleness failure.
+        baseline = _report_with({"a": 10.0})
+        current = _report_with(
+            {"a": 10.0, "multiplex_speedup": 0.0}, skipped={"multiplex_speedup"}
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_baseline_only_is_still_benign(self, check_regression, tmp_path):
+        # The inverse direction (retired benchmark) stays a non-failure.
+        baseline = _report_with({"a": 10.0, "retired": 5.0})
+        current = _report_with({"a": 10.0})
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_malformed_entry_reports_instead_of_crashing(
+        self, check_regression, tmp_path, capsys
+    ):
+        baseline = _report_with({"a": 10.0})
+        current = _report_with({"a": 10.0})
+        current["benchmarks"]["broken"] = {"value": 1.0}  # no normalized/unit/meta
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        err = capsys.readouterr().err
+        assert "broken" in err and "missing required key" in err
 
 
 class TestReporting:

@@ -11,8 +11,10 @@ from repro.study import (
     JOURNAL_VERSION,
     Journal,
     JournalError,
+    JournalWriter,
     encode_record,
     read_journal,
+    read_wal,
 )
 from repro.telemetry import JSONLSink
 
@@ -166,3 +168,155 @@ def test_jsonl_sink_finalize_flushes_and_survives_close(tmp_path):
     sink.close()
     sink.finalize()  # finalize after close must be a harmless no-op
     os.stat(path)  # file still present and intact
+
+
+# ---------------------------------------------------------------- group commit
+
+
+def test_group_commit_buffers_until_commit(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    writer = JournalWriter()
+    journal = Journal(path, writer=writer)
+    journal.append(RECORDS[0])
+    journal.append_batch(RECORDS[1:])
+    # Nothing on disk yet — not even the header.
+    assert path.read_bytes() == b""
+    writer.commit()
+    records, _, terminated = read_journal(path)
+    assert terminated
+    assert records[0]["kind"] == "journal_header"
+    assert records[1:] == RECORDS
+    assert writer.commits == 1
+
+
+def test_group_commit_bytes_match_immediate_mode(tmp_path):
+    immediate, buffered = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_journal(immediate, spec={"s": 1})
+    writer = JournalWriter()
+    journal = Journal(buffered, writer=writer, spec={"s": 1})
+    for record in RECORDS:
+        journal.append(record)
+        writer.commit()  # commit cadence must not change the bytes
+    journal.close()
+    assert immediate.read_bytes() == buffered.read_bytes()
+
+
+def test_group_commit_finalize_lands_pending(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    writer = JournalWriter()
+    journal = Journal(path, writer=writer)
+    journal.append(RECORDS[0])
+    writer.finalize_all()
+    records, _, _ = read_journal(path)
+    assert records[1:] == RECORDS[:1]
+    journal.finalize()  # idempotent with nothing pending
+
+
+def test_group_commit_close_commits_tail(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    journal = Journal(path, writer=JournalWriter())
+    journal.append(RECORDS[0])
+    journal.close()
+    records, _, _ = read_journal(path)
+    assert records[1:] == RECORDS[:1]
+    with pytest.raises(ValueError):
+        journal.append(RECORDS[1])
+
+
+def test_group_commit_append_mode_heals_torn_tail(tmp_path):
+    path = tmp_path / "run.journal.jsonl"
+    write_journal(path)
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "tell", "job_id": 1, "tr')  # torn mid-append
+    writer = JournalWriter()
+    journal = Journal(path, mode="a", writer=writer)
+    journal.append({"kind": "tell", "job_id": 1, "trial_id": 1, "loss": 0.25, "time": 2.0})
+    writer.commit()
+    records, _, _ = read_journal(path)
+    assert [r["kind"] for r in records[1:]] == ["ask", "tell", "ask", "tell"]
+
+
+def test_group_commit_holds_no_fd_between_commits(tmp_path):
+    """Journal count is not bounded by the process fd limit."""
+
+    def open_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    writer = JournalWriter()
+    before = open_fds()
+    journals = [Journal(tmp_path / f"j{i}.jsonl", writer=writer) for i in range(64)]
+    for journal in journals:
+        journal.append(RECORDS[0])
+    assert open_fds() <= before + 1  # the /proc listing itself may cost one
+    writer.commit()
+    assert open_fds() <= before + 1
+    for journal in journals:
+        records, _, _ = read_journal(journal.path)
+        assert records[1:] == RECORDS[:1]
+
+
+# ---------------------------------------------------------------------------
+# WAL mode: database-style group commit — one shared log, one fsync per
+# commit window, per-journal files as replayable caches.
+# ---------------------------------------------------------------------------
+
+
+def test_wal_reconstructs_every_journal(tmp_path):
+    wal_path = tmp_path / "journals.wal"
+    writer = JournalWriter(wal_path=wal_path)
+    journals = [Journal(tmp_path / f"j{i}.jsonl", writer=writer) for i in range(3)]
+    for i, journal in enumerate(journals):
+        journal.append(RECORDS[i])
+    writer.commit()
+    journals[0].append(RECORDS[1])  # second window, one dirty journal
+    writer.finalize_all()
+    replayed = read_wal(wal_path)
+    assert len(replayed) == 3
+    for journal in journals:
+        file_bytes = open(journal.path, "rb").read()
+        assert replayed[journal.path] == file_bytes
+    # And the files themselves are byte-identical to immediate mode.
+    solo = Journal(tmp_path / "solo.jsonl")
+    solo.append(RECORDS[0])
+    solo.append(RECORDS[1])
+    solo.close()
+    assert open(journals[0].path, "rb").read() == open(solo.path, "rb").read()
+
+
+def test_wal_torn_final_frame_is_dropped(tmp_path):
+    wal_path = tmp_path / "journals.wal"
+    writer = JournalWriter(wal_path=wal_path)
+    journal = Journal(tmp_path / "j.jsonl", writer=writer)
+    journal.append(RECORDS[0])
+    writer.commit()
+    full = read_wal(wal_path)
+    with open(wal_path, "ab") as fh:
+        fh.write(b"=wal 7 999\npartial")  # commit a crash interrupted
+    assert read_wal(wal_path) == full
+    with open(wal_path, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+    # Corruption before the tail is loud, not silently skipped.
+    with open(wal_path, "r+b") as fh:
+        fh.seek(0)
+        fh.write(b"XXXX")
+    with pytest.raises(JournalError):
+        read_wal(wal_path)
+
+
+def test_wal_defers_tail_fsync_to_group_commit(tmp_path, monkeypatch):
+    """finalize_all in WAL mode costs one fsync total, not one per journal."""
+    fsyncs: list[int] = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd))[1])
+    wal_path = tmp_path / "journals.wal"
+    writer = JournalWriter(wal_path=wal_path)
+    journals = [Journal(tmp_path / f"j{i}.jsonl", writer=writer) for i in range(8)]
+    for journal in journals:
+        journal.append(RECORDS[0])
+        journal.finalize()  # defers: the tail stays buffered for the writer
+        assert read_journal(journal.path)[0] == []  # nothing written yet
+    writer.finalize_all()
+    assert len(fsyncs) == 1  # the WAL, once — never the 8 journal files
+    for journal in journals:
+        records, _, _ = read_journal(journal.path)
+        assert records[1:] == RECORDS[:1]

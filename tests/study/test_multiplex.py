@@ -1,0 +1,301 @@
+"""StudyMultiplexer: per-study byte-identity against solo runs.
+
+The multiplexer's whole contract is that sharing the loop is unobservable:
+a study driven next to thousands of others produces the same journal bytes,
+the same BackendResult records, the same telemetry stream, and the same
+trace as the same study run alone.  These tests pin that against the solo
+:meth:`SimulatedCluster.run` oracle under every shared-machinery knob
+(fair-share caps, commit cadence, fault physics, replay resume).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend.faults import RetryPolicy
+from repro.backend.simulation import SimulatedCluster
+from repro.core import build_scheduler
+from repro.experiments.toys import toy_objective, toy_space
+from repro.study import Journal, Study, StudyMultiplexer, read_journal, read_wal
+from repro.telemetry import JSONLSink, TelemetryHub
+
+OBJECTIVE = toy_objective()
+
+#: Cluster physics exercising every failure path (stragglers, drops, churn).
+ROUGH = dict(
+    straggler_std=0.3, drop_probability=0.01, churn_rate=0.05, churn_downtime=2.0
+)
+
+
+def make_scheduler(seed: int):
+    return build_scheduler(
+        "asha",
+        toy_space(),
+        np.random.default_rng(seed),
+        min_resource=1.0,
+        max_resource=9.0,
+        eta=3,
+    )
+
+
+def make_cluster(seed: int, **physics):
+    return SimulatedCluster(4, seed=1000 + seed, **physics)
+
+
+def run_solo(tmp_path, i: int, *, physics=ROUGH, **run_kwargs):
+    study = Study(make_scheduler(i), journal=Journal(tmp_path / f"solo_{i}.jsonl"))
+    cluster = make_cluster(i, **physics)
+    result = cluster.run(study, OBJECTIVE, time_limit=60.0, **run_kwargs)
+    return result
+
+
+def run_multiplexed(tmp_path, n: int, *, physics=ROUGH, mux_kwargs=None, **run_kwargs):
+    mux = StudyMultiplexer(**(mux_kwargs or {}))
+    for i in range(n):
+        study = Study(
+            make_scheduler(i),
+            journal=Journal(tmp_path / f"mux_{i}.jsonl", writer=mux.journal_writer),
+        )
+        mux.add(
+            study, OBJECTIVE, cluster=make_cluster(i, **physics), time_limit=60.0, **run_kwargs
+        )
+    return mux, mux.run()
+
+
+def journal_bytes(path) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def assert_results_equal(solo, muxed) -> None:
+    assert solo.measurements == muxed.measurements
+    assert solo.completions == muxed.completions
+    assert solo.failures == muxed.failures
+    assert solo.failure_log == muxed.failure_log
+    assert solo.jobs_dispatched == muxed.jobs_dispatched
+    assert solo.jobs_retried == muxed.jobs_retried
+    assert solo.trials_abandoned == muxed.trials_abandoned
+    assert solo.elapsed == muxed.elapsed
+    assert solo.utilization == muxed.utilization
+
+
+def test_journals_and_results_byte_identical_to_solo(tmp_path):
+    n = 6
+    solos = [run_solo(tmp_path, i) for i in range(n)]
+    _, out = run_multiplexed(
+        tmp_path, n, mux_kwargs=dict(fair_share=2, commit_interval=4)
+    )
+    assert len(out) == n
+    for i in range(n):
+        assert journal_bytes(tmp_path / f"solo_{i}.jsonl") == journal_bytes(
+            tmp_path / f"mux_{i}.jsonl"
+        )
+        assert_results_equal(solos[i], out[i])
+
+
+@pytest.mark.parametrize("fair_share", [1, 3, None])
+def test_fair_share_cap_never_changes_bytes(tmp_path, fair_share):
+    """Chunked round-robin fills are invisible: all caps give solo bytes."""
+    n = 4
+    for i in range(n):
+        run_solo(tmp_path, i)
+    run_multiplexed(tmp_path, n, mux_kwargs=dict(fair_share=fair_share))
+    for i in range(n):
+        assert journal_bytes(tmp_path / f"solo_{i}.jsonl") == journal_bytes(
+            tmp_path / f"mux_{i}.jsonl"
+        )
+
+
+@pytest.mark.parametrize("commit_interval", [1, 1000])
+def test_commit_cadence_never_changes_bytes(tmp_path, commit_interval):
+    n = 3
+    for i in range(n):
+        run_solo(tmp_path, i)
+    mux, out = run_multiplexed(
+        tmp_path, n, mux_kwargs=dict(commit_interval=commit_interval)
+    )
+    assert out.journal_commits == mux.journal_writer.commits
+    for i in range(n):
+        assert journal_bytes(tmp_path / f"solo_{i}.jsonl") == journal_bytes(
+            tmp_path / f"mux_{i}.jsonl"
+        )
+
+
+def test_retry_policy_byte_identity(tmp_path):
+    """Fault tolerance (retries, timeouts, abandonment) multiplexes cleanly."""
+    policy = RetryPolicy(max_attempts=3, backoff=0.5, timeout_factor=10.0)
+    n = 4
+    solos = [run_solo(tmp_path, i, retry_policy=policy) for i in range(n)]
+    _, out = run_multiplexed(tmp_path, n, retry_policy=policy)
+    for i in range(n):
+        assert journal_bytes(tmp_path / f"solo_{i}.jsonl") == journal_bytes(
+            tmp_path / f"mux_{i}.jsonl"
+        )
+        assert_results_equal(solos[i], out[i])
+
+
+def test_telemetry_stream_byte_identity(tmp_path):
+    """Per-study hubs under the mux emit solo-identical JSONL streams.
+
+    Telemetry flips the fill path to one-ask-per-worker (event interleaving
+    order is recorded), so this covers the branch the journal tests don't.
+    """
+    n = 3
+
+    def run(i, mux=None):
+        buf = io.StringIO()
+        hub = TelemetryHub()
+        hub.add_sink(JSONLSink(buf))
+        study = Study(make_scheduler(i))
+        cluster = make_cluster(i, **ROUGH)
+        if mux is None:
+            cluster.run(study, OBJECTIVE, time_limit=60.0, telemetry=hub)
+        else:
+            mux.add(study, OBJECTIVE, cluster=cluster, time_limit=60.0, telemetry=hub)
+        return buf
+
+    solo_bufs = [run(i) for i in range(n)]
+    mux = StudyMultiplexer(fair_share=2)
+    mux_bufs = [run(i, mux) for i in range(n)]
+    mux.run()
+    for i in range(n):
+        assert solo_bufs[i].getvalue() == mux_bufs[i].getvalue()
+        assert solo_bufs[i].getvalue()  # not trivially empty
+
+
+def test_trace_byte_identity(tmp_path):
+    """Reconstructed chrome traces match the solo run exactly."""
+    solo = run_solo(tmp_path, 0, trace=True)
+    _, out = run_multiplexed(tmp_path, 2, trace=True)
+    assert solo.trace is not None and out[0].trace is not None
+    assert solo.trace.chrome_trace_json() == out[0].trace.chrome_trace_json()
+
+
+def test_replay_resume_inside_multiplexer(tmp_path):
+    """A crash-truncated journal resumed *inside* the mux converges to solo bytes."""
+    run_solo(tmp_path, 0, physics=dict(straggler_std=0.3))
+    full = journal_bytes(tmp_path / "solo_0.jsonl")
+
+    # Simulate a crash: keep only a prefix of whole records.
+    torn = tmp_path / "torn_0.jsonl"
+    lines = full.splitlines(keepends=True)
+    torn.write_bytes(b"".join(lines[: len(lines) // 2]))
+
+    mux = StudyMultiplexer()
+    resumed = Study.resume(
+        torn, scheduler=make_scheduler(0), journal_writer=mux.journal_writer
+    )
+    mux.add(
+        resumed,
+        OBJECTIVE,
+        cluster=make_cluster(0, straggler_std=0.3),
+        time_limit=60.0,
+    )
+    mux.run()
+    assert journal_bytes(torn) == full
+
+
+def test_group_commit_buffers_until_commit(tmp_path):
+    """Journal bytes stay pending between commits; crash window is bounded."""
+    n = 2
+    mux = StudyMultiplexer(commit_interval=10**9)  # never auto-commit
+    paths = [tmp_path / f"j{i}.jsonl" for i in range(n)]
+    for i in range(n):
+        study = Study(
+            make_scheduler(i), journal=Journal(paths[i], writer=mux.journal_writer)
+        )
+        mux.add(study, OBJECTIVE, cluster=make_cluster(i), time_limit=20.0)
+    # Nothing committed yet: even the headers are still buffered.
+    for p in paths:
+        assert journal_bytes(p) == b""
+    mux.run()
+    # run() finalizes: everything lands, files parse cleanly.
+    for p in paths:
+        records, _, terminated = read_journal(p)
+        assert terminated
+        assert records[0]["kind"] == "journal_header"
+        assert any(r["kind"] == "tell" for r in records)
+
+
+def test_wal_mode_keeps_solo_bytes_and_reconstructs(tmp_path):
+    """WAL-backed group commit: solo-identical files, fully replayable log."""
+    n = 4
+    for i in range(n):
+        run_solo(tmp_path, i)
+    wal_path = tmp_path / "journals.wal"
+    _, out = run_multiplexed(
+        tmp_path, n, mux_kwargs=dict(commit_interval=8, wal_path=str(wal_path))
+    )
+    assert len(out) == n
+    replayed = read_wal(wal_path)
+    assert len(replayed) == n
+    for i in range(n):
+        mux_bytes = journal_bytes(tmp_path / f"mux_{i}.jsonl")
+        assert mux_bytes == journal_bytes(tmp_path / f"solo_{i}.jsonl")
+        # Every journal is rebuildable from the shared log alone.
+        assert replayed[os.fspath(tmp_path / f"mux_{i}.jsonl")] == mux_bytes
+
+
+def test_add_rejects_shared_cluster(tmp_path):
+    mux = StudyMultiplexer()
+    cluster = make_cluster(0)
+    mux.add(make_scheduler(0), OBJECTIVE, cluster=cluster, time_limit=10.0)
+    with pytest.raises(ValueError, match="own SimulatedCluster"):
+        mux.add(make_scheduler(1), OBJECTIVE, cluster=cluster, time_limit=10.0)
+
+
+def test_run_is_single_use(tmp_path):
+    mux = StudyMultiplexer()
+    mux.add(make_scheduler(0), OBJECTIVE, cluster=make_cluster(0), time_limit=10.0)
+    mux.run()
+    with pytest.raises(RuntimeError, match="already called"):
+        mux.run()
+    with pytest.raises(RuntimeError, match="already called"):
+        mux.add(make_scheduler(1), OBJECTIVE, cluster=make_cluster(1), time_limit=10.0)
+
+
+def test_run_requires_studies():
+    with pytest.raises(ValueError, match="no studies"):
+        StudyMultiplexer().run()
+
+
+def test_knob_validation():
+    with pytest.raises(ValueError, match="fair_share"):
+        StudyMultiplexer(fair_share=0)
+    with pytest.raises(ValueError, match="commit_interval"):
+        StudyMultiplexer(commit_interval=0)
+
+
+def test_many_studies_one_process(tmp_path):
+    """A few hundred journal-backed studies complete without fd exhaustion.
+
+    Group-commit mode never holds a journal fd between commits, so the
+    concurrent-study count is bounded by memory, not ``ulimit -n``.  (The
+    full 10k-study load lives in the perf benchmark; this is the fast
+    functional pin.)
+    """
+    n = 300
+    mux = StudyMultiplexer(fair_share=4, commit_interval=256)
+    for i in range(n):
+        study = Study(
+            make_scheduler(i),
+            journal=Journal(tmp_path / f"m{i}.jsonl", writer=mux.journal_writer),
+        )
+        mux.add(
+            study,
+            OBJECTIVE,
+            cluster=SimulatedCluster(2, seed=i),
+            time_limit=20.0,
+            max_measurements=10,
+        )
+    out = mux.run()
+    assert len(out) == n
+    assert all(r.measurements for r in out)
+    assert out.journal_commits >= 1
+    for i in range(n):
+        records, _, terminated = read_journal(tmp_path / f"m{i}.jsonl")
+        assert terminated and records[0]["kind"] == "journal_header"
