@@ -17,6 +17,10 @@ Two independent checks run over every gated benchmark:
   suite) must keep their *raw* value at or above it, regardless of what the
   baseline recorded.  A floor failure names the benchmark, its value, and
   the floor it missed.
+* **ceiling** — the dual of the floor, for benchmarks whose raw value is a
+  cost that must stay *small* (``observability_overhead``: the enabled-probe
+  slowdown ratio).  ``meta.ceiling`` fails the gate when the raw value rises
+  above it, again independent of the baseline.
 
 Benchmarks whose ``meta.gated`` is ``false`` are reported but never fail the
 gate, as are benchmarks present only in the *baseline* (retired benches)
@@ -115,11 +119,19 @@ def _compare_one(
             return
         row["cur"] = cur_entry["normalized"]
         floor = meta.get("floor")
+        ceiling = meta.get("ceiling")
         if floor is not None and cur_entry["value"] < floor and meta.get("gated", True):
             row["status"] = "BELOW FLOOR"
             failures.append(
                 f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is below "
                 f"its hard floor of {floor}{cur_entry['unit']} (benchmark is also "
+                "missing from the baseline)"
+            )
+        elif ceiling is not None and cur_entry["value"] > ceiling and meta.get("gated", True):
+            row["status"] = "ABOVE CEILING"
+            failures.append(
+                f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is above "
+                f"its hard ceiling of {ceiling}{cur_entry['unit']} (benchmark is also "
                 "missing from the baseline)"
             )
         elif meta.get("gated", True):
@@ -159,6 +171,18 @@ def _compare_one(
             )
         else:
             row["status"] = f"below informational floor {floor}"
+    # The ceiling is the floor's dual: a raw value that must stay *small*
+    # (an overhead ratio), gated independently of the baseline.
+    ceiling = meta.get("ceiling")
+    if ceiling is not None and cur_entry["value"] > ceiling:
+        if gated:
+            row["status"] = "ABOVE CEILING"
+            failures.append(
+                f"{name}: value {cur_entry['value']:.4f}{cur_entry['unit']} is above "
+                f"its hard ceiling of {ceiling}{cur_entry['unit']}"
+            )
+        else:
+            row["status"] = f"above informational ceiling {ceiling}"
     if _is_skipped(base_entry):
         reason = base_entry.get("meta", {}).get("skip_reason", "no reason recorded")
         if row["status"] == "ok":
@@ -169,7 +193,7 @@ def _compare_one(
     ratio = cur_score / base_score if base_score else float("inf")
     row.update(base=base_score, ratio=ratio)
     if ratio < 1.0 / threshold:
-        if gated and row["status"] != "BELOW FLOOR":
+        if gated and row["status"] not in ("BELOW FLOOR", "ABOVE CEILING"):
             row["status"] = "REGRESSION"
             failures.append(
                 f"{name}: normalized {cur_score:.4f} vs baseline "
@@ -218,7 +242,13 @@ def render_markdown(rows: list[dict], threshold: float) -> str:
             delta = f"{(row['ratio'] - 1.0) * 100:+.1f}%"
         else:
             delta = "—"
-        if status in ("REGRESSION", "BELOW FLOOR", "MISSING FROM BASELINE", "MALFORMED"):
+        if status in (
+            "REGRESSION",
+            "BELOW FLOOR",
+            "ABOVE CEILING",
+            "MISSING FROM BASELINE",
+            "MALFORMED",
+        ):
             status = f"❌ {status}"
         elif status == "ok":
             status = "✅"

@@ -32,6 +32,14 @@ experiment runs — and writes a stable-schema ``BENCH_perf.json``:
 * ``multiplex_studies`` — the service regime: one ``StudyMultiplexer``
   hosting 10k (quick: 1k) concurrent crash-durable journaled studies in a
   single process, reported as aggregate ask+tell operations per second.
+* ``observability_overhead`` — the runtime-probe cost contract: a
+  Study-driven scheduler workload and a small multiplexed workload are each
+  timed back to back with the probe registry uninstalled and installed
+  (paired, interleaved, best-of-k), and the entry's value is the *worst*
+  enabled/disabled slowdown ratio.  Carries a hard gated ``meta.ceiling``
+  of 1.03 — enabled probes must cost at most 3% on the instrumented hot
+  paths, and the disabled paths (a pointer load + branch per site) are
+  bounded above by the same number.
 * ``multiplex_speedup`` — the same 1k-study workload through the naive
   loop-per-study baseline (each study drives its own loop and fsyncs its
   own journal on a per-study cadence) divided by the multiplexer's time
@@ -377,6 +385,86 @@ def bench_multiplex_speedup(num_studies: int) -> float:
         return base_seconds / mux_seconds
 
 
+#: The observability acceptance bar: enabled probes may slow an
+#: instrumented hot path by at most this factor (CI-gated via
+#: ``meta.ceiling``).
+_OBS_OVERHEAD_CEILING = 1.03
+
+
+def _study_scheduler_workload(num_jobs: int) -> int:
+    """Batched ask/tell cycles through the instrumented ``Study`` surface."""
+    study = Study(
+        ASHA(
+            toy_space(),
+            np.random.default_rng(0),
+            min_resource=1.0,
+            max_resource=81.0,
+            eta=3,
+        )
+    )
+    dispatched = 0
+    while dispatched < num_jobs:
+        jobs = study.ask_batch(min(32, num_jobs - dispatched))
+        if not jobs:
+            break
+        study.tell_batch(
+            [(job, 1.0 + seeded_uniform(job.trial_id, float(job.rung))) for job in jobs]
+        )
+        dispatched += len(jobs)
+    return dispatched
+
+
+def bench_observability_overhead(quick: bool) -> dict[str, float]:
+    """Enabled/disabled slowdown ratio per instrumented workload.
+
+    Each workload constructs its instrumented objects *inside* the timed
+    call (probes resolve at construction).  The two modes are timed in
+    interleaved rounds — disabled then enabled, back to back, so a load
+    swing on the machine hits both sides of a round roughly equally — and
+    the reported ratio is the *median* of the per-round ratios, which a
+    single noisy round cannot move.  The registry is always uninstalled on
+    the way out: the rest of the suite must run unprobed.
+    """
+    import gc
+    import statistics
+
+    from repro.telemetry.runtime import install_runtime_registry, uninstall_runtime_registry
+
+    scheduler_jobs = 20_000 if quick else 60_000
+    mux_studies = 200 if quick else 400
+    rounds = 7
+
+    def mux_workload() -> None:
+        with tempfile.TemporaryDirectory(prefix="perf_obs_") as directory:
+            _run_studies_multiplexed(directory, mux_studies)
+
+    workloads = {
+        "study_scheduler": lambda: _study_scheduler_workload(scheduler_jobs),
+        "multiplex": mux_workload,
+    }
+    ratios: dict[str, float] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for name, workload in workloads.items():
+            workload()  # warm caches so neither mode pays first-run costs
+            per_round: list[float] = []
+            for _ in range(rounds):
+                uninstall_runtime_registry()
+                disabled = time_call(workload)[0]
+                install_runtime_registry()
+                try:
+                    enabled = time_call(workload)[0]
+                finally:
+                    uninstall_runtime_registry()
+                per_round.append(enabled / disabled)
+            ratios[name] = statistics.median(per_round)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return ratios
+
+
 # ------------------------------------------------------------------- main
 
 
@@ -486,6 +574,23 @@ def run_suite(quick: bool, only: list[str] | None = None) -> dict:
                 "workers": _MUX_WORKERS,
                 "measurements_per_study": _MUX_MEASUREMENTS,
                 "ask_tell_ops": ops,
+            },
+        )
+
+    if want("observability_overhead"):
+        print("[perf] observability_overhead (probes off vs on)...", flush=True)
+        ratios = bench_observability_overhead(quick)
+        worst = max(ratios.values())
+        benchmarks["observability_overhead"] = benchmark_entry(
+            worst,
+            "x",
+            higher_is_better=False,
+            # Already a same-machine ratio: normalise by 1.
+            calibration_ops_per_s=1.0,
+            meta={
+                "ceiling": _OBS_OVERHEAD_CEILING,
+                "gated": True,
+                **{f"ratio_{name}": round(ratio, 4) for name, ratio in ratios.items()},
             },
         )
 

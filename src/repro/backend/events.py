@@ -28,6 +28,8 @@ import itertools
 from bisect import insort
 from typing import Any
 
+from ..telemetry.runtime import instrument_queue
+
 __all__ = ["EventQueue", "HeapEventQueue", "SimEvent"]
 
 
@@ -163,6 +165,9 @@ class EventQueue:
         self._active_pos = 0
         self._active_id: int | None = None
         self._next_resize = 64
+        # None unless a runtime registry is installed (see
+        # repro.telemetry.runtime): hot paths pay one attr load + branch.
+        self._probes = instrument_queue(self)
 
     # -- internals ---------------------------------------------------------
 
@@ -197,6 +202,8 @@ class EventQueue:
                 self._width = width
         for event in events:
             self._store(event)
+        if self._probes is not None:
+            self._probes.resizes.inc()
 
     def _min_bid(self) -> int | None:
         """Smallest pending bucket id, dropping stale heap entries lazily."""
@@ -261,6 +268,8 @@ class EventQueue:
             raise ValueError(f"cannot schedule event at {time} before clock {self.clock}")
         event = SimEvent(time=time, seq=next(self._seq), kind=kind, payload=payload)
         self._size += 1
+        if self._probes is not None:
+            self._probes.pushes.inc()
         if self._size >= self._next_resize:
             self._store(event)
             self._rebucket()
@@ -282,6 +291,8 @@ class EventQueue:
             raise IndexError("pop from empty EventQueue")
         self._consume()
         self.clock = event.time
+        if self._probes is not None:
+            self._probes.pops.inc()
         return event
 
     def peek_time(self) -> float | None:

@@ -46,6 +46,7 @@ from typing import Any
 
 from ..core.types import Job
 from ..objectives.base import Objective
+from ..telemetry.runtime import backend_probes
 from .checkpoint import CheckpointStore
 from .simulation import SimulatedCluster, _InlineExecution
 
@@ -105,6 +106,8 @@ class _ProcessPoolExecution:
         self._pending: dict[
             int, tuple[Future[tuple[Any, float]] | None, dict[str, Any] | None, tuple[float, Any]]
         ] = {}
+        # None unless a runtime registry is installed (repro.telemetry.runtime).
+        self._probes = backend_probes("processes")
         global _PROC_OBJECTIVE
         _PROC_OBJECTIVE = objective
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
@@ -134,9 +137,16 @@ class _ProcessPoolExecution:
             except Exception:  # pool already broken/shut down — collect inline
                 future = None
         self._pending[job.job_id] = (future, restore_event, (from_resource, state))
+        if self._probes is not None:
+            self._probes.dispatches.inc()
+            self._probes.in_flight.set(float(len(self._pending)))
 
     def collect(self, job: Job) -> float:
         future, restore_event, inputs = self._pending.pop(job.job_id)
+        probes = self._probes
+        if probes is not None:
+            probes.collects.inc()
+            probes.in_flight.set(float(len(self._pending)))
         # Emit the deferred restore *before* touching the future so the event
         # lands at the completion clock, exactly where the inline path emits.
         self.store.emit_restore(restore_event)
@@ -148,6 +158,10 @@ class _ProcessPoolExecution:
                 # Infrastructure death, not a training error: the inputs were
                 # saved at submit, so the inline recompute is exact.
                 state_loss = None
+            if state_loss is None and probes is not None:
+                # The speculative result was lost with the pool; the inline
+                # recompute below is a backend-level retry.
+                probes.retries.inc()
         if state_loss is None:
             from_resource, state = inputs
             state = self.store.materialize(state, self.objective)
@@ -171,6 +185,8 @@ class _ProcessPoolExecution:
         pending = self._pending.pop(job.job_id, None)
         if pending is not None and pending[0] is not None:
             pending[0].cancel()
+        if pending is not None and self._probes is not None:
+            self._probes.in_flight.set(float(len(self._pending)))
 
     def close(self) -> None:
         global _PROC_OBJECTIVE

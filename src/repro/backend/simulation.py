@@ -220,6 +220,13 @@ class SimRun:
         #: driver discards its stale queue entries lazily.
         self.done = False
         self.budget_exhausted = False
+        #: Multiplexer probe bundle (repro.telemetry.runtime.MuxProbes) —
+        #: installed by StudyMultiplexer.run() when a runtime registry is
+        #: live, None otherwise.  ``last_dispatch_tick`` is the shared-clock
+        #: tick of this run's most recent dispatch; the starvation-age
+        #: gauges are computed from it at scrape time.
+        self.obs = None
+        self.last_dispatch_tick = 0
 
     # --------------------------------------------------------- event wiring
 
@@ -322,6 +329,8 @@ class SimRun:
         budget = len(free_ids) if cap is None else min(cap, len(free_ids))
         result = self.result
         faults = self.faults
+        obs = self.obs
+        dispatched_before = result.jobs_dispatched if obs is not None else 0
         while free_ids and self.pending_retries and budget > 0:
             job, attempt = self.pending_retries.popleft()
             worker = heapq.heappop(free_ids)
@@ -365,7 +374,15 @@ class SimRun:
                     break
         if hub and starved and free_ids:
             hub.emit(EventKind.WORKER_IDLE, free_workers=len(free_ids))
-        return budget == 0 and bool(free_ids)
+        capped = budget == 0 and bool(free_ids)
+        if obs is not None:
+            dispatched = self.result.jobs_dispatched - dispatched_before
+            if dispatched:
+                obs.dispatches.inc(dispatched)
+                self.last_dispatch_tick = obs.tick_box[0]
+            if capped:
+                obs.throttles.inc()
+        return capped
 
     # ------------------------------------------------------------ teardown
 

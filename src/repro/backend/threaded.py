@@ -34,6 +34,7 @@ from ..core.types import Job
 from ..objectives.base import Objective
 from ..study import Study
 from ..telemetry import EventKind, TelemetryHub
+from ..telemetry.runtime import backend_probes
 from ..telemetry.tracing import TraceBuilder
 from .checkpoint import CheckpointStore
 from .faults import FaultManager, RetryPolicy
@@ -123,6 +124,9 @@ class ThreadPoolBackend:
         done_resource = max_resource if max_resource is not None else objective.max_resource
         store = CheckpointStore()
         result = BackendResult()
+        # None unless a runtime registry is installed (repro.telemetry.runtime);
+        # all probe updates below happen under the backend lock.
+        probes = backend_probes("threads")
         lock = threading.Lock()
         stop = threading.Event()
         start = _time.monotonic()
@@ -249,6 +253,8 @@ class ThreadPoolBackend:
                         retry_at=t + decision.delay,
                     )
                 retry_queue.append((t + decision.delay, job, decision.failures + 1))
+                if probes is not None:
+                    probes.retries.inc()
             else:
                 result.trials_abandoned += 1
                 study.on_trial_abandoned(job)
@@ -283,6 +289,8 @@ class ThreadPoolBackend:
                     for token, (job, t0, worker_id) in list(in_flight.items()):
                         if now - t0 >= retry_policy.timeout:
                             del in_flight[token]
+                            if probes is not None:
+                                probes.in_flight.set(float(len(in_flight)))
                             timed_out.add(token)
                             fail_job(
                                 job, worker_id, reason="timeout", lost=now - t0, t=now
@@ -330,6 +338,9 @@ class ThreadPoolBackend:
                         store.prepare(job)  # donor snapshot under the lock
                         token = (job.job_id, attempt)
                         in_flight[token] = (job, clock(), worker_id)
+                        if probes is not None:
+                            probes.dispatches.inc()
+                            probes.in_flight.set(float(len(in_flight)))
                 if job is None:
                     if hub and not was_idle:
                         # Emit only on the busy -> idle transition, not every
@@ -374,6 +385,9 @@ class ThreadPoolBackend:
                         store.discard(job)
                         continue
                     in_flight.pop(token, None)
+                    if probes is not None:
+                        probes.collects.inc()
+                        probes.in_flight.set(float(len(in_flight)))
                     if error is not None:
                         store.discard(job)
                         fail_job(
@@ -481,6 +495,7 @@ class ThreadPoolBackend:
                 "retry_policy.timeout (wall-clock watchdog) is not supported by "
                 "run_many; use run() for watchdog enforcement"
             )
+        probes = backend_probes("threads")
 
         class _TaskState:
             __slots__ = (
@@ -630,6 +645,8 @@ class ThreadPoolBackend:
                         retry_at=t + decision.delay,
                     )
                 ts.retry_queue.append((t + decision.delay, job, decision.failures + 1))
+                if probes is not None:
+                    probes.retries.inc()
             else:
                 result.trials_abandoned += 1
                 study.on_trial_abandoned(job)
@@ -699,6 +716,8 @@ class ThreadPoolBackend:
                     if job is not None:
                         ts.result.jobs_dispatched += 1
                         ts.store.prepare(job)
+                        if probes is not None:
+                            probes.dispatches.inc()
                 if job is None:
                     if not was_idle:
                         now = clock()
@@ -737,6 +756,8 @@ class ThreadPoolBackend:
                 t1 = clock()
                 with lock:
                     ts.busy += t1 - t0
+                    if probes is not None:
+                        probes.collects.inc()
                     if error is not None:
                         ts.store.discard(job)
                         fail_job(

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import json
 import os
+from time import perf_counter
 from typing import IO, Any
 
 from ..canonical import encode_canonical
+from ..telemetry.runtime import journal_probes, runtime_registry, wal_probes
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -144,6 +146,8 @@ class Journal:
             raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.path = os.fspath(path)
         self._closed = False
+        # None unless a runtime registry is installed (repro.telemetry.runtime).
+        self._probes = journal_probes()
         # Set by a JournalWriter carrying a write-ahead log: every committed
         # byte is already fsynced in the WAL, so this file is a replayable
         # cache and finalize can skip its own (expensive) per-file fsync.
@@ -184,6 +188,8 @@ class Journal:
         if self._closed:
             raise ValueError("Journal is closed")
         line = encode_record(record) + "\n"
+        if self._probes is not None:
+            self._probes.bytes.inc(len(line))
         if self._pending is not None:
             self._pending.append(line)
             return
@@ -206,6 +212,8 @@ class Journal:
         if not records:
             return
         block = "".join(encode_record(record) + "\n" for record in records)
+        if self._probes is not None:
+            self._probes.bytes.inc(len(block))
         if self._pending is not None:
             self._pending.append(block)
             return
@@ -255,17 +263,25 @@ class Journal:
                 if data:
                     fh.write(data)
                 fh.flush()
+                started = 0.0 if self._probes is None else perf_counter()
                 try:
                     os.fsync(fh.fileno())
                 except OSError:
                     pass
+                if self._probes is not None:
+                    self._probes.fsyncs.inc()
+                    self._probes.fsync_seconds.observe(perf_counter() - started)
             return
         assert self._file is not None
         self._file.flush()
+        started = 0.0 if self._probes is None else perf_counter()
         try:
             os.fsync(self._file.fileno())
         except (OSError, ValueError):
             pass  # not a real file descriptor (tests passing pipes, ...)
+        if self._probes is not None:
+            self._probes.fsyncs.inc()
+            self._probes.fsync_seconds.observe(perf_counter() - started)
 
     def close(self) -> None:
         if self._closed:
@@ -296,18 +312,23 @@ def read_wal(path: str | os.PathLike[str]) -> dict[str, bytes]:
         raw = fh.read()
     out: dict[str, bytearray] = {}
     pos = 0
+    frame = 0
     while pos < len(raw):
         end = raw.find(b"\n", pos, pos + 64)
         if end < 0:
             break  # torn frame header
         header = raw[pos:end]
         if not header.startswith(_WAL_MAGIC):
-            raise JournalError(f"{os.fspath(path)}: bad WAL frame header at byte {pos}")
+            raise JournalError(
+                f"{os.fspath(path)}: bad WAL frame header at byte {pos} (frame {frame}): "
+                f"expected magic {_WAL_MAGIC!r}, found {header[: len(_WAL_MAGIC)]!r}"
+            )
         try:
             name_len, data_len = map(int, header[len(_WAL_MAGIC) :].split())
         except ValueError as exc:
             raise JournalError(
-                f"{os.fspath(path)}: unparseable WAL frame header at byte {pos}"
+                f"{os.fspath(path)}: unparseable WAL frame header at byte {pos} "
+                f"(frame {frame}): {header[len(_WAL_MAGIC):]!r} is not '<name_len> <data_len>'"
             ) from exc
         start = end + 1
         if start + name_len + data_len > len(raw):
@@ -317,6 +338,7 @@ def read_wal(path: str | os.PathLike[str]) -> dict[str, bytes]:
             raw[start + name_len : start + name_len + data_len]
         )
         pos = start + name_len + data_len
+        frame += 1
     return {name: bytes(data) for name, data in out.items()}
 
 
@@ -353,6 +375,7 @@ class JournalWriter:
         self._journals: list[Journal] = []
         #: Commit sweeps performed (observability for tests and benchmarks).
         self.commits = 0
+        self._probes = wal_probes()
         self.wal_path = os.fspath(wal_path) if wal_path is not None else None
         self._wal: IO[bytes] | None = None
         if self.wal_path is not None:
@@ -376,10 +399,18 @@ class JournalWriter:
         one fsync — and only then their journal files; a crash between the
         two leaves stale files that :func:`read_wal` rebuilds.
         """
+        probes = self._probes
+        if probes is None and runtime_registry() is not None:
+            # The writer outlives registry installs that happen after its
+            # construction (the multiplexer builds it in __init__); commits
+            # are cold, so the late re-resolve costs nothing measurable.
+            probes = self._probes = wal_probes()
         if self._wal is None:
             for journal in self._journals:
                 journal.commit()
             self.commits += 1
+            if probes is not None:
+                probes.commits.inc()
             return
         dirty: list[tuple[Journal, bytes]] = []
         frames: list[bytes] = []
@@ -390,16 +421,25 @@ class JournalWriter:
                 frames.append(b"%s%d %d\n%s%s" % (_WAL_MAGIC, len(name), len(data), name, data))
                 dirty.append((journal, data))
         if dirty:
-            self._wal.write(b"".join(frames))
+            blob = b"".join(frames)
+            self._wal.write(blob)
             self._wal.flush()
+            started = 0.0 if probes is None else perf_counter()
             try:
                 os.fsync(self._wal.fileno())
             except OSError:
                 pass
+            if probes is not None:
+                probes.fsyncs.inc()
+                probes.fsync_seconds.observe(perf_counter() - started)
+                probes.commit_bytes.observe(float(len(blob)))
+                probes.commit_journals.observe(float(len(dirty)))
             for journal, data in dirty:
                 with open(journal.path, "ab") as fh:
                     fh.write(data)
         self.commits += 1
+        if probes is not None:
+            probes.commits.inc()
 
     def finalize_all(self) -> None:
         """Commit and fsync every registered journal (end-of-run durability).

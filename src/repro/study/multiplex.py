@@ -41,6 +41,7 @@ import gc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..telemetry.runtime import mux_probes
 from .journal import JournalWriter
 
 if TYPE_CHECKING:  # imported lazily at runtime: backend.simulation imports study
@@ -103,6 +104,13 @@ class StudyMultiplexer:
         This is the knob that makes durable journaling affordable at
         thousands of studies; without it, durability is end-of-run only
         (per-journal fsync at finalize), exactly as in a solo run.
+    scraper:
+        Optional :class:`~repro.telemetry.runtime.RuntimeScraper`: its
+        ``on_tick`` rides the shared loop, appending periodic registry
+        snapshots to JSONL on the simulated clock.  The multiplexer calls
+        ``scraper.close()`` (which writes a final snapshot) when the run
+        finishes.  Install the runtime registry *before* constructing the
+        multiplexer and its studies so their probes resolve.
 
     Usage::
 
@@ -125,6 +133,7 @@ class StudyMultiplexer:
         fair_share: int | None = None,
         commit_interval: int = 64,
         wal_path: "str | None" = None,
+        scraper=None,
     ):
         if fair_share is not None and fair_share < 1:
             raise ValueError(f"fair_share must be >= 1, got {fair_share}")
@@ -132,6 +141,7 @@ class StudyMultiplexer:
             raise ValueError(f"commit_interval must be >= 1, got {commit_interval}")
         self.fair_share = fair_share
         self.commit_interval = commit_interval
+        self.scraper = scraper
         #: Shared group-commit coordinator; pass as ``Journal(..., writer=...)``
         #: when building the studies' journals.
         self.journal_writer = JournalWriter(wal_path=wal_path)
@@ -217,13 +227,41 @@ class StudyMultiplexer:
         ticks = 0
         pending = 0
 
-        def on_tick() -> None:
-            nonlocal ticks, pending
-            ticks += 1
-            pending += 1
-            if pending >= interval:
-                pending = 0
-                writer.commit()
+        probes = mux_probes(self)
+        scraper = self.scraper
+        if probes is not None or scraper is not None:
+            # Instrumented tick: advance the shared-clock tick box (the
+            # basis of the starvation-age gauges), count, and let the
+            # scraper sample on its cadence.  Built only when observability
+            # is on, so the disabled loop body is byte-for-byte the old one.
+            if probes is not None:
+                for run in self._runs:
+                    run.obs = probes
+            tick_box = probes.tick_box if probes is not None else [0]
+            tick_counter = probes.ticks if probes is not None else None
+
+            def on_tick() -> None:
+                nonlocal ticks, pending
+                ticks += 1
+                tick_box[0] = ticks
+                if tick_counter is not None:
+                    tick_counter.inc()
+                pending += 1
+                if pending >= interval:
+                    pending = 0
+                    writer.commit()
+                if scraper is not None:
+                    scraper.on_tick()
+
+        else:
+
+            def on_tick() -> None:
+                nonlocal ticks, pending
+                ticks += 1
+                pending += 1
+                if pending >= interval:
+                    pending = 0
+                    writer.commit()
 
         # Same gc scope the solo runner uses, paid once for all N studies
         # instead of once per study.
@@ -244,6 +282,8 @@ class StudyMultiplexer:
                 # WAL mode defers every journal's tail to here: one final
                 # group commit (one fsync total) covers them all.
                 writer.finalize_all()
+            if scraper is not None:
+                scraper.close()
         out.results = [run.finish() for run in self._runs]
         out.ticks = ticks
         out.journal_commits = writer.commits

@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import os
 from collections import deque
+from time import perf_counter
 from typing import Any, Iterable
 
 from ..core.scheduler import Scheduler
 from ..core.serialization import config_state
 from ..core.types import Job, Trial
 from ..searchers.base import Searcher
+from ..telemetry.runtime import study_probes
 from .journal import (
     JOURNAL_VERSION,
     Journal,
@@ -91,6 +93,8 @@ class Study:
         # ask() in journal order.  A deque: a restore can leave hundreds of
         # in-flight asks, and list.pop(0) made re-dispatch quadratic.
         self._orphaned: deque[Job] = deque()
+        # None unless a runtime registry is installed (repro.telemetry.runtime).
+        self._probes = study_probes()
 
     # ------------------------------------------------------------- ask/tell
 
@@ -139,6 +143,8 @@ class Study:
                     self._record(self._ask_record(job))
             elif self.journal is not None:
                 self.journal.append_batch([self._ask_record(job) for job in fresh])
+        if jobs and self._probes is not None:
+            self._probes.ask_batch_jobs.observe(float(len(jobs)))
         return jobs
 
     def _ask_record(self, job: Job) -> dict[str, Any]:
@@ -161,9 +167,14 @@ class Study:
         crash between the two re-applies the tell on resume instead of
         losing it.
         """
+        probes = self._probes
+        started = 0.0 if probes is None else perf_counter()
         if self.journal is not None or self._cursor_pos < len(self._cursor):
             self._record(self._tell_record(job, loss, time))
         self.scheduler.report(job, loss)
+        if probes is not None:
+            probes.tell_batch_results.observe(1.0)
+            probes.tell_seconds.observe(perf_counter() - started)
 
     def tell_batch(
         self, results: Iterable[tuple[Job, float]], *, time: float = 0.0
@@ -179,6 +190,8 @@ class Study:
         results = list(results)
         if not results:
             return
+        probes = self._probes
+        started = 0.0 if probes is None else perf_counter()
         if self._cursor_pos < len(self._cursor):
             for job, loss in results:
                 self._record(self._tell_record(job, loss, time))
@@ -187,6 +200,9 @@ class Study:
                 [self._tell_record(job, loss, time) for job, loss in results]
             )
         self.scheduler.report_batch(results)
+        if probes is not None:
+            probes.tell_batch_results.observe(float(len(results)))
+            probes.tell_seconds.observe(perf_counter() - started)
 
     def _tell_record(self, job: Job, loss: float, time: float) -> dict[str, Any]:
         return {

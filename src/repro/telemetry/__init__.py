@@ -37,6 +37,17 @@ from .metrics import (
     MetricsRegistry,
     MetricsReport,
 )
+from .runtime import (
+    NULL_PROBE,
+    NullProbe,
+    RuntimeRegistry,
+    RuntimeScraper,
+    install_runtime_registry,
+    render_prometheus,
+    runtime_registry,
+    uninstall_runtime_registry,
+    validate_exposition,
+)
 from .sinks import InMemorySink, JSONLSink, LiveSummarySink, TelemetrySink, render_summary
 from .tracing import (
     AttemptSpan,
@@ -62,7 +73,16 @@ __all__ = [
     "MetricsRegistry",
     "MetricsReport",
     "NULL_HUB",
+    "NULL_PROBE",
     "NullHub",
+    "NullProbe",
+    "RuntimeRegistry",
+    "RuntimeScraper",
+    "install_runtime_registry",
+    "render_prometheus",
+    "runtime_registry",
+    "uninstall_runtime_registry",
+    "validate_exposition",
     "TelemetryEvent",
     "TelemetryHub",
     "TelemetrySink",

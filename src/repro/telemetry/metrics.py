@@ -28,12 +28,16 @@ from .events import EventKind, TelemetryEvent
 
 __all__ = [
     "Counter",
+    "DEFAULT_SERIES_BOUND",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsCollector",
     "MetricsReport",
 ]
+
+#: Default cap on a gauge's timestamped history (see :class:`Gauge`).
+DEFAULT_SERIES_BOUND = 4096
 
 
 class Counter:
@@ -52,20 +56,34 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins value, with an optional timestamped history."""
+    """Last-write-wins value, with an optional timestamped history.
 
-    __slots__ = ("name", "value", "series")
+    The history is a bounded ring: at most ``series_bound`` recent
+    ``(time, value)`` pairs are retained (oldest dropped first), so
+    long-lived processes — a multiplexer scraping gauges every few ticks
+    for hours — hold constant memory.  ``series_bound=None`` disables the
+    cap for callers that genuinely want the full history.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "series", "series_bound")
+
+    def __init__(self, name: str, *, series_bound: int | None = DEFAULT_SERIES_BOUND):
+        if series_bound is not None and series_bound < 1:
+            raise ValueError(f"gauge {name!r} series_bound must be >= 1, got {series_bound}")
         self.name = name
         self.value = 0.0
+        self.series_bound = series_bound
         #: (time, value) pairs, appended by :meth:`set` when a time is given.
         self.series: list[tuple[float, float]] = []
 
     def set(self, value: float, *, time: float | None = None) -> None:
         self.value = value
         if time is not None:
-            self.series.append((time, value))
+            series = self.series
+            series.append((time, value))
+            bound = self.series_bound
+            if bound is not None and len(series) > bound:
+                del series[: len(series) - bound]
 
 
 class Histogram:
@@ -124,16 +142,20 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create store of named metrics (one namespace per run)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, gauge_series_bound: int | None = DEFAULT_SERIES_BOUND) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauge_series_bound = gauge_series_bound
 
     def counter(self, name: str) -> Counter:
         return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge(name))
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, series_bound=self._gauge_series_bound)
+        return gauge
 
     def histogram(self, name: str) -> Histogram:
         return self._histograms.setdefault(name, Histogram(name))

@@ -111,6 +111,19 @@ class TestCommittedArtifacts:
             assert capacity["meta"]["studies"] == expected, path
             assert capacity["value"] > 0, path
 
+    def test_observability_overhead_carries_hard_ceiling(self):
+        # The observability gate: enabled-probe overhead must stay within
+        # 3% of the unprobed hot paths on every committed artifact.
+        for path in (PERF_DIR / "baseline.json", REPO_ROOT / "BENCH_perf.json"):
+            entry = json.loads(path.read_text())["benchmarks"]["observability_overhead"]
+            assert entry["meta"]["gated"] is True, path
+            assert entry["meta"]["ceiling"] == 1.03, path
+            assert entry["higher_is_better"] is False, path
+            assert entry["value"] <= 1.03, path
+            # Both instrumented workloads recorded their own ratio.
+            assert "ratio_study_scheduler" in entry["meta"], path
+            assert "ratio_multiplex" in entry["meta"], path
+
     def test_skipped_speedups_record_their_reason(self):
         # Wherever a committed artifact skipped a speedup, the skip must be
         # loud: reason recorded, cpu_count below the requirement.
@@ -151,15 +164,19 @@ def _report_with(
     gated: dict[str, bool] | None = None,
     floors: dict[str, float] | None = None,
     skipped: set[str] | None = None,
+    ceilings: dict[str, float] | None = None,
 ) -> dict:
     gated = gated or {}
     floors = floors or {}
     skipped = skipped or set()
+    ceilings = ceilings or {}
     benchmarks = {}
     for name, score in normalized.items():
         meta: dict = {"gated": gated.get(name, True)}
         if name in floors:
             meta["floor"] = floors[name]
+        if name in ceilings:
+            meta["ceiling"] = ceilings[name]
         if name in skipped:
             meta.update(skipped=True, skip_reason="requires >= 4 cores, machine has 1")
             benchmarks[name] = {
@@ -295,6 +312,74 @@ class TestFloorGate:
         baseline["benchmarks"]["a"] = dict(bare_skip)
         current = _report_with({"a": 10.0})
         assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+
+class TestCeilingGate:
+    """``meta.ceiling`` — the floor's dual, for overhead-ratio benchmarks."""
+
+    _run = TestRegressionGate._run
+
+    def test_value_above_ceiling_fails_with_named_benchmark(
+        self, check_regression, tmp_path, capsys
+    ):
+        baseline = _report_with(
+            {"observability_overhead": 1.0}, ceilings={"observability_overhead": 1.03}
+        )
+        current = _report_with(
+            {"observability_overhead": 1.08}, ceilings={"observability_overhead": 1.03}
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        err = capsys.readouterr().err
+        assert "observability_overhead" in err
+        assert "1.03" in err
+        assert "ceiling" in err
+
+    def test_value_at_ceiling_passes(self, check_regression, tmp_path):
+        report = _report_with(
+            {"observability_overhead": 1.03}, ceilings={"observability_overhead": 1.03}
+        )
+        assert self._run(check_regression, tmp_path, report, report) == 0
+
+    def test_ungated_ceiling_is_informational(self, check_regression, tmp_path):
+        baseline = _report_with(
+            {"obs": 1.0}, gated={"obs": False}, ceilings={"obs": 1.03}
+        )
+        current = _report_with(
+            {"obs": 2.0}, gated={"obs": False}, ceilings={"obs": 1.03}
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 0
+
+    def test_candidate_only_ceiling_still_binds(self, check_regression, tmp_path, capsys):
+        # A brand-new overhead benchmark missing from the baseline must
+        # still enforce its ceiling, not just complain about staleness.
+        baseline = _report_with({"other": 1.0})
+        current = _report_with(
+            {"other": 1.0, "observability_overhead": 1.5},
+            ceilings={"observability_overhead": 1.03},
+        )
+        assert self._run(check_regression, tmp_path, baseline, current) == 1
+        assert "ceiling" in capsys.readouterr().err
+
+    def test_markdown_marks_above_ceiling(self, check_regression, tmp_path):
+        baseline = _report_with({"obs": 1.0}, ceilings={"obs": 1.03})
+        current = _report_with({"obs": 1.5}, ceilings={"obs": 1.03})
+        base_path = tmp_path / "baseline.json"
+        cur_path = tmp_path / "current.json"
+        md_path = tmp_path / "trend.md"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        check_regression.main(
+            [
+                "--baseline",
+                str(base_path),
+                "--current",
+                str(cur_path),
+                "--markdown",
+                str(md_path),
+                "--no-gate",
+            ]
+        )
+        assert "❌ ABOVE CEILING" in md_path.read_text()
 
 
 class TestCandidateOnlyBenchmarks:

@@ -320,3 +320,55 @@ def test_wal_defers_tail_fsync_to_group_commit(tmp_path, monkeypatch):
     for journal in journals:
         records, _, _ = read_journal(journal.path)
         assert records[1:] == RECORDS[:1]
+
+
+def test_wal_corruption_error_names_byte_offset_and_frame_index(tmp_path):
+    """A corrupt frame is located precisely: byte offset AND frame index.
+
+    Ops recovering a crashed multiplexer need to know *where* the WAL went
+    bad — `dd`-style surgery on the file needs the byte offset, while the
+    frame index says how many commits were replayable before the damage.
+    """
+    wal_path = tmp_path / "journals.wal"
+    writer = JournalWriter(wal_path=wal_path)
+    journals = [Journal(tmp_path / f"j{i}.jsonl", writer=writer) for i in range(2)]
+    for record in RECORDS:
+        for journal in journals:
+            journal.append(record)
+        writer.commit()  # one frame per journal per window -> 6 frames
+    intact = wal_path.read_bytes()
+
+    # Find the third frame's header offset by walking the intact file the
+    # same way read_wal does, then stomp its magic in place.
+    offsets = []
+    pos = 0
+    while pos < len(intact):
+        offsets.append(pos)
+        header_end = intact.index(b"\n", pos)
+        name_len, data_len = map(int, intact[pos + 5 : header_end].split())
+        pos = header_end + 1 + name_len + data_len
+    assert len(offsets) == 6
+    target = offsets[2]
+
+    corrupt = bytearray(intact)
+    corrupt[target : target + 4] = b"XXXX"
+    wal_path.write_bytes(bytes(corrupt))
+    with pytest.raises(JournalError) as excinfo:
+        read_wal(wal_path)
+    message = str(excinfo.value)
+    assert f"byte {target}" in message
+    assert "(frame 2)" in message
+    assert str(wal_path) in message
+
+    # An unparseable length field is the other corruption class: same
+    # byte/frame coordinates, different diagnosis.
+    corrupt = bytearray(intact)
+    header_end = intact.index(b"\n", target)
+    corrupt[target + 5 : header_end] = b"x" * (header_end - target - 5)
+    wal_path.write_bytes(bytes(corrupt))
+    with pytest.raises(JournalError) as excinfo:
+        read_wal(wal_path)
+    message = str(excinfo.value)
+    assert f"byte {target}" in message
+    assert "(frame 2)" in message
+    assert "<name_len> <data_len>" in message

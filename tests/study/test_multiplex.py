@@ -299,3 +299,63 @@ def test_many_studies_one_process(tmp_path):
     for i in range(n):
         records, _, terminated = read_journal(tmp_path / f"m{i}.jsonl")
         assert terminated and records[0]["kind"] == "journal_header"
+
+
+# ---------------------------------------------------------------------------
+# Runtime observability: the fair-share starvation accounting must tell the
+# truth — a throttled study's starvation age climbs, a dispatching study's
+# stays zero.  (The probe layer itself is covered in telemetry/test_runtime.)
+# ---------------------------------------------------------------------------
+
+
+def test_starvation_accounting_under_fair_share(tmp_path):
+    import json
+
+    from repro.telemetry.runtime import (
+        RuntimeScraper,
+        install_runtime_registry,
+        uninstall_runtime_registry,
+    )
+
+    registry = install_runtime_registry()
+    try:
+        scraper = RuntimeScraper(registry, tmp_path / "snap.jsonl", every=4)
+        mux = StudyMultiplexer(fair_share=1, scraper=scraper)
+        # Study 0 dispatches freely; study 1 is paused, so it holds a free
+        # worker for the whole run without ever asking a job — the extreme
+        # slow study.
+        mux.add(
+            Study(make_scheduler(0)),
+            OBJECTIVE,
+            cluster=make_cluster(0, **ROUGH),
+            time_limit=60.0,
+        )
+        starved = Study(make_scheduler(1))
+        starved.pause()
+        mux.add(starved, OBJECTIVE, cluster=make_cluster(1), time_limit=60.0)
+        mux.run()
+    finally:
+        uninstall_runtime_registry()
+
+    lines = [
+        json.loads(line)
+        for line in (tmp_path / "snap.jsonl").read_text().splitlines()
+    ]
+    assert len(lines) >= 3
+    gauges = [rec["snapshot"]["gauges"] for rec in lines]
+    starved_ages = [g['mux_starvation_age_ticks{study="1"}'] for g in gauges]
+    active_ages = [g['mux_starvation_age_ticks{study="0"}'] for g in gauges]
+    # The throttled study's starvation age climbs monotonically for the
+    # whole run — it always has a free worker and never dispatches.
+    assert starved_ages == sorted(starved_ages)
+    assert starved_ages[0] > 0
+    assert starved_ages[-1] > starved_ages[0]
+    # All four of the paused study's workers sit free the whole run.
+    assert all(g['mux_pending_asks{study="1"}'] == 4.0 for g in gauges)
+    # The dispatching study never reads as starving: its free workers are
+    # refilled within the same instant they open up.
+    assert active_ages == [0.0] * len(active_ages)
+    # And the fair_share=1 cap demonstrably cut fill rounds short.
+    final = lines[-1]["snapshot"]
+    assert final["counters"]["mux_throttle_total"] > 0
+    assert final["counters"]["mux_dispatched_jobs_total"] > 0
